@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one table/figure of the paper
+(see DESIGN.md §4 for the experiment index) and prints paper-style rows.
+``pytest benchmarks/ --benchmark-only`` runs them all; assertions verify
+the *shape* of each result (who wins, where curves bend), not absolute
+numbers — the substrate is a synthetic simulator, not the authors'
+silicon.
+"""
+
+import numpy as np
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print an aligned ASCII table (the bench output format)."""
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits=3):
+    """Compact numeric formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if value == float("inf"):
+        return "inf"
+    if value == 0.0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-3:
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    from repro.technology import get_node
+
+    return get_node("90nm")
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    from repro.technology import get_node
+
+    return get_node("65nm")

@@ -1,0 +1,119 @@
+"""E14 — §2/§3.2 on digital timing: variable delay and aged paths.
+
+Paper claims regenerated through the full digital flow (cell
+characterization → STA):
+
+* "Digital circuits mostly suffer from a variable delay, reducing the
+  overall operation speed" (§2) — Monte-Carlo cell delays spread, and
+  the spread grows with scaling;
+* "In digital electronics this translates to slower circuits" (§3.2) —
+  an aged cell library retimes a logic path measurably slower, giving
+  the timing guardband a fixed design must carry.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro import units
+from repro.aging import HciModel, NbtiModel
+from repro.circuits import inverter
+from repro.core import MissionProfile, ReliabilitySimulator
+from repro.digitalflow import TimingGraph, characterize_cell, path_derate
+from repro.technology import get_node
+from repro.variability import MismatchSampler
+
+SLEWS = [20e-12, 80e-12]
+LOADS = [1e-15, 6e-15]
+
+
+def build_chain(table, n=5):
+    graph = TimingGraph()
+    graph.add_input("a", slew_s=30e-12)
+    prev = "a"
+    for k in range(n):
+        graph.add_cell(f"u{k}", table, inputs=[prev], output=f"n{k}")
+        prev = f"n{k}"
+    graph.add_output(prev, load_f=4e-15)
+    return graph
+
+
+def delay_variability(tech, n_samples=10):
+    """MC spread of the cell delay at one node."""
+    fx = inverter(tech, load_c_f=2e-15)
+    sampler = MismatchSampler(tech, np.random.default_rng(5))
+    delays = []
+    try:
+        for _ in range(n_samples):
+            sampler.assign(fx.circuit)
+            table = characterize_cell(fx, tech, SLEWS, LOADS)
+            delays.append(table.lookup(40e-12, 3e-15)[0])
+    finally:
+        sampler.clear(fx.circuit)
+    delays = np.array(delays)
+    return float(np.mean(delays)), float(np.std(delays) / np.mean(delays))
+
+
+def aged_path_experiment(tech):
+    """Fresh vs end-of-life path timing through the aging engine."""
+    fx = inverter(tech, load_c_f=2e-15)
+    fresh_rise = characterize_cell(fx, tech, SLEWS, LOADS,
+                                   rising_input=False)
+    # Age the inverter's devices over a 10-year switching mission.
+    sim = ReliabilitySimulator(fx, [NbtiModel(tech.aging),
+                                    HciModel(tech.aging)])
+    # A 50 % duty square wave on the input approximates logic activity.
+    from repro.circuit import PulseSpec
+
+    fx.circuit["vin"].spec = PulseSpec(
+        v1=0.0, v2=tech.vdd, delay_s=0.0, rise_s=50e-12, fall_s=50e-12,
+        width_s=0.95e-9, period_s=2e-9)
+    profile = MissionProfile(n_epochs=4, stress_mode="transient",
+                             transient_t_stop_s=4e-9,
+                             transient_dt_s=10e-12)
+    sim.run(profile)
+    aged_rise = characterize_cell(fx, tech, SLEWS, LOADS,
+                                  rising_input=False)
+    dvt_pmos = fx.circuit["mp_inv"].degradation.delta_vt_v
+    sim.reset()
+    return fresh_rise, aged_rise, dvt_pmos
+
+
+def test_bench_digital_timing(benchmark):
+    tech = get_node("65nm")
+    fresh, aged, dvt_pmos = benchmark.pedantic(
+        aged_path_experiment, args=(tech,), rounds=1, iterations=1)
+
+    # Variability across two nodes.
+    var_rows = []
+    for name in ("180nm", "65nm"):
+        mean_d, rel_sigma = delay_variability(get_node(name))
+        var_rows.append([name, fmt(mean_d * 1e12), fmt(rel_sigma)])
+    print_table("E14a: inverter delay variability (MC over mismatch)",
+                ["node", "mean delay [ps]", "sigma/mean"], var_rows)
+
+    # Aged cell table and path retiming.
+    ratio = aged.delay_s / fresh.delay_s
+    print_table("E14b: aged/fresh cell delay ratio (output-rising arc)",
+                ["slew \\ load"] + [fmt(l * 1e15) + " fF" for l in LOADS],
+                [[fmt(s * 1e12) + " ps"] + [fmt(r) for r in row]
+                 for s, row in zip(SLEWS, ratio)])
+    graph_fresh = build_chain(fresh)
+    graph_aged = graph_fresh.with_tables(
+        {f"u{k}": aged for k in range(5)})
+    derate = path_derate(graph_fresh, graph_aged)
+    d_fresh, _ = graph_fresh.critical_path()
+    d_aged, _ = graph_aged.critical_path()
+    print_table("E14c: 5-stage path, fresh vs 10-year aged library",
+                ["library", "critical path [ps]"],
+                [["fresh", fmt(d_fresh * 1e12)],
+                 ["aged (PMOS dVT = %s mV)" % fmt(dvt_pmos * 1e3),
+                  fmt(d_aged * 1e12)],
+                 ["derate", fmt(derate)]])
+
+    # §2: relative delay spread grows with scaling.
+    assert float(var_rows[1][2]) > float(var_rows[0][2])
+    # §3.2: aged library is slower on every table entry and on the path.
+    assert np.all(ratio > 1.0)
+    assert derate > 1.02
+    assert dvt_pmos > 5e-3

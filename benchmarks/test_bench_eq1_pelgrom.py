@@ -1,0 +1,60 @@
+"""E2 — Eq 1: σ²(ΔV_T) = A_VT²/(W·L) + S_VT²·D².
+
+Regenerates the Pelgrom-plot series (σ vs 1/√(WL)) and the distance
+term, and verifies the Monte-Carlo sampler reproduces the analytic law.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro.variability import MismatchSampler, PelgromModel
+
+
+def pelgrom_experiment(tech):
+    pm = PelgromModel.for_technology(tech)
+    geometries_um = [(0.5, 0.5), (1.0, 1.0), (2.0, 2.0), (4.0, 4.0),
+                     (8.0, 8.0)]
+    area_rows = []
+    for w_um, l_um in geometries_um:
+        w, l = w_um * 1e-6, l_um * 1e-6
+        analytic = pm.sigma_delta_vt_v(w, l)
+        sampler = MismatchSampler(tech, np.random.default_rng(7))
+        draws = np.array([sampler.sample_pair_delta_vt_v(w, l)
+                          for _ in range(2000)])
+        area_rows.append((w_um, l_um, 1.0 / math.sqrt(w_um * l_um),
+                          analytic * 1e3, draws.std() * 1e3))
+
+    distance_rows = []
+    for d_um in (0.0, 100.0, 500.0, 2000.0):
+        analytic = pm.sigma_delta_vt_v(2e-6, 2e-6, d_um * 1e-6)
+        distance_rows.append((d_um, analytic * 1e3))
+    return pm, area_rows, distance_rows
+
+
+def test_bench_eq1(benchmark, tech90):
+    pm, area_rows, distance_rows = benchmark(pelgrom_experiment, tech90)
+
+    print_table("Eq 1: sigma(dVT) vs geometry (Pelgrom plot)",
+                ["W [um]", "L [um]", "1/sqrt(WL)", "analytic [mV]",
+                 "MC [mV]"],
+                [[fmt(a) for a in row] for row in area_rows])
+    print_table("Eq 1: distance term S_VT.D",
+                ["D [um]", "sigma [mV]"],
+                [[fmt(a) for a in row] for row in distance_rows])
+
+    # MC matches the analytic law everywhere (within sampling error).
+    for _, _, _, analytic_mv, mc_mv in area_rows:
+        assert mc_mv == pytest.approx(analytic_mv, rel=0.1)
+    # Pelgrom-plot linearity: sigma ∝ 1/sqrt(WL) for large devices
+    # (short/narrow corrections negligible at ≥ 1 µm).
+    inv_sqrt = [r[2] for r in area_rows[1:]]
+    sigmas = [r[3] for r in area_rows[1:]]
+    slopes = [s / x for s, x in zip(sigmas, inv_sqrt)]
+    assert max(slopes) / min(slopes) < 1.1
+    # Distance term grows monotonically.
+    dist_sigmas = [r[1] for r in distance_rows]
+    assert all(b >= a for a, b in zip(dist_sigmas, dist_sigmas[1:]))
+    assert dist_sigmas[-1] > 1.5 * dist_sigmas[0]

@@ -1,0 +1,73 @@
+"""E5 — Eq 2: hot-carrier ΔV_T(t) and its stress acceleration.
+
+Regenerates: (a) the t^n power law (log-log straight line, n ≈ 0.45);
+(b) exponential acceleration with drain voltage (lucky-electron factor);
+(c) the NMOS ≫ PMOS asymmetry; (d) long-channel immunity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro import units
+from repro.aging import HciModel
+from repro.circuit import Mosfet
+
+
+def hci_experiment(tech):
+    hci = HciModel(tech.aging)
+    nmos = Mosfet.from_technology("mn", "d", "g", "s", "b", tech, "n",
+                                  w_m=1e-6, l_m=tech.lmin_m)
+    pmos = Mosfet.from_technology("mp", "d", "g", "s", "b", tech, "p",
+                                  w_m=1e-6, l_m=tech.lmin_m)
+    long_n = Mosfet.from_technology("ml", "d", "g", "s", "b", tech, "n",
+                                    w_m=1e-6, l_m=10 * tech.lmin_m)
+
+    times = np.logspace(2, np.log10(units.years_to_seconds(10.0)), 7)
+    vgs_wc = tech.vdd / 2.0
+    time_series = [(t, hci.delta_vt_v(nmos, vgs_wc, tech.vdd, 300.0, t))
+                   for t in times]
+
+    vds_series = [(vds, hci.delta_vt_v(nmos, vgs_wc, vds, 300.0, 1e6))
+                  for vds in np.linspace(0.8, 1.6, 5) * tech.vdd / 1.2]
+
+    comparison = {
+        "nmos_min_L": hci.delta_vt_v(nmos, vgs_wc, tech.vdd, 300.0,
+                                     units.years_to_seconds(10.0)),
+        "pmos_min_L": hci.delta_vt_v(pmos, vgs_wc, tech.vdd, 300.0,
+                                     units.years_to_seconds(10.0)),
+        "nmos_10x_L": hci.delta_vt_v(long_n, vgs_wc, tech.vdd, 300.0,
+                                     units.years_to_seconds(10.0)),
+    }
+    return time_series, vds_series, comparison
+
+
+def test_bench_eq2(benchmark, tech65):
+    time_series, vds_series, comparison = benchmark.pedantic(
+        hci_experiment, args=(tech65,), rounds=1, iterations=1)
+
+    print_table("Eq 2: HCI dVT vs stress time (worst-case bias)",
+                ["t [s]", "dVT [mV]"],
+                [[fmt(t), fmt(d * 1e3)] for t, d in time_series])
+    print_table("Eq 2: HCI dVT vs drain stress (1e6 s)",
+                ["vds [V]", "dVT [mV]"],
+                [[fmt(v), fmt(d * 1e3)] for v, d in vds_series])
+    print_table("Eq 2: device comparison (10-year worst-case)",
+                ["device", "dVT [mV]"],
+                [[k, fmt(v * 1e3)] for k, v in comparison.items()])
+
+    # (a) power-law slope n.
+    ts = np.array([t for t, _ in time_series])
+    ds = np.array([d for _, d in time_series])
+    slope = np.polyfit(np.log(ts), np.log(ds), 1)[0]
+    assert slope == pytest.approx(tech65.aging.hci_time_exponent, rel=0.02)
+    # (b) vds acceleration is super-linear (exponential-ish).
+    d_low, d_high = vds_series[0][1], vds_series[-1][1]
+    v_low, v_high = vds_series[0][0], vds_series[-1][0]
+    assert d_high / d_low > (v_high / v_low) ** 3
+    # (c) NMOS ≫ PMOS ("holes are much cooler than electrons").
+    assert comparison["nmos_min_L"] > 5.0 * comparison["pmos_min_L"]
+    # (d) long channels are effectively immune.
+    assert comparison["nmos_10x_L"] < 0.01 * comparison["nmos_min_L"]

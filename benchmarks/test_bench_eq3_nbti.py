@@ -1,0 +1,87 @@
+"""E6 — Eq 3: NBTI stress, relaxation and the AC/DC ratio.
+
+Regenerates: (a) the t^n stress law with field & temperature
+acceleration; (b) the log-time relaxation spanning microseconds to days
+with a permanent residue (refs [29], [34]); (c) the duty-factor (AC)
+dependence (ref [15]).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro import units
+from repro.aging import NbtiModel
+
+
+def nbti_experiment(tech):
+    nbti = NbtiModel(tech.aging)
+    eox = tech.nominal_oxide_field()
+    t_hot = units.celsius_to_kelvin(125.0)
+
+    times = np.logspace(2, np.log10(units.years_to_seconds(10.0)), 7)
+    stress_series = [(t, nbti.delta_vt_v(eox, t_hot, t)) for t in times]
+
+    temp_series = [(tc, nbti.delta_vt_v(eox, units.celsius_to_kelvin(tc), 1e6))
+                   for tc in (25.0, 85.0, 125.0, 150.0)]
+
+    # Relaxation after 1000 s of stress.
+    t_stress = 1e3
+    total = nbti.delta_vt_v(eox, t_hot, t_stress)
+    relax_times = [1e-6, 1e-3, 1.0, 1e3, 1e5]
+    relax_series = [(tr, nbti.relaxed_delta_vt_v(total, t_stress, tr) / total)
+                    for tr in relax_times]
+
+    duty_series = [(duty, nbti.delta_vt_v(eox, t_hot, 1e6, duty)
+                    / nbti.delta_vt_v(eox, t_hot, 1e6, 1.0))
+                   for duty in (1.0, 0.75, 0.5, 0.25, 0.1)]
+    return stress_series, temp_series, relax_series, duty_series, total
+
+
+def test_bench_eq3(benchmark, tech65):
+    stress, temp, relax, duty, total = benchmark.pedantic(
+        nbti_experiment, args=(tech65,), rounds=1, iterations=1)
+
+    print_table("Eq 3: NBTI dVT vs stress time (125C, nominal field)",
+                ["t [s]", "dVT [mV]"],
+                [[fmt(t), fmt(d * 1e3)] for t, d in stress])
+    print_table("Eq 3: temperature acceleration (1e6 s)",
+                ["T [C]", "dVT [mV]"],
+                [[fmt(t), fmt(d * 1e3)] for t, d in temp])
+    print_table(f"NBTI relaxation after 1000 s stress (total "
+                f"{total * 1e3:.1f} mV)",
+                ["t_relax [s]", "remaining fraction"],
+                [[fmt(t), fmt(f)] for t, f in relax])
+    print_table("AC stress: dVT(duty)/dVT(DC)",
+                ["duty", "ratio"],
+                [[fmt(d), fmt(r)] for d, r in duty])
+
+    # (a) time exponent.
+    ts = np.array([t for t, _ in stress])
+    ds = np.array([d for _, d in stress])
+    slope = np.polyfit(np.log(ts), np.log(ds), 1)[0]
+    assert slope == pytest.approx(tech65.aging.nbti_time_exponent, rel=0.02)
+    # 10-year magnitude: tens of mV.
+    assert 0.02 < ds[-1] < 0.25
+
+    # (b) relaxation: monotone decay over 11 decades of time, with a
+    # permanent residue bounded by the lock-in fraction.
+    fractions = [f for _, f in relax]
+    assert all(b < a for a, b in zip(fractions, fractions[1:]))
+    assert fractions[0] > 0.95
+    p = tech65.aging.nbti_permanent_fraction
+    assert fractions[-1] > p
+    assert fractions[-1] < p + 0.35
+
+    # (c) AC/DC: duty^n scaling — 50 % duty recovers ~90 % of DC damage,
+    # matching the weak duty dependence of the measured AC data.
+    duty_map = dict(duty)
+    n = tech65.aging.nbti_time_exponent
+    assert duty_map[0.5] == pytest.approx(0.5 ** n, rel=1e-6)
+    assert 0.85 < duty_map[0.5] < 0.95
+
+    # Temperature acceleration direction.
+    temps = [d for _, d in temp]
+    assert all(b > a for a, b in zip(temps, temps[1:]))

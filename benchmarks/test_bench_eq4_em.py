@@ -1,0 +1,131 @@
+"""E7 — Eq 4: electromigration MTTF, layout effects, EM-aware flow.
+
+Regenerates: (a) Black's J^-2 law and its thermal acceleration; (b) the
+Blech-length immunity and bamboo-width bonus tables; (c) an EM ranking
+of a synthetic power-distribution net plus the widening fix of the
+EM-aware design flow (ref [25]).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro import units
+from repro.aging import ElectromigrationModel, InterconnectNetwork, WireSegment
+
+
+HOT_K = units.celsius_to_kelvin(105.0)
+
+
+def black_series(tech):
+    em = ElectromigrationModel(tech.aging)
+    j_grid = np.array([0.5, 1.0, 2.0, 4.0]) * 1e10  # A/m²
+    by_j = [(j / 1e10, units.seconds_to_years(em.black_mttf_s(j, HOT_K)))
+            for j in j_grid]
+    by_t = [(tc, units.seconds_to_years(
+        em.black_mttf_s(1e10, units.celsius_to_kelvin(tc))))
+        for tc in (27.0, 85.0, 105.0, 125.0)]
+    return by_j, by_t
+
+
+def layout_effect_tables(tech):
+    em = ElectromigrationModel(tech.aging)
+    thickness = tech.interconnect.thickness_m
+
+    # Blech: same (modest) J, increasing lengths; the critical product
+    # J·L = 3e3 A/m falls inside this grid.
+    blech_rows = []
+    width = 0.2e-6
+    j = 1e9
+    for length_um in (10.0, 100.0, 300.0, 1000.0):
+        seg = WireSegment("w", "a", "b", width, length_um * 1e-6, thickness)
+        current = j * seg.cross_section_m2
+        immune = em.is_blech_immune(seg, current)
+        mttf = em.segment_mttf_s(seg, current, HOT_K)
+        blech_rows.append((length_um, j * length_um * 1e-6,
+                           "yes" if immune else "no",
+                           units.seconds_to_years(mttf)))
+
+    # Bamboo: same J, decreasing widths.
+    bamboo_rows = []
+    j_bamboo = 1e10
+    for width_nm in (500.0, 200.0, 100.0, 50.0):
+        seg = WireSegment("w", "a", "b", width_nm * 1e-9, 500e-6, thickness)
+        current = j_bamboo * seg.cross_section_m2
+        bamboo_rows.append((width_nm,
+                            "yes" if em.is_bamboo(seg) else "no",
+                            units.seconds_to_years(
+                                em.segment_mttf_s(seg, current, HOT_K))))
+    return blech_rows, bamboo_rows
+
+
+def power_grid_experiment(tech):
+    em = ElectromigrationModel(tech.aging)
+    net = InterconnectNetwork(tech.interconnect)
+    net.wire("spine", "pad", "n1", width_m=0.4e-6, length_m=400e-6,
+             has_via=True)
+    net.wire("rib1", "n1", "load1", width_m=0.15e-6, length_m=150e-6)
+    net.wire("rib2", "n1", "load2", width_m=0.15e-6, length_m=150e-6,
+             has_via=True, has_reservoir=True)
+    net.wire("ret1", "load1", "gnd", width_m=0.3e-6, length_m=200e-6)
+    net.wire("ret2", "load2", "gnd", width_m=0.3e-6, length_m=200e-6)
+    net.inject("pad", 6e-3)
+    net.inject("gnd", -6e-3)
+    net.set_ground("gnd")
+    before = net.analyze(em, HOT_K)
+    target = units.years_to_seconds(10.0)
+    widened = net.fix_em_violations(em, target, temperature_k=HOT_K)
+    after = net.analyze(em, HOT_K)
+    return before, widened, after
+
+
+def test_bench_eq4(benchmark, tech65):
+    before, widened, after = benchmark.pedantic(
+        power_grid_experiment, args=(tech65,), rounds=1, iterations=1)
+
+    by_j, by_t = black_series(tech65)
+    print_table("Eq 4: Black MTTF vs current density (Cu, 105C)",
+                ["J [MA/cm2]", "MTTF [yr]"],
+                [[fmt(j), fmt(m)] for j, m in by_j])
+    print_table("Eq 4: Black MTTF vs temperature (J=1 MA/cm2)",
+                ["T [C]", "MTTF [yr]"],
+                [[fmt(t), fmt(m)] for t, m in by_t])
+
+    blech_rows, bamboo_rows = layout_effect_tables(tech65)
+    print_table("Blech-length immunity (J = 0.1 MA/cm2, 105C)",
+                ["L [um]", "J.L [A/m]", "immune", "MTTF [yr]"],
+                [[fmt(a) for a in row] for row in blech_rows])
+    print_table("Bamboo effect (J = 1 MA/cm2, L = 500 um, 105C)",
+                ["width [nm]", "bamboo", "MTTF [yr]"],
+                [[fmt(a) for a in row] for row in bamboo_rows])
+
+    print_table("Power-grid EM ranking at 105C (before fix)",
+                ["segment", "I [mA]", "J [MA/cm2]", "MTTF [yr]", "notes"],
+                [[r.segment.name, fmt(r.current_a * 1e3),
+                  fmt(r.current_density_a_per_m2 / 1e10),
+                  fmt(r.mttf_years),
+                  ("blech-immune" if r.blech_immune else "")
+                  + ("|bamboo" if r.bamboo else "")
+                  + ("|Jmax!" if r.violates_jmax else "")]
+                 for r in before])
+    print_table("EM-aware widening fix (10-year target)",
+                ["segment", "new width [nm]"],
+                [[name, fmt(w * 1e9)] for name, w in widened.items()])
+
+    # Black's law: MTTF ∝ J^-2.
+    assert by_j[0][1] / by_j[2][1] == pytest.approx(16.0, rel=1e-3)
+    # Hotter is shorter-lived.
+    mttfs_t = [m for _, m in by_t]
+    assert all(b < a for a, b in zip(mttfs_t, mttfs_t[1:]))
+    # Blech: short wires immune, long wires not.
+    assert blech_rows[0][2] == "yes"
+    assert blech_rows[-1][2] == "no"
+    # Bamboo: narrow wires outlive wide ones at equal J.
+    assert bamboo_rows[-1][2] > bamboo_rows[0][2]
+    # The flow fixed every violation.
+    target_years = 10.0
+    assert any(r.mttf_years < target_years for r in before)
+    assert all(r.mttf_years >= 0.95 * target_years for r in after)
+    assert widened  # some wires actually widened

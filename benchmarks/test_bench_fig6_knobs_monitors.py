@@ -1,0 +1,132 @@
+"""E10 — Fig 6 / §5.2: knobs-and-monitors adaptive system vs over-design.
+
+A 3-stage ring oscillator ages (NBTI + HCI) over a 10-year mission.
+Three design styles compete on the same spec (frequency ≥ 97 % of the
+fresh nominal):
+
+* **open loop** — nominal VDD forever: loses the spec as the ring slows;
+* **over-design** — worst-case fixed VDD (+15 %): always in spec, but
+  pays the full power penalty for the entire life;
+* **knobs & monitors** — a frequency monitor plus a VDD knob, re-tuned
+  after every epoch: holds the spec while spending extra power ONLY once
+  degradation demands it.
+
+This regenerates the §5.2 claims: self-adaptation compensates
+degradation, over-design becomes unnecessary, and the average cost is
+lower than worst-case sizing.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro.aging import HciModel, NbtiModel
+from repro.circuit import DcSpec, dc_operating_point, transient
+from repro.circuits import oscillation_frequency, ring_oscillator
+from repro.core import MissionProfile, ReliabilitySimulator
+from repro.solutions import AdaptiveSystem, Knob, Monitor, SpecTarget
+
+SPEC_FRACTION = 0.97
+OVERDESIGN_VDD_FACTOR = 1.15
+
+
+def measure(fx, vdd):
+    """(frequency, power) of the ring at the current degradation."""
+    res = transient(fx.circuit, t_stop=2.5e-9, dt=5e-12)
+    freq = oscillation_frequency(res.voltage("s0"), vdd / 2.0)
+    i_vdd = res.source_current("vdd").last_period(1e-9)
+    power = abs(i_vdd.mean()) * vdd
+    return freq, power
+
+
+def knobs_experiment(tech):
+    profile = MissionProfile(n_epochs=4, stress_mode="transient",
+                             transient_t_stop_s=1.2e-9,
+                             transient_dt_s=3e-12)
+
+    def run_style(style):
+        fx = ring_oscillator(tech, n_stages=3)
+        vdd_src = fx.circuit["vdd"]
+
+        def set_vdd(v):
+            vdd_src.spec = DcSpec(v)
+
+        if style == "overdesign":
+            set_vdd(OVERDESIGN_VDD_FACTOR * tech.vdd)
+        f0, _ = measure(fx, vdd_src.spec.dc_value())
+        # Spec is defined against the NOMINAL-supply fresh frequency.
+        if style == "overdesign":
+            set_vdd(tech.vdd)
+            f_nominal, _ = measure(fx, tech.vdd)
+            set_vdd(OVERDESIGN_VDD_FACTOR * tech.vdd)
+        else:
+            f_nominal = f0
+        spec_hz = SPEC_FRACTION * f_nominal
+
+        system = None
+        if style == "adaptive":
+            monitor = Monitor("freq",
+                              lambda: measure(fx, vdd_src.spec.dc_value())[0])
+            knob = Knob("vdd", [tech.vdd * f for f in
+                                (1.0, 1.05, 1.10, 1.15)], set_vdd)
+            system = AdaptiveSystem(
+                [monitor], [knob], [SpecTarget("freq", lower=spec_hz)],
+                cost_fn=lambda: vdd_src.spec.dc_value() ** 2)
+
+        sim = ReliabilitySimulator(
+            fx, [NbtiModel(tech.aging), HciModel(tech.aging)])
+        rows = []
+        epochs = np.concatenate(([0.0], profile.epoch_times_s()))
+        report = sim.run(profile)  # accumulate damage epoch by epoch...
+        # ...then replay the trajectory: re-apply each epoch's damage is
+        # equivalent to querying at end state only; instead we re-run
+        # per-epoch below for per-epoch rows.
+        sim.reset()
+        for k, t_end in enumerate(epochs):
+            if k > 0:
+                sub = MissionProfile(
+                    duration_s=t_end, n_epochs=k,
+                    t_first_epoch_s=epochs[1],
+                    stress_mode="transient",
+                    transient_t_stop_s=profile.transient_t_stop_s,
+                    transient_dt_s=profile.transient_dt_s,
+                    temperature_k=profile.temperature_k)
+                sim.reset()
+                sim.run(sub)
+            if system is not None:
+                system.regulate()
+            freq, power = measure(fx, vdd_src.spec.dc_value())
+            rows.append((t_end, vdd_src.spec.dc_value(), freq, power,
+                         freq >= spec_hz))
+        return spec_hz, rows
+
+    return {style: run_style(style)
+            for style in ("open_loop", "overdesign", "adaptive")}
+
+
+def test_bench_fig6(benchmark, tech65):
+    results = benchmark.pedantic(knobs_experiment, args=(tech65,),
+                                 rounds=1, iterations=1)
+
+    for style, (spec_hz, rows) in results.items():
+        print_table(
+            f"Fig 6 [{style}] — spec: freq >= {spec_hz / 1e9:.2f} GHz",
+            ["t [s]", "VDD [V]", "freq [GHz]", "power [mW]", "in spec"],
+            [[fmt(t), fmt(v), fmt(f / 1e9), fmt(p * 1e3),
+              "yes" if ok else "NO"] for t, v, f, p, ok in rows])
+
+    open_rows = results["open_loop"][1]
+    over_rows = results["overdesign"][1]
+    adaptive_rows = results["adaptive"][1]
+
+    # Open loop eventually violates the spec.
+    assert not open_rows[-1][4]
+    # Over-design and the adaptive system always meet it.
+    assert all(r[4] for r in over_rows)
+    assert all(r[4] for r in adaptive_rows)
+    # The adaptive knob actually moved over the mission.
+    vdds = [r[1] for r in adaptive_rows]
+    assert vdds[-1] > vdds[0]
+    # Average power: adaptive < over-design (the §5.2 payoff).
+    avg = lambda rows: np.mean([r[3] for r in rows])
+    assert avg(adaptive_rows) < avg(over_rows)

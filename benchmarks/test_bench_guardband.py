@@ -1,0 +1,69 @@
+"""E13 — §5 intro: the cost of over-design, quantified.
+
+Paper claim: "the classical approaches, intrinsic robustness by
+overdesign or use of redundancy, introduce an unacceptable power and
+area penalty" — which is the whole motivation for calibration and
+knobs & monitors.
+
+Regenerated as the fixed-design guardband stack-up (3σ variability +
+end-of-life aging) of a current-mirror bias cell across technology
+nodes: the margin a non-adaptive design must reserve GROWS with
+scaling, and with it the over-design penalty.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro.aging import HciModel, NbtiModel
+from repro.circuit import dc_operating_point
+from repro.circuits import simple_current_mirror
+from repro.core import MissionProfile, guardband_analysis
+from repro.technology import get_node
+
+NODES = ("180nm", "90nm", "45nm")
+
+
+def iout_metric(fixture):
+    return -dc_operating_point(fixture.circuit).source_current("vout")
+
+
+def guardband_experiment():
+    rows = []
+    for name in NODES:
+        tech = get_node(name)
+        fx = simple_current_mirror(tech, w_m=4 * tech.wmin_m,
+                                   l_m=tech.lmin_m,
+                                   v_out_v=0.9 * tech.vdd)
+        report = guardband_analysis(
+            fx, iout_metric, tech,
+            mechanisms=[NbtiModel(tech.aging), HciModel(tech.aging)],
+            profile=MissionProfile(n_epochs=4),
+            n_mc_samples=40, sigma_level=3.0, seed=7)
+        rows.append((name, report))
+    return rows
+
+
+def test_bench_guardband(benchmark):
+    rows = benchmark.pedantic(guardband_experiment, rounds=1, iterations=1)
+
+    print_table(
+        "E13: fixed-design guardband stack-up (mirror bias cell, "
+        "minimum geometry)",
+        ["node", "3-sigma variability", "10-yr aging", "total guardband",
+         "overdesign factor"],
+        [[name, fmt(r.variability_fraction), fmt(r.aging_fraction),
+          fmt(r.total_fraction), fmt(r.design_target / r.nominal)]
+         for name, r in rows])
+
+    fractions = [r.total_fraction for _, r in rows]
+    # The penalty grows monotonically with scaling...
+    assert all(b > a for a, b in zip(fractions, fractions[1:]))
+    # ...and reaches the "unacceptable" regime at the newest node: the
+    # fixed design must over-deliver by tens of percent.
+    assert fractions[-1] > 0.15
+    assert fractions[0] < fractions[-1] / 1.5
+    # Both contributors are live at the newest node.
+    newest = rows[-1][1]
+    assert newest.variability_fraction > 0.0
+    assert newest.aging_fraction > 0.0

@@ -1,0 +1,71 @@
+"""E11 — §2: line-edge roughness as an emerging variability source.
+
+Paper claim: "line edge roughness is also becoming a serious yield
+threatening problem" (ref [11]).  Regenerated as two series:
+
+1. σ(V_T) vs channel length at fixed width: the Pelgrom area law alone
+   predicts σ ∝ 1/√L, but LER adds a component that EXPLODES at short L
+   (the V_T roll-off sensitivity is exponential in L);
+2. the LER share of total mismatch at each technology node's minimum
+   geometry — growing from negligible to substantial.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro.technology import get_node, scaling_trend
+from repro.variability import LerModel, MismatchSampler, PelgromModel
+
+
+def ler_experiment():
+    tech = get_node("65nm")
+    pelgrom = PelgromModel.for_technology(tech)
+    ler = LerModel.for_technology(tech)
+    w = 0.5e-6
+
+    length_rows = []
+    for l_mult in (1.0, 1.5, 2.0, 4.0, 8.0):
+        l = l_mult * tech.lmin_m
+        s_pelgrom = pelgrom.sigma_single_vt_v(w, l)
+        s_ler = ler.sigma_vt_v(w, l)
+        total = math.hypot(s_pelgrom, s_ler)
+        length_rows.append((l * 1e9, s_pelgrom * 1e3, s_ler * 1e3,
+                            total * 1e3, s_ler / total))
+
+    node_rows = []
+    for tech_n in scaling_trend():
+        pm = PelgromModel.for_technology(tech_n)
+        lm = LerModel.for_technology(tech_n)
+        w_min, l_min = 4 * tech_n.wmin_m, tech_n.lmin_m
+        s_p = pm.sigma_single_vt_v(w_min, l_min)
+        s_l = lm.sigma_vt_v(w_min, l_min)
+        node_rows.append((tech_n.name, s_p * 1e3, s_l * 1e3,
+                          s_l / math.hypot(s_p, s_l)))
+    return length_rows, node_rows
+
+
+def test_bench_ler(benchmark):
+    length_rows, node_rows = benchmark(ler_experiment)
+
+    print_table("LER vs Pelgrom across channel length (65nm, W=0.5um)",
+                ["L [nm]", "pelgrom [mV]", "LER [mV]", "total [mV]",
+                 "LER share"],
+                [[fmt(a) for a in row] for row in length_rows])
+    print_table("LER share of sigma(VT) at minimum geometry per node",
+                ["node", "pelgrom [mV]", "LER [mV]", "LER share"],
+                [[row[0]] + [fmt(a) for a in row[1:]] for row in node_rows])
+
+    # LER component decays much faster with L than the Pelgrom 1/sqrt(L).
+    ler_sigmas = [r[2] for r in length_rows]
+    pelgrom_sigmas = [r[1] for r in length_rows]
+    assert ler_sigmas[0] / ler_sigmas[-1] > 10.0
+    assert pelgrom_sigmas[0] / pelgrom_sigmas[-1] < 4.0
+    # At minimum L, LER is a non-negligible share of the total.
+    assert length_rows[0][4] > 0.2
+    # And that share GROWS with scaling across the node library.
+    shares = [r[3] for r in node_rows]
+    assert shares[-1] > shares[0]
+    assert shares[-1] > 0.15

@@ -1,0 +1,84 @@
+"""Simulator-substrate performance benchmarks.
+
+Not a paper experiment — these track the throughput of the layers every
+E1–E12 bench is built on, so regressions in the simulator show up as
+numbers, not as mysteriously slower experiment benches:
+
+* DC operating point (Newton) on a nonlinear mirror;
+* DC sweep with continuation (per-point cost);
+* one transient timestep on a switching ring oscillator;
+* one Monte-Carlo yield sample (sampling + sweep-based metric);
+* compact-model evaluation (drain_current + linearize).
+"""
+
+import numpy as np
+
+from repro.circuit import dc_operating_point, dc_sweep, transient
+from repro.circuits import (
+    differential_pair,
+    input_referred_offset_v,
+    ring_oscillator,
+    simple_current_mirror,
+)
+from repro.variability import MismatchSampler
+
+
+def test_perf_dc_operating_point(benchmark, tech90):
+    fx = simple_current_mirror(tech90)
+
+    def solve():
+        return dc_operating_point(fx.circuit).voltage("din")
+
+    value = benchmark(solve)
+    assert 0.2 < value < 1.2
+
+
+def test_perf_dc_sweep(benchmark, tech90):
+    fx = simple_current_mirror(tech90)
+    values = np.linspace(0.0, tech90.vdd, 25)
+
+    def sweep():
+        return dc_sweep(fx.circuit, "vout", values)
+
+    sols = benchmark(sweep)
+    assert len(sols) == 25
+
+
+def test_perf_transient_ring(benchmark, tech90):
+    fx = ring_oscillator(tech90, n_stages=3)
+
+    def run():
+        return transient(fx.circuit, t_stop=0.5e-9, dt=5e-12)
+
+    result = benchmark(run)
+    assert result.states.shape[0] == 101
+
+
+def test_perf_mc_yield_sample(benchmark, tech90):
+    fx = differential_pair(tech90, w_m=4e-6, l_m=0.4e-6)
+    sampler = MismatchSampler(tech90, np.random.default_rng(1))
+
+    def one_sample():
+        sampler.assign(fx.circuit)
+        return input_referred_offset_v(fx)
+
+    offset = benchmark(one_sample)
+    assert abs(offset) < 0.05
+    sampler.clear(fx.circuit)
+
+
+def test_perf_model_evaluation(benchmark, tech90):
+    from repro.circuit import Mosfet
+
+    device = Mosfet.from_technology("m", "d", "g", "s", "b", tech90, "n",
+                                    w_m=1e-6, l_m=0.09e-6)
+
+    def evaluate():
+        total = 0.0
+        for vgs in (0.3, 0.6, 0.9, 1.2):
+            ids, gm, gds, gmb = device.linearize(vgs, 0.6, 0.0)
+            total += ids + gm
+        return total
+
+    total = benchmark(evaluate)
+    assert total > 0.0

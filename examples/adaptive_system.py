@@ -1,0 +1,85 @@
+"""Knobs-and-monitors scenario (§5.2, Fig 6) on a real circuit.
+
+A 3-stage ring oscillator must hold its frequency over a 10-year aging
+mission.  A frequency monitor plus a supply knob form the Fig 6 control
+loop: after each aging epoch the controller picks the cheapest supply
+setting that still meets the spec.
+
+Run:  python examples/adaptive_system.py
+"""
+
+from repro import units
+from repro.aging import HciModel, NbtiModel
+from repro.circuit import DcSpec, transient
+from repro.circuits import oscillation_frequency, ring_oscillator
+from repro.core import MissionProfile, ReliabilitySimulator
+from repro.solutions import AdaptiveSystem, Knob, Monitor, SpecTarget
+from repro.technology import get_node
+
+SPEC_FRACTION = 0.97
+
+
+def main():
+    tech = get_node("65nm")
+    fx = ring_oscillator(tech, n_stages=3)
+    vdd_src = fx.circuit["vdd"]
+
+    def set_vdd(volts):
+        vdd_src.spec = DcSpec(volts)
+
+    def measure():
+        res = transient(fx.circuit, t_stop=2.5e-9, dt=5e-12)
+        freq = oscillation_frequency(res.voltage("s0"),
+                                     vdd_src.spec.dc_value() / 2.0)
+        i_avg = abs(res.source_current("vdd").last_period(1e-9).mean())
+        return freq, i_avg * vdd_src.spec.dc_value()
+
+    f_fresh, p_fresh = measure()
+    spec_hz = SPEC_FRACTION * f_fresh
+    print(f"fresh: {f_fresh / 1e9:.2f} GHz @ {p_fresh * 1e3:.3f} mW; "
+          f"spec: freq >= {spec_hz / 1e9:.2f} GHz")
+
+    # Fig 6 components.
+    monitor = Monitor("freq", lambda: measure()[0],
+                      quantization=0.01e9)  # a real monitor is coarse
+    knob = Knob("vdd", [tech.vdd * m for m in (1.0, 1.05, 1.10, 1.15)],
+                set_vdd)
+    system = AdaptiveSystem([monitor], [knob],
+                            [SpecTarget("freq", lower=spec_hz)],
+                            cost_fn=lambda: vdd_src.spec.dc_value() ** 2)
+
+    sim = ReliabilitySimulator(fx, [NbtiModel(tech.aging),
+                                    HciModel(tech.aging)])
+    profile = MissionProfile(n_epochs=4, stress_mode="transient",
+                             transient_t_stop_s=1.2e-9,
+                             transient_dt_s=3e-12)
+
+    # Age epoch by epoch; regulate after each epoch (the runtime loop).
+    print(f"\n{'t [s]':>12} {'VDD [V]':>8} {'freq [GHz]':>10} "
+          f"{'power [mW]':>10} {'in spec':>8} {'evals':>6}")
+    epochs = profile.epoch_times_s()
+    t_prev = 0.0
+    for t_end in epochs:
+        # One aging epoch at the CURRENT knob setting.
+        sub = MissionProfile(duration_s=t_end - t_prev, n_epochs=1,
+                             t_first_epoch_s=t_end - t_prev,
+                             stress_mode="transient",
+                             transient_t_stop_s=profile.transient_t_stop_s,
+                             transient_dt_s=profile.transient_dt_s,
+                             temperature_k=profile.temperature_k)
+        sim.run(sub)
+        record = system.regulate()
+        freq, power = measure()
+        print(f"{t_end:12.3e} {vdd_src.spec.dc_value():8.3f} "
+              f"{freq / 1e9:10.2f} {power * 1e3:10.3f} "
+              f"{'yes' if record.in_spec else 'NO':>8} "
+              f"{record.evaluations:6d}")
+        t_prev = t_end
+
+    print("\nthe knob climbs only when degradation demands it — the "
+          "self-adaptive system avoids the permanent power cost of "
+          "worst-case over-design (paper section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

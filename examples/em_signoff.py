@@ -1,0 +1,85 @@
+"""Electromigration sign-off scenario (§3.4): an EM-aware design flow.
+
+Builds a small power-distribution network for a 65 nm block, solves its
+DC current distribution, ranks every segment by Black-equation MTTF
+(with Blech-length, bamboo and via/reservoir corrections), then runs the
+automatic widening pass of ref [25] to meet a 10-year target.
+
+Run:  python examples/em_signoff.py
+"""
+
+from repro import units
+from repro.aging import ElectromigrationModel, InterconnectNetwork
+from repro.technology import get_node
+
+
+def describe(reports, title):
+    print(f"\n{title}")
+    print(f"{'segment':>10} {'W [nm]':>8} {'I [mA]':>8} {'J [MA/cm2]':>11} "
+          f"{'MTTF':>12} {'flags':>22}")
+    for r in reports:
+        flags = []
+        if r.blech_immune:
+            flags.append("blech-immune")
+        if r.bamboo:
+            flags.append("bamboo")
+        if r.violates_jmax:
+            flags.append("Jmax!")
+        mttf = ("immortal" if r.mttf_s == float("inf")
+                else f"{r.mttf_years:9.1f} yr")
+        print(f"{r.segment.name:>10} {r.segment.width_m * 1e9:8.0f} "
+              f"{r.current_a * 1e3:8.2f} "
+              f"{r.current_density_a_per_m2 / 1e10:11.2f} "
+              f"{mttf:>12} {','.join(flags):>22}")
+
+
+def main():
+    tech = get_node("65nm")
+    em = ElectromigrationModel(tech.aging)
+    temperature = units.celsius_to_kelvin(105.0)
+
+    # A block power-distribution net: the pad feeds a spine; three
+    # loads tap off the far end.  Each load draws a fixed current, so
+    # every segment's current is set by the loads, not by resistance
+    # ratios.  The short "stub" tap is deliberate: its J.L product
+    # falls below the Blech threshold, making it EM-immortal despite a
+    # healthy current density (paper ref [7]).
+    net = InterconnectNetwork(tech.interconnect)
+    net.wire("spine", "pad", "n1", width_m=1.0e-6, length_m=400e-6,
+             has_via=True)
+    net.wire("rib1", "n1", "load1", width_m=0.35e-6, length_m=150e-6)
+    net.wire("rib2", "n1", "load2", width_m=0.35e-6, length_m=150e-6,
+             has_via=True, has_reservoir=True)
+    net.wire("stub", "n1", "load3", width_m=0.20e-6, length_m=4e-6)
+    net.inject("load1", -1.5e-3)
+    net.inject("load2", -1.5e-3)
+    net.inject("load3", -1.0e-3)
+    net.set_ground("pad")  # the pad is the 4 mA supply/reference
+
+    reports = net.analyze(em, temperature_k=temperature)
+    describe(reports, f"EM ranking at {tech.name}, 105 C (weakest first):")
+    print(f"\nsystem MTTF (weakest link): "
+          f"{units.seconds_to_years(net.system_mttf_s(em, temperature)):.1f} years")
+
+    target_years = 10.0
+    print(f"\nrunning EM-aware widening pass "
+          f"(target {target_years:.0f} years)...")
+    widened = net.fix_em_violations(
+        em, units.years_to_seconds(target_years), temperature_k=temperature)
+    if widened:
+        for name, new_width in sorted(widened.items()):
+            print(f"  widened {name}: -> {new_width * 1e9:.0f} nm")
+    else:
+        print("  nothing to fix")
+
+    reports = net.analyze(em, temperature_k=temperature)
+    describe(reports, "after the fix:")
+    print(f"\nsystem MTTF now: "
+          f"{units.seconds_to_years(net.system_mttf_s(em, temperature)):.1f} years")
+    print("\nnote the 4 um 'stub': it carries real current density but "
+          "its J x L product sits below the Blech threshold - immortal "
+          "without widening (paper ref [7]).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""High-sigma yield: mean-shift importance sampling vs plain Monte-Carlo.
+
+A comparator array (think flash ADC or sense amplifiers) needs its
+offset failure rate at the 4-sigma level — a ~3e-5 probability that
+plain Monte-Carlo would need a million samples to resolve.  Mean-shift
+importance sampling gets there in a few hundred.
+
+Run:  python examples/high_sigma_yield.py
+"""
+
+from scipy.stats import norm
+
+from repro.circuits import differential_pair, input_referred_offset_v
+from repro.core import ImportanceSampler, MonteCarloYield, Specification
+from repro.technology import get_node
+from repro.variability import PelgromModel
+
+
+def main():
+    tech = get_node("90nm")
+    w, l = 4e-6, 0.4e-6
+    fx = differential_pair(tech, w_m=w, l_m=l)
+    sigma_pair = PelgromModel.for_technology(tech).sigma_delta_vt_v(w, l)
+    print(f"differential pair in {tech.name}: "
+          f"pair sigma(dVT) = {sigma_pair * 1e3:.2f} mV")
+
+    k = 4.0
+    limit = k * sigma_pair
+    spec = Specification("offset",
+                         lambda f: input_referred_offset_v(f),
+                         lower=-limit, upper=limit)
+    print(f"spec: |offset| < {limit * 1e3:.2f} mV  (a {k:.0f}-sigma window)")
+    analytic = 2.0 * norm.sf(k)
+    print(f"analytic Gaussian tail estimate: P_fail = {analytic:.2e}")
+
+    # Plain Monte-Carlo at a realistic budget: blind.
+    print("\nplain Monte-Carlo, 300 samples:")
+    mc = MonteCarloYield(fx, [spec], tech).run(n_samples=300, seed=5)
+    fails = int((~mc.passes).sum())
+    print(f"  failures observed: {fails} -> estimate "
+          f"{'0 (cannot resolve)' if fails == 0 else fails / 300}")
+
+    # Importance sampling at the same budget.
+    print("\nmean-shift importance sampling, 300 samples:")
+    sampler = ImportanceSampler(fx, spec, tech)
+    direction = sampler.probe_direction()
+    print("  probed shift direction:",
+          {k_: round(v, 3) for k_, v in direction.items()})
+    result = sampler.estimate(n_samples=300, shift_sigma=k,
+                              direction=direction, seed=5)
+    print(f"  failing draws under the shifted law: "
+          f"{result.n_failures_observed}/300")
+    print(f"  P_fail = {result.failure_probability:.2e} "
+          f"(+- {result.standard_error:.1e})")
+    print(f"  equivalent sigma level: {result.sigma_level:.2f}")
+    print(f"  effective sample size: {result.effective_samples:.0f}")
+    print(f"\nanalytic {analytic:.2e} vs IS {result.failure_probability:.2e}"
+          f" — resolved with 3000x fewer simulations than plain MC"
+          f" would need.")
+
+
+if __name__ == "__main__":
+    main()

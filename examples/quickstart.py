@@ -1,0 +1,106 @@
+"""Quickstart: a ten-minute tour of the repro library.
+
+Covers the layers bottom-up:
+
+1. pick a technology node;
+2. build and simulate a circuit (DC, sweep, transient);
+3. sample mismatch and estimate yield (paper §2);
+4. age the circuit over a 10-year mission (paper §3);
+5. glance at the EMC and calibration tooling (paper §4/§5).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.aging import HciModel, NbtiModel
+from repro.circuit import Circuit, Mosfet, SineSpec, dc_operating_point, transient
+from repro.circuits import differential_pair, input_referred_offset_v
+from repro.core import (
+    MissionProfile,
+    MonteCarloYield,
+    ReliabilitySimulator,
+    Specification,
+)
+from repro.technology import get_node
+
+
+def section(title):
+    print(f"\n--- {title} " + "-" * max(0, 60 - len(title)))
+
+
+def main():
+    # 1. Technology ------------------------------------------------------
+    tech = get_node("90nm")
+    section(f"technology: {tech.name}")
+    print(f"VDD = {tech.vdd} V, tox = {tech.tox_nm} nm, "
+          f"A_VT = {tech.mismatch.a_vt_mv_um:.2f} mV.um")
+    print(f"nominal oxide field = {tech.nominal_oxide_field() / 1e8:.1f} MV/cm")
+
+    # 2. A circuit: diode-connected NMOS biased through a resistor -------
+    section("circuit simulation")
+    ckt = Circuit("bias cell")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.resistor("rb", "vdd", "d", 10e3)
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "d", "d", "0", "0", tech, "n", w_m=1e-6, l_m=tech.lmin_m))
+    op = dc_operating_point(ckt)
+    dev = op.device_op("m1")
+    print(f"V(d) = {op.voltage('d'):.3f} V, Ids = {dev.ids_a * 1e6:.1f} uA, "
+          f"region = {dev.region}, gm/Id = {dev.gm_s / dev.ids_a:.1f} 1/V")
+
+    # ...and a transient: drive the gate with a tone.
+    ckt2 = Circuit("cs amp")
+    ckt2.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt2.voltage_source("vg", "g", "0",
+                        SineSpec(offset=0.55, amplitude=0.05,
+                                 frequency_hz=10e6))
+    ckt2.resistor("rl", "vdd", "out", 10e3)
+    ckt2.mosfet(Mosfet.from_technology(
+        "m1", "out", "g", "0", "0", tech, "n", w_m=2e-6, l_m=0.36e-6))
+    result = transient(ckt2, t_stop=0.5e-6, dt=1e-9)
+    out = result.voltage("out").last_period(0.2e-6)
+    print(f"common-source stage: output swing {out.peak_to_peak() * 1e3:.0f} mVpp "
+          f"around {out.mean():.3f} V")
+
+    # 3. Variability / yield (paper section 2) ---------------------------
+    section("Monte-Carlo yield (mismatch, Eq 1)")
+    fx = differential_pair(tech, w_m=4e-6, l_m=0.4e-6)
+    spec = Specification("offset",
+                         lambda f: input_referred_offset_v(f),
+                         lower=-5e-3, upper=5e-3)
+    mc = MonteCarloYield(fx, [spec], tech)
+    res = mc.run(n_samples=120, seed=1)
+    lo, hi = res.wilson_interval()
+    print(f"diff-pair |offset| < 5 mV: yield = {res.yield_fraction:.2f} "
+          f"(95% CI [{lo:.2f}, {hi:.2f}]), sigma = "
+          f"{res.sigma('offset') * 1e3:.2f} mV")
+
+    # 4. Aging (paper section 3) -----------------------------------------
+    section("aging over a 10-year mission (NBTI + HCI)")
+    from repro.circuits import simple_current_mirror
+
+    mirror = simple_current_mirror(tech, w_m=2e-6, l_m=tech.lmin_m)
+    sim = ReliabilitySimulator(mirror, [NbtiModel(tech.aging),
+                                        HciModel(tech.aging)])
+
+    def iout(fixture):
+        return -dc_operating_point(fixture.circuit).source_current("vout")
+
+    report = sim.run(MissionProfile(n_epochs=6), metrics={"iout": iout})
+    for t, i in zip(report.times_s[::2], report.metric("iout")[::2]):
+        print(f"  t = {t:9.2e} s  ->  Iout = {i * 1e6:7.2f} uA")
+    print(f"end-of-life drift: {report.drift('iout') * 100:+.2f} %")
+
+    # 5. Pointers to the rest --------------------------------------------
+    section("where to go next")
+    print("EMC susceptibility scans ..... examples/emc_current_reference.py")
+    print("SSPA DAC calibration ......... examples/dac_calibration.py")
+    print("digital aging + lifetime ..... examples/aging_ring_oscillator.py")
+    print("knobs & monitors ............. examples/adaptive_system.py")
+    print("electromigration signoff ..... examples/em_signoff.py")
+
+
+if __name__ == "__main__":
+    main()

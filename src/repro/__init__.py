@@ -1,0 +1,25 @@
+"""repro — yield and reliability analysis toolkit for nanometer CMOS.
+
+A from-scratch reproduction of *"Emerging Yield and Reliability
+Challenges in Nanometer CMOS Technologies"* (Gielen et al., DATE 2008):
+
+* :mod:`repro.technology` — synthetic ITRS-flavoured node library (§2);
+* :mod:`repro.circuit` — SPICE-like simulator (MNA, DC/transient/AC)
+  with a variability- and aging-aware compact MOSFET model;
+* :mod:`repro.variability` — Pelgrom mismatch, LER, Monte-Carlo sampling (§2);
+* :mod:`repro.aging` — TDDB, HCI, NBTI, electromigration (§3);
+* :mod:`repro.emc` — electromagnetic interference and susceptibility (§4);
+* :mod:`repro.circuits` — reference circuit library (mirrors, ring
+  oscillators, SRAM, OTAs);
+* :mod:`repro.core` — the analysis engines: Monte-Carlo yield, aging
+  simulation, lifetime estimation, EMC scans (§5 intro);
+* :mod:`repro.solutions` — post-fabrication DAC calibration (§5.1) and
+  the knobs-and-monitors adaptive framework (§5.2).
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,55 @@
+"""Time-dependent degradation mechanisms (paper §3).
+
+* :class:`NbtiModel` — Eq 3 with duty-factor stress, permanent/
+  recoverable split and universal relaxation (§3.3);
+* :class:`HciModel` — Eq 2 lucky-electron hot-carrier law (§3.2);
+* :class:`TddbModel` — Weibull oxide breakdown, SBD/PBD/HBD modes and
+  the post-BD device model (§3.1);
+* :class:`ElectromigrationModel` + :class:`InterconnectNetwork` — Black's
+  Eq 4 with Blech/bamboo/via corrections on a resistive wire graph (§3.4);
+* shared plumbing in :mod:`repro.aging.base` (:class:`DeviceStress`,
+  :func:`power_law_advance`, the :class:`AgingMechanism` interface).
+"""
+
+from repro.aging.base import (
+    AgingMechanism,
+    DeviceStress,
+    MechanismState,
+    power_law_advance,
+)
+from repro.aging.electromigration import (
+    ElectromigrationModel,
+    InterconnectNetwork,
+    SegmentReport,
+    WireSegment,
+)
+from repro.aging.hci import HciModel
+from repro.aging.nbti import NbtiModel, RelaxationParams
+from repro.aging.tddb import (
+    BreakdownEvent,
+    BreakdownMode,
+    TddbModel,
+    weibit,
+    weibull_cdf,
+    weibull_quantile,
+)
+
+__all__ = [
+    "AgingMechanism",
+    "BreakdownEvent",
+    "BreakdownMode",
+    "DeviceStress",
+    "ElectromigrationModel",
+    "HciModel",
+    "InterconnectNetwork",
+    "MechanismState",
+    "NbtiModel",
+    "RelaxationParams",
+    "SegmentReport",
+    "TddbModel",
+    "WireSegment",
+    "power_law_advance",
+    "weibit",
+    "weibull_cdf",
+    "weibull_quantile",
+]

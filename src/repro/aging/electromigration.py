@@ -1,0 +1,365 @@
+"""Electromigration analysis (paper §3.4, Eq 4).
+
+Unlike the other mechanisms, EM lives in the **interconnect**: a high
+electron flux displaces metal ions, growing voids (opens) and hillocks
+(shorts), preferentially at grain boundaries — so vias and contacts are
+the weak points.  The classic Black equation (Eq 4, ref [6])::
+
+    MTTF = A · J^−n · exp(E_a / kT)
+
+is refined here with the three layout effects the paper lists:
+
+* **Blech length** (ref [7]): segments with ``J·L`` below a critical
+  product build enough back-stress to stop migration entirely — they are
+  *immune*;
+* **bamboo effect** (ref [25]): wires narrower than the grain size have
+  grain boundaries perpendicular to the current and live longer;
+* **via/reservoir effects** (ref [30]): a via-terminated segment is
+  penalised unless a reservoir extension feeds it.
+
+The module also provides a small DC interconnect solver
+(:class:`InterconnectNetwork`, a resistive networkx graph) so whole
+power grids / signal nets can be ranked by EM risk — the substrate for
+the "EM-aware design flow" of ref [25] and experiment E7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro import units
+from repro.technology.node import AgingCoefficients, InterconnectParameters
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One straight interconnect segment between two net nodes."""
+
+    name: str
+    node_a: str
+    node_b: str
+    width_m: float
+    length_m: float
+    thickness_m: float
+    has_via: bool = False
+    """Segment terminates on a via / contact (EM-susceptible, §3.4)."""
+
+    has_reservoir: bool = False
+    """Via is drawn with a reservoir extension (ref [30])."""
+
+    resistivity_ohm_m: float = 2.2e-8
+
+    def __post_init__(self) -> None:
+        for fname in ("width_m", "length_m", "thickness_m", "resistivity_ohm_m"):
+            if getattr(self, fname) <= 0.0:
+                raise ValueError(f"{self.name}: {fname} must be positive")
+        if self.has_reservoir and not self.has_via:
+            raise ValueError(f"{self.name}: reservoir without via")
+
+    @property
+    def cross_section_m2(self) -> float:
+        """Wire cross-section area A = width × thickness [m²]."""
+        return self.width_m * self.thickness_m
+
+    @property
+    def resistance_ohm(self) -> float:
+        """DC resistance ρ·L/A [Ω]."""
+        return self.resistivity_ohm_m * self.length_m / self.cross_section_m2
+
+    def current_density(self, current_a: float) -> float:
+        """|J| for a given segment current [A/m²]."""
+        return abs(current_a) / self.cross_section_m2
+
+    def widened(self, factor: float) -> "WireSegment":
+        """A copy with the width scaled — the §3.4 mitigation knob."""
+        if factor <= 0.0:
+            raise ValueError("widening factor must be positive")
+        return replace(self, width_m=self.width_m * factor)
+
+
+class ElectromigrationModel:
+    """Black's law (Eq 4) with Blech/bamboo/via corrections."""
+
+    name = "em"
+
+    def __init__(self, coeffs: AgingCoefficients):
+        self.coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    # Eq 4 and its corrections
+    # ------------------------------------------------------------------
+    def black_mttf_s(self, j_a_per_m2: float,
+                     temperature_k: float = units.T_ROOM) -> float:
+        """Uncorrected Black MTTF [s]; infinite for zero current."""
+        if j_a_per_m2 < 0.0:
+            raise ValueError("current density must be non-negative")
+        if temperature_k <= 0.0:
+            raise ValueError("temperature must be positive")
+        if j_a_per_m2 == 0.0:
+            return math.inf
+        c = self.coeffs
+        j_ma_cm2 = j_a_per_m2 / 1e10  # A/m² → MA/cm²
+        # Thermal acceleration relative to the 105 °C sign-off corner at
+        # which the prefactor is calibrated: EM is a hot-chip phenomenon,
+        # so room-temperature lifetimes come out far longer.
+        mttf_hours = (c.em_a_const * j_ma_cm2 ** (-c.em_current_exponent)
+                      * math.exp(c.em_ea_ev
+                                 / (units.K_BOLTZMANN_EV * temperature_k)
+                                 - c.em_ea_ev
+                                 / (units.K_BOLTZMANN_EV
+                                    * c.em_ref_temperature_k)))
+        return mttf_hours * 3600.0
+
+    def is_blech_immune(self, segment: WireSegment, current_a: float) -> bool:
+        """True when ``J·L`` is below the Blech critical product."""
+        j = segment.current_density(current_a)
+        return j * segment.length_m < self.coeffs.em_blech_product_a_per_m
+
+    def is_bamboo(self, segment: WireSegment) -> bool:
+        """True when the wire is narrow enough for bamboo grains."""
+        return segment.width_m < self.coeffs.em_bamboo_width_m
+
+    def segment_mttf_s(self, segment: WireSegment, current_a: float,
+                       temperature_k: float = units.T_ROOM) -> float:
+        """Corrected segment MTTF [s] (inf when Blech-immune)."""
+        if current_a == 0.0:
+            return math.inf
+        if self.is_blech_immune(segment, current_a):
+            return math.inf
+        mttf = self.black_mttf_s(segment.current_density(current_a), temperature_k)
+        if self.is_bamboo(segment):
+            mttf *= self.coeffs.em_bamboo_bonus
+        if segment.has_via:
+            mttf *= self.coeffs.em_via_penalty
+            if segment.has_reservoir:
+                mttf *= self.coeffs.em_reservoir_bonus
+        return mttf
+
+    def required_width_m(self, segment: WireSegment, current_a: float,
+                         target_mttf_s: float,
+                         temperature_k: float = units.T_ROOM) -> float:
+        """Smallest width meeting ``target_mttf_s`` (widening mitigation).
+
+        Solves the corrected Black law for width by bisection (the
+        bamboo/Blech corrections make the closed form messy).
+        """
+        if target_mttf_s <= 0.0:
+            raise ValueError("target MTTF must be positive")
+        if self.segment_mttf_s(segment, current_a, temperature_k) >= target_mttf_s:
+            return segment.width_m
+        lo, hi = segment.width_m, segment.width_m
+        while self.segment_mttf_s(segment.widened(hi / segment.width_m),
+                                  current_a, temperature_k) < target_mttf_s:
+            hi *= 2.0
+            if hi > 1e4 * segment.width_m:
+                raise ValueError("target MTTF unreachable by widening")
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            widened = segment.widened(mid / segment.width_m)
+            if self.segment_mttf_s(widened, current_a, temperature_k) < target_mttf_s:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+@dataclass(frozen=True)
+class SegmentReport:
+    """EM assessment of one segment in a network analysis."""
+
+    segment: WireSegment
+    current_a: float
+    current_density_a_per_m2: float
+    mttf_s: float
+    blech_immune: bool
+    bamboo: bool
+    violates_jmax: bool
+
+    @property
+    def mttf_years(self) -> float:
+        """MTTF in years (inf when immune)."""
+        return units.seconds_to_years(self.mttf_s)
+
+
+class InterconnectNetwork:
+    """A resistive interconnect net with current injections.
+
+    Nodes are strings; segments are edges.  ``solve_currents`` computes
+    every segment's DC current from nodal injections (one node must be
+    declared the sink/ground), then :meth:`analyze` ranks all segments
+    with the EM model.
+    """
+
+    def __init__(self, params: Optional[InterconnectParameters] = None):
+        self.params = params if params is not None else InterconnectParameters()
+        self.graph = nx.MultiGraph()
+        self._segments: Dict[str, WireSegment] = {}
+        self._injections: Dict[str, float] = {}
+        self._ground: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_segment(self, segment: WireSegment) -> WireSegment:
+        """Add a wire segment (edge)."""
+        if segment.name in self._segments:
+            raise ValueError(f"duplicate segment name {segment.name!r}")
+        self._segments[segment.name] = segment
+        self.graph.add_edge(segment.node_a, segment.node_b, name=segment.name)
+        return segment
+
+    def wire(self, name: str, node_a: str, node_b: str, width_m: float,
+             length_m: float, has_via: bool = False,
+             has_reservoir: bool = False) -> WireSegment:
+        """Convenience: add a segment using the process BEOL constants."""
+        return self.add_segment(WireSegment(
+            name=name, node_a=node_a, node_b=node_b, width_m=width_m,
+            length_m=length_m, thickness_m=self.params.thickness_m,
+            has_via=has_via, has_reservoir=has_reservoir,
+            resistivity_ohm_m=self.params.resistivity_ohm_m))
+
+    def inject(self, node: str, current_a: float) -> None:
+        """Add a DC current injection INTO ``node`` [A] (loads are negative)."""
+        self._injections[node] = self._injections.get(node, 0.0) + current_a
+
+    def set_ground(self, node: str) -> None:
+        """Declare the return/reference node."""
+        self._ground = node
+
+    @property
+    def segments(self) -> List[WireSegment]:
+        """All segments in insertion order."""
+        return list(self._segments.values())
+
+    # ------------------------------------------------------------------
+    # DC solve
+    # ------------------------------------------------------------------
+    def node_voltages(self) -> Dict[str, float]:
+        """DC node voltages relative to the declared ground [V]."""
+        if self._ground is None:
+            raise ValueError("call set_ground() before solving")
+        if self._ground not in self.graph:
+            raise ValueError(f"ground node {self._ground!r} not in network")
+        nodes = [n for n in self.graph.nodes if n != self._ground]
+        index = {n: i for i, n in enumerate(nodes)}
+        n = len(nodes)
+        g = np.zeros((n, n))
+        b = np.zeros(n)
+        for segment in self._segments.values():
+            cond = 1.0 / segment.resistance_ohm
+            ia = index.get(segment.node_a, -1)
+            ib = index.get(segment.node_b, -1)
+            if ia >= 0:
+                g[ia, ia] += cond
+            if ib >= 0:
+                g[ib, ib] += cond
+            if ia >= 0 and ib >= 0:
+                g[ia, ib] -= cond
+                g[ib, ia] -= cond
+        for node, current in self._injections.items():
+            if node == self._ground:
+                continue
+            if node not in index:
+                raise ValueError(f"injection at unknown node {node!r}")
+            b[index[node]] += current
+        try:
+            v = np.linalg.solve(g, b) if n else np.zeros(0)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("disconnected interconnect network") from exc
+        volts = {node: float(v[i]) for node, i in index.items()}
+        volts[self._ground] = 0.0
+        return volts
+
+    def solve_currents(self) -> Dict[str, float]:
+        """Segment currents (A, signed node_a → node_b) from the injections."""
+        volts = self.node_voltages()
+        return {
+            seg.name: (volts[seg.node_a] - volts[seg.node_b]) / seg.resistance_ohm
+            for seg in self._segments.values()
+        }
+
+    # ------------------------------------------------------------------
+    # Power integrity (IR drop)
+    # ------------------------------------------------------------------
+    def ir_drop_report(self, supply_node: str) -> Dict[str, float]:
+        """IR drop of every node relative to ``supply_node`` [V].
+
+        The power-integrity twin of the EM analysis: the same currents
+        that wear the wires out (§3.4) also starve the loads of supply
+        voltage.  Positive values = the node sits BELOW the supply.
+        """
+        volts = self.node_voltages()
+        if supply_node not in volts:
+            raise ValueError(f"unknown supply node {supply_node!r}")
+        v_supply = volts[supply_node]
+        return {node: v_supply - v for node, v in volts.items()
+                if node != supply_node}
+
+    def worst_ir_drop(self, supply_node: str) -> Tuple[str, float]:
+        """``(node, drop)`` of the largest IR drop from the supply [V]."""
+        drops = self.ir_drop_report(supply_node)
+        if not drops:
+            raise ValueError("network has no nodes besides the supply")
+        node = max(drops, key=lambda n: drops[n])
+        return node, drops[node]
+
+    # ------------------------------------------------------------------
+    # EM assessment
+    # ------------------------------------------------------------------
+    def analyze(self, model: ElectromigrationModel,
+                temperature_k: float = units.T_ROOM) -> List[SegmentReport]:
+        """Rank all segments by EM risk (shortest MTTF first)."""
+        currents = self.solve_currents()
+        reports = []
+        for segment in self._segments.values():
+            current = currents[segment.name]
+            j = segment.current_density(current)
+            reports.append(SegmentReport(
+                segment=segment,
+                current_a=current,
+                current_density_a_per_m2=j,
+                mttf_s=model.segment_mttf_s(segment, current, temperature_k),
+                blech_immune=model.is_blech_immune(segment, current),
+                bamboo=model.is_bamboo(segment),
+                violates_jmax=j > self.params.j_max_a_per_m2,
+            ))
+        reports.sort(key=lambda r: r.mttf_s)
+        return reports
+
+    def system_mttf_s(self, model: ElectromigrationModel,
+                      temperature_k: float = units.T_ROOM) -> float:
+        """Series-system MTTF: the weakest segment dominates [s]."""
+        reports = self.analyze(model, temperature_k)
+        if not reports:
+            raise ValueError("network has no segments")
+        return reports[0].mttf_s
+
+    def fix_em_violations(self, model: ElectromigrationModel,
+                          target_mttf_s: float,
+                          temperature_k: float = units.T_ROOM,
+                          ) -> Dict[str, float]:
+        """EM-aware widening pass (ref [25]): widen every failing
+        segment to meet ``target_mttf_s``; returns name → new width [m].
+
+        Widening changes resistances and hence the current distribution,
+        so the pass iterates to a fixed point (bounded rounds).
+        """
+        widened: Dict[str, float] = {}
+        for _ in range(8):
+            reports = self.analyze(model, temperature_k)
+            failing = [r for r in reports if r.mttf_s < target_mttf_s]
+            if not failing:
+                break
+            for report in failing:
+                seg = report.segment
+                new_width = model.required_width_m(
+                    seg, report.current_a, target_mttf_s, temperature_k)
+                new_seg = replace(seg, width_m=new_width)
+                self._segments[seg.name] = new_seg
+                widened[seg.name] = new_width
+        return widened

@@ -1,0 +1,174 @@
+"""Hot Carrier Injection degradation (paper §3.2, Eq 2).
+
+Wang et al.'s compact model (Eq 2 of the paper)::
+
+    ΔV_T ∝ Q_i · exp(E_ox/E_o) · exp(−φ_it / (q·λ·E_m)) · t^n
+
+* ``Q_i`` — inversion charge, ∝ C_ox·(V_GS − V_T): HCI needs a
+  conducting channel;
+* ``E_ox`` — vertical oxide field, |V_GS|/t_ox;
+* ``E_m`` — peak lateral field near the drain, approximated as
+  ``(V_DS − V_DSAT_eff)/ℓ_c`` with the usual pinch-off characteristic
+  length ``ℓ_c ∝ t_ox^{1/3}``; the exponential in 1/E_m is the
+  lucky-electron factor (Hu [17], Tam [42]);
+* hot-carrier damage is worst for NMOS ("holes are much cooler than
+  electrons", §3.2) — PMOS damage is scaled down by a fixed factor;
+* recovery is negligible compared to NBTI (§3.2) and is not modelled;
+* besides ΔV_T, carrier mobility (β) degrades and the output resistance
+  drops (refs [45], [22]) — folded in proportionally to ΔV_T.
+
+Temperature: interface-state generation at these field levels is mildly
+*inversely* activated for older nodes but positively activated in deep
+submicron (ref [44]); we use a small positive activation energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.aging.base import AgingMechanism, DeviceStress, MechanismState, power_law_advance
+from repro.circuit.mosfet import Mosfet
+from repro.technology.node import AgingCoefficients
+
+#: PMOS damage relative to NMOS (holes are cooler — §3.2).
+PMOS_SEVERITY = 0.1
+
+#: Weak thermal activation of interface-state generation [eV].
+HCI_EA_EV = 0.05
+
+#: Pinch-off length coefficient of Hu's model: ℓ_c = 0.22·t_ox^{1/3}·x_j^{1/2}
+#: with t_ox and x_j in cm (the formula is dimensional).
+PINCHOFF_COEFF = 0.22
+
+#: Junction depth as a fraction of channel length (synthetic scaling).
+XJ_FRACTION = 0.25
+
+#: Minimum junction depth [m].
+XJ_MIN_M = 10e-9
+
+
+class HciModel(AgingMechanism):
+    """Eq 2 HCI engine with waveform-averaged stress."""
+
+    name = "hci"
+
+    def __init__(self, coeffs: AgingCoefficients):
+        self.coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    # Field and charge helpers
+    # ------------------------------------------------------------------
+    def pinchoff_length_m(self, device: Mosfet) -> float:
+        """Characteristic length ℓ_c of the velocity-saturated region [m].
+
+        Hu's dimensional formula with lengths in cm; the junction depth
+        is a fixed fraction of L (floored at 10 nm).
+        """
+        tox_cm = device.params.tox_m * 100.0
+        xj_cm = max(XJ_MIN_M, XJ_FRACTION * device.params.l_m) * 100.0
+        lc_cm = PINCHOFF_COEFF * tox_cm ** (1.0 / 3.0) * xj_cm ** 0.5
+        return lc_cm / 100.0
+
+    def lateral_field_v_per_m(self, device: Mosfet, vgs: float, vds: float) -> float:
+        """Peak lateral field E_m near the drain [V/m] (NMOS convention)."""
+        vov = max(vgs - device.vt_effective_v, 0.0)
+        vdsat = vov / device.params.n_slope
+        v_pinch = max(vds - vdsat, 0.0)
+        if v_pinch <= 0.0:
+            return 0.0
+        return v_pinch / self.pinchoff_length_m(device)
+
+    def prefactor(self, device: Mosfet, vgs: float, vds: float,
+                  temperature_k: float) -> float:
+        """K in ``ΔV_T = K·t^n`` for the given DC stress [V/s^n].
+
+        Voltages in NMOS convention (positive when stressing).  Eq 2 is
+        evaluated as an acceleration RATIO around the technology's
+        reference stress anchor (v_GS = v_DS = VDD, minimum L), so
+        ``hci_prefactor_v`` is directly the 1-second ΔV_T there:
+
+            K = A · (Q_i/Q_ref) · e^{(E_ox−E_ref)/E_o}
+                  · e^{(φ_it/λ)(1/E_m,ref − 1/E_m)} · thermal
+        """
+        c = self.coeffs
+        vov = vgs - device.vt_effective_v
+        if vov <= 0.0 or vds <= 0.0:
+            return 0.0
+        e_m = self.lateral_field_v_per_m(device, vgs, vds)
+        if e_m <= 0.0:
+            return 0.0
+        e_ox = device.oxide_field(vgs)
+        q_i_ratio = vov / c.hci_vov_ref_v
+        field_acc = math.exp((e_ox - c.hci_eox_ref_v_per_m) / c.hci_e0_v_per_m)
+        # φ_it/(q·λ·E_m): with φ_it in eV the elementary charge cancels.
+        lucky_electron = math.exp(
+            (c.hci_phi_it_ev / c.hci_lambda_m)
+            * (1.0 / c.hci_em_ref_v_per_m - 1.0 / e_m))
+        thermal = math.exp(
+            -HCI_EA_EV / (units.K_BOLTZMANN_EV * temperature_k)
+            + HCI_EA_EV / (units.K_BOLTZMANN_EV * units.T_ROOM))
+        severity = 1.0 if device.params.polarity == "n" else PMOS_SEVERITY
+        return (c.hci_prefactor_v * severity * q_i_ratio * field_acc
+                * lucky_electron * thermal)
+
+    def delta_vt_v(self, device: Mosfet, vgs: float, vds: float,
+                   temperature_k: float, t_stress_s: float) -> float:
+        """Total ΔV_T after DC stress at (vgs, vds) for ``t_stress_s`` [V]."""
+        if t_stress_s < 0.0:
+            raise ValueError("stress time must be non-negative")
+        k = self.prefactor(device, vgs, vds, temperature_k)
+        return k * t_stress_s ** self.coeffs.hci_time_exponent
+
+    # ------------------------------------------------------------------
+    # Waveform-averaged stress (quasi-static)
+    # ------------------------------------------------------------------
+    def effective_prefactor(self, device: Mosfet, stress: DeviceStress) -> float:
+        """Time-averaged K over the stress waveforms.
+
+        The damage *rate* prefactor is averaged sample by sample — the
+        standard quasi-static treatment for switching waveforms: only the
+        instants with simultaneous high V_DS and channel conduction
+        contribute (digital circuits: the switching transients).
+        """
+        sign = 1.0 if device.params.polarity == "n" else -1.0
+        if stress.has_waveforms:
+            vgs_w = stress.vgs_waveform
+            vds_w = stress.vds_waveform
+            assert vgs_w is not None and vds_w is not None
+            ks = np.array([
+                self.prefactor(device, sign * float(vg), sign * float(vd),
+                               stress.temperature_k)
+                for vg, vd in zip(vgs_w.values, vds_w.values)
+            ])
+            return float(np.trapezoid(ks, vgs_w.times) / vgs_w.duration)
+        return self.prefactor(device, sign * stress.vgs_v, sign * stress.vds_v,
+                              stress.temperature_k)
+
+    # ------------------------------------------------------------------
+    # AgingMechanism interface
+    # ------------------------------------------------------------------
+    def affects(self, device: Mosfet) -> bool:
+        """HCI affects both polarities; NMOS dominates (§3.2)."""
+        return True
+
+    def advance(self, device: Mosfet, stress: DeviceStress,
+                state: MechanismState, dt_s: float) -> MechanismState:
+        k = self.effective_prefactor(device, stress)
+        if k > 0.0:
+            state.delta_vt_v = power_law_advance(
+                state.delta_vt_v, k, self.coeffs.hci_time_exponent, dt_s)
+            state.stress_time_s += dt_s
+        return state
+
+    def contribute(self, device: Mosfet, state: MechanismState) -> None:
+        delta = state.delta_vt_v
+        device.degradation.delta_vt_v += delta
+        # Mobility loss and output-resistance drop track ΔV_T (refs [45],
+        # [22]): interface traps both scatter carriers and soften the
+        # output characteristic.
+        device.degradation.beta_factor *= max(0.1, 1.0 - 0.8 * delta)
+        device.degradation.lambda_factor *= 1.0 + 2.0 * delta

@@ -1,0 +1,169 @@
+"""Negative Bias Temperature Instability (paper §3.3, Eq 3).
+
+Stress model (Eq 3 of the paper, after Stathis & Zafar [40])::
+
+    ΔV_T = A · exp(E_ox / E_0) · exp(−E_a / kT) · t^n
+
+accelerated by the oxide field ``E_ox = |V_GS|/t_ox`` of a *negatively
+biased PMOS gate* and by temperature.  Three well-documented refinements
+from the paper are implemented:
+
+* **AC / duty-factor stress** (ref [15]): with the gate stressed only a
+  fraction ``α`` of the time, the effective stress time is ``α·t`` —
+  ``ΔV_T(AC) = ΔV_T(DC)·α^n`` for periodic stress.
+
+* **Permanent/recoverable split** (refs [15], [29], [34]): a fraction
+  ``p`` of the damage is locked in; the rest relaxes when the stress is
+  removed.
+
+* **Universal relaxation** (Mielke & Yeh [29], Reisinger [34]): the
+  recoverable component decays with the ratio of relaxation to stress
+  time,
+
+      r(t_relax) = 1 / (1 + B·(t_relax/t_stress)^β)
+
+  spanning the microseconds-to-days window the paper quotes; the
+  remaining fraction falls approximately logarithmically in time across
+  that window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.aging.base import AgingMechanism, DeviceStress, MechanismState, power_law_advance
+from repro.circuit.mosfet import Mosfet
+from repro.technology.node import AgingCoefficients
+
+
+@dataclass(frozen=True)
+class RelaxationParams:
+    """Universal-relaxation constants ``r = 1/(1 + B·ξ^β)``."""
+
+    b: float = 0.7
+    beta: float = 0.18
+
+    def remaining_fraction(self, t_relax_s: float, t_stress_s: float) -> float:
+        """Fraction of the recoverable component left after relaxing."""
+        if t_relax_s < 0.0 or t_stress_s < 0.0:
+            raise ValueError("times must be non-negative")
+        if t_relax_s == 0.0:
+            return 1.0
+        if t_stress_s == 0.0:
+            return 0.0
+        xi = t_relax_s / t_stress_s
+        return 1.0 / (1.0 + self.b * xi ** self.beta)
+
+
+class NbtiModel(AgingMechanism):
+    """Eq 3 NBTI engine with duty-factor stress and recovery."""
+
+    name = "nbti"
+
+    def __init__(self, coeffs: AgingCoefficients,
+                 relaxation: RelaxationParams = RelaxationParams(),
+                 model_recovery: bool = True):
+        self.coeffs = coeffs
+        self.relaxation = relaxation
+        #: When False, all damage is treated as permanent — the
+        #: pessimistic "no-recovery" view ablated in E12.
+        self.model_recovery = model_recovery
+
+    # ------------------------------------------------------------------
+    # Closed-form law (Eq 3)
+    # ------------------------------------------------------------------
+    def prefactor(self, eox_v_per_m: float, temperature_k: float) -> float:
+        """K in ``ΔV_T = K·t^n`` for the given stress [V/s^n]."""
+        if eox_v_per_m < 0.0:
+            raise ValueError("oxide field must be non-negative")
+        if temperature_k <= 0.0:
+            raise ValueError("temperature must be positive")
+        c = self.coeffs
+        field_acc = math.exp(eox_v_per_m / c.nbti_e0_v_per_m)
+        thermal_acc = math.exp(-c.nbti_ea_ev / (units.K_BOLTZMANN_EV * temperature_k))
+        return c.nbti_prefactor_v * field_acc * thermal_acc
+
+    def delta_vt_v(self, eox_v_per_m: float, temperature_k: float,
+                   t_stress_s: float, duty: float = 1.0) -> float:
+        """Total ΔV_T after ``t_stress_s`` of (duty-cycled) stress [V].
+
+        ``duty`` is the fraction of time under stress (1.0 = DC stress).
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {duty}")
+        if t_stress_s < 0.0:
+            raise ValueError("stress time must be non-negative")
+        k = self.prefactor(eox_v_per_m, temperature_k)
+        return k * (duty * t_stress_s) ** self.coeffs.nbti_time_exponent
+
+    def split(self, delta_total_v: float) -> tuple:
+        """Split total damage into (permanent, recoverable) components."""
+        p = self.coeffs.nbti_permanent_fraction
+        return p * delta_total_v, (1.0 - p) * delta_total_v
+
+    def relaxed_delta_vt_v(self, delta_total_v: float, t_stress_s: float,
+                           t_relax_s: float) -> float:
+        """ΔV_T remaining after a relaxation phase of ``t_relax_s`` [V]."""
+        permanent, recoverable = self.split(delta_total_v)
+        if not self.model_recovery:
+            return delta_total_v
+        remaining = self.relaxation.remaining_fraction(t_relax_s, t_stress_s)
+        return permanent + recoverable * remaining
+
+    # ------------------------------------------------------------------
+    # Stress extraction
+    # ------------------------------------------------------------------
+    def stress_measures(self, device: Mosfet, stress: DeviceStress) -> tuple:
+        """Return ``(eox, duty)`` for the device under ``stress``.
+
+        A PMOS gate is under NBTI stress when V_GS is negative by more
+        than ~half the threshold; the oxide field uses the stressed-phase
+        average |V_GS|.
+        """
+        threshold = -0.5 * device.vt_effective_v
+        if stress.vgs_waveform is not None:
+            wf = stress.vgs_waveform
+            duty = 1.0 - wf.duty_above(threshold)
+            if duty <= 0.0:
+                return 0.0, 0.0
+            # Mean |vgs| over stressed samples only.
+            stressed = wf.values[wf.values <= threshold]
+            vgs_stress = float(abs(stressed.mean())) if stressed.size else 0.0
+            return device.oxide_field(vgs_stress), duty
+        if stress.vgs_v <= threshold:
+            return device.oxide_field(stress.vgs_v), 1.0
+        return 0.0, 0.0
+
+    # ------------------------------------------------------------------
+    # AgingMechanism interface
+    # ------------------------------------------------------------------
+    def affects(self, device: Mosfet) -> bool:
+        """NBTI mainly affects PMOS transistors (paper §3.3)."""
+        return device.params.polarity == "p"
+
+    def advance(self, device: Mosfet, stress: DeviceStress,
+                state: MechanismState, dt_s: float) -> MechanismState:
+        eox, duty = self.stress_measures(device, stress)
+        if duty <= 0.0 or eox <= 0.0:
+            # Unstressed epoch: the recoverable component relaxes.
+            if self.model_recovery and state.delta_vt_v > 0.0:
+                state.extra["relax_time_s"] = state.extra.get("relax_time_s", 0.0) + dt_s
+            return state
+        k = self.prefactor(eox, stress.temperature_k) * duty ** self.coeffs.nbti_time_exponent
+        state.delta_vt_v = power_law_advance(
+            state.delta_vt_v, k, self.coeffs.nbti_time_exponent, dt_s)
+        state.stress_time_s += dt_s
+        state.extra["relax_time_s"] = 0.0
+        return state
+
+    def contribute(self, device: Mosfet, state: MechanismState) -> None:
+        delta = state.delta_vt_v
+        t_relax = state.extra.get("relax_time_s", 0.0)
+        if t_relax > 0.0 and state.stress_time_s > 0.0:
+            delta = self.relaxed_delta_vt_v(delta, state.stress_time_s, t_relax)
+        device.degradation.delta_vt_v += delta
+        # NBTI also degrades channel mobility (refs [40], [16]) — modelled
+        # as a current-factor loss proportional to the V_T shift.
+        device.degradation.beta_factor *= max(0.1, 1.0 - 0.5 * delta)

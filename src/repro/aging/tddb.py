@@ -1,0 +1,260 @@
+"""Time-Dependent Dielectric Breakdown (paper §3.1).
+
+Trap generation inside the oxide is a Poisson process in area and time,
+so the time to breakdown follows a **Weibull distribution**::
+
+    F(t) = 1 − exp(−(t/η)^β)
+
+with the characteristic life η accelerated exponentially by the oxide
+field (here parameterised in lifetime *decades per MV/cm*, the common
+E-model form) and Poisson **area scaling** ``η(A) = η_ref·(A_ref/A)^{1/β}``
+— a bigger gate has more chances to grow the critical trap column.
+
+Breakdown **modes** depend on oxide thickness (paper §3.1):
+
+* t_ox > 5 nm — hard breakdown (HBD) only;
+* 2.5 nm < t_ox ≤ 5 nm — soft breakdown (SBD) precedes HBD;
+* t_ox ≤ 2.5 nm — SBD, then progressive breakdown (PBD: the gate
+  current creeps up over time), then final HBD.
+
+Post-BD device behaviour (refs [8], [14], [20], [21], [27], [28]):
+
+* a gate-leakage path appears across the oxide at the BD spot — µA-range
+  for SBD, mA-range for HBD at operating voltages;
+* the channel current collapses through a *local mobility reduction*
+  around the spot, stronger when the spot sits mid-channel and for
+  narrow devices;
+* crucially, "one BD does not necessarily imply circuit failure"
+  (ref [20]) — the circuit-level consequence is evaluated by injecting
+  the post-BD model into a simulation (see E4 and
+  :mod:`repro.core.aging_simulator`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.circuit.mosfet import Mosfet
+from repro.technology.node import AgingCoefficients
+
+
+class BreakdownMode(Enum):
+    """Gate-oxide breakdown hardness (paper §3.1)."""
+
+    SOFT = "soft"
+    PROGRESSIVE = "progressive"
+    HARD = "hard"
+
+
+#: Oxide thickness above which only HBD occurs [nm].
+HBD_ONLY_TOX_NM = 5.0
+
+#: Oxide thickness below which PBD appears between SBD and HBD [nm].
+PBD_TOX_NM = 2.5
+
+#: Gate-leak conductance of a fresh soft breakdown path [S] (µA range).
+SBD_LEAK_S = 2e-6
+
+#: Gate-leak conductance of a hard breakdown path [S] (mA range at VDD).
+HBD_LEAK_S = 2e-3
+
+#: PBD leak growth exponent: g(t) = g_SBD·(1 + (t/τ)^p) capped at HBD.
+PBD_GROWTH_EXPONENT = 1.5
+
+
+def weibull_cdf(t_s: float, eta_s: float, shape: float) -> float:
+    """Weibull failure probability at time ``t_s``."""
+    if eta_s <= 0.0 or shape <= 0.0:
+        raise ValueError("eta and shape must be positive")
+    if t_s <= 0.0:
+        return 0.0
+    return 1.0 - math.exp(-((t_s / eta_s) ** shape))
+
+
+def weibull_quantile(fraction: float, eta_s: float, shape: float) -> float:
+    """Time at which a ``fraction`` of the population has failed [s]."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if eta_s <= 0.0 or shape <= 0.0:
+        raise ValueError("eta and shape must be positive")
+    return eta_s * (-math.log(1.0 - fraction)) ** (1.0 / shape)
+
+
+def weibit(fraction: float) -> float:
+    """Weibull plotting coordinate ``ln(−ln(1−F))`` (Weibull paper y-axis)."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    return math.log(-math.log(1.0 - fraction))
+
+
+@dataclass(frozen=True)
+class BreakdownEvent:
+    """One sampled breakdown history of a device."""
+
+    t_first_bd_s: float
+    """Time of the first breakdown (SBD where applicable, else HBD)."""
+
+    t_hard_bd_s: float
+    """Time of the final hard breakdown."""
+
+    modes: tuple
+    """Mode sequence, e.g. ``(SOFT, PROGRESSIVE, HARD)``."""
+
+    spot_position: float
+    """BD spot location along the channel (0 = source, 1 = drain)."""
+
+    def mode_at(self, t_s: float) -> Optional[BreakdownMode]:
+        """The active breakdown mode at time ``t_s`` (None = intact)."""
+        if t_s < self.t_first_bd_s:
+            return None
+        if t_s >= self.t_hard_bd_s:
+            return BreakdownMode.HARD
+        if BreakdownMode.PROGRESSIVE in self.modes:
+            return BreakdownMode.PROGRESSIVE
+        return self.modes[0]
+
+
+class TddbModel:
+    """Weibull TDDB statistics plus the post-BD device model."""
+
+    name = "tddb"
+
+    def __init__(self, coeffs: AgingCoefficients):
+        self.coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    # Weibull statistics
+    # ------------------------------------------------------------------
+    def characteristic_life_s(self, eox_v_per_m: float, area_um2: float,
+                              temperature_k: float = units.T_ROOM) -> float:
+        """η of the first-breakdown distribution [s].
+
+        Field acceleration in decades/(MV/cm) around the reference field;
+        Poisson area scaling; a mild thermal acceleration (0.25 eV).
+        """
+        if eox_v_per_m <= 0.0:
+            raise ValueError("oxide field must be positive")
+        if area_um2 <= 0.0:
+            raise ValueError("area must be positive")
+        c = self.coeffs
+        e_mv_cm = eox_v_per_m / 1e8  # V/m → MV/cm
+        decades = c.tddb_gamma_decades_per_mv_cm * (c.tddb_ref_field_mv_cm - e_mv_cm)
+        eta = c.tddb_eta_prefactor_s * 10.0 ** decades
+        eta *= (c.tddb_area_scale_um2 / area_um2) ** (1.0 / c.tddb_weibull_shape)
+        ea_ev = 0.25
+        kt = units.K_BOLTZMANN_EV
+        eta *= math.exp(ea_ev / (kt * temperature_k) - ea_ev / (kt * units.T_ROOM))
+        return eta
+
+    def failure_probability(self, t_s: float, eox_v_per_m: float,
+                            area_um2: float,
+                            temperature_k: float = units.T_ROOM) -> float:
+        """Probability that the oxide has broken down by time ``t_s``."""
+        eta = self.characteristic_life_s(eox_v_per_m, area_um2, temperature_k)
+        return weibull_cdf(t_s, eta, self.coeffs.tddb_weibull_shape)
+
+    def time_to_fraction_s(self, fraction: float, eox_v_per_m: float,
+                           area_um2: float,
+                           temperature_k: float = units.T_ROOM) -> float:
+        """Time to the given cumulative failure fraction [s]."""
+        eta = self.characteristic_life_s(eox_v_per_m, area_um2, temperature_k)
+        return weibull_quantile(fraction, eta, self.coeffs.tddb_weibull_shape)
+
+    # ------------------------------------------------------------------
+    # Mode sequencing
+    # ------------------------------------------------------------------
+    def mode_sequence(self, tox_nm: float) -> List[BreakdownMode]:
+        """Breakdown mode progression for the given oxide thickness."""
+        if tox_nm <= 0.0:
+            raise ValueError("oxide thickness must be positive")
+        if tox_nm > HBD_ONLY_TOX_NM:
+            return [BreakdownMode.HARD]
+        if tox_nm > PBD_TOX_NM:
+            return [BreakdownMode.SOFT, BreakdownMode.HARD]
+        return [BreakdownMode.SOFT, BreakdownMode.PROGRESSIVE, BreakdownMode.HARD]
+
+    def sample_breakdown(self, rng: np.random.Generator, tox_nm: float,
+                         eox_v_per_m: float, area_um2: float,
+                         temperature_k: float = units.T_ROOM) -> BreakdownEvent:
+        """Draw one device's breakdown history."""
+        eta = self.characteristic_life_s(eox_v_per_m, area_um2, temperature_k)
+        shape = self.coeffs.tddb_weibull_shape
+        t_first = float(eta * rng.weibull(shape))
+        modes = tuple(self.mode_sequence(tox_nm))
+        if modes == (BreakdownMode.HARD,):
+            t_hard = t_first
+        else:
+            # Residual life after the first (soft) event: thinner oxides
+            # progress more slowly in absolute terms but the wear-out
+            # statistics stay Weibull; use a fraction of η.
+            t_residual = float(0.3 * eta * rng.weibull(shape))
+            t_hard = t_first + max(t_residual, 1e-12)
+        spot = float(rng.uniform(0.0, 1.0))
+        return BreakdownEvent(t_first_bd_s=t_first, t_hard_bd_s=t_hard,
+                              modes=modes, spot_position=spot)
+
+    # ------------------------------------------------------------------
+    # Post-breakdown device model
+    # ------------------------------------------------------------------
+    def progressive_leak_s(self, t_since_first_bd_s: float,
+                           t_progression_s: float) -> float:
+        """Gate-leak conductance during PBD: slow growth SBD → HBD level."""
+        if t_since_first_bd_s < 0.0:
+            raise ValueError("time since BD must be non-negative")
+        if t_progression_s <= 0.0:
+            raise ValueError("progression time must be positive")
+        grown = SBD_LEAK_S * (
+            1.0 + (t_since_first_bd_s / t_progression_s) ** PBD_GROWTH_EXPONENT
+            * (HBD_LEAK_S / SBD_LEAK_S))
+        return min(grown, HBD_LEAK_S)
+
+    def channel_impact_factor(self, mode: BreakdownMode, spot_position: float,
+                              w_m: float) -> float:
+        """Multiplicative channel-current factor after breakdown (≤ 1).
+
+        The local mobility reduction around the BD spot (ref [8]) bites
+        hardest mid-channel and for narrow devices (ref [21]); just after
+        SBD the effect is marginal (ref [21]).
+        """
+        if not 0.0 <= spot_position <= 1.0:
+            raise ValueError("spot position must be in [0, 1]")
+        if w_m <= 0.0:
+            raise ValueError("width must be positive")
+        # 1.0 at either channel end, peaking at the middle.
+        locality = 1.0 - abs(2.0 * spot_position - 1.0)
+        narrowness = min(2.0, (1e-6 / w_m) ** 0.5)
+        if mode is BreakdownMode.SOFT:
+            base_loss = 0.02
+        elif mode is BreakdownMode.PROGRESSIVE:
+            base_loss = 0.15
+        else:
+            base_loss = 0.45
+        loss = min(0.9, base_loss * (0.5 + locality) * narrowness)
+        return 1.0 - loss
+
+    def apply_breakdown(self, device: Mosfet, mode: BreakdownMode,
+                        spot_position: float = 0.5,
+                        t_since_first_bd_s: float = 0.0,
+                        t_progression_s: float = units.years_to_seconds(1.0),
+                        ) -> None:
+        """Inject the post-BD model into ``device.degradation``.
+
+        Sets the gate-leak path (magnitude per mode, split per spot
+        location) and the channel-current collapse factor.
+        """
+        if mode is BreakdownMode.SOFT:
+            leak = SBD_LEAK_S
+        elif mode is BreakdownMode.PROGRESSIVE:
+            leak = self.progressive_leak_s(t_since_first_bd_s, t_progression_s)
+        else:
+            leak = HBD_LEAK_S
+        device.degradation.gate_leak_s = leak
+        device.degradation.bd_spot_position = spot_position
+        device.degradation.beta_factor *= self.channel_impact_factor(
+            mode, spot_position, device.params.w_m)

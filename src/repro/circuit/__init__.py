@@ -1,0 +1,109 @@
+"""SPICE-like circuit simulation substrate (DESIGN.md S3/S4).
+
+Quick tour::
+
+    from repro.circuit import Circuit, Mosfet, dc_operating_point
+    from repro.technology import get_node
+
+    tech = get_node("90nm")
+    ckt = Circuit("diode-connected nmos")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.resistor("rbias", "vdd", "d", 10e3)
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "d", "d", "0", "0", tech, "n", w_m=1e-6, l_m=tech.lmin_m))
+    op = dc_operating_point(ckt)
+    print(op.voltage("d"), op.device_op("m1").ids_a)
+
+Analyses: :func:`dc_operating_point`, :func:`dc_sweep`,
+:func:`transient`, :func:`ac_analysis`.
+"""
+
+from repro.circuit.ac import AcResult, ac_analysis, logspace_frequencies
+from repro.circuit.hierarchy import clone_element, flatten_instance_names, instantiate
+from repro.circuit.parser import (
+    NetlistError,
+    format_value,
+    parse_netlist,
+    parse_value,
+    write_netlist,
+)
+from repro.circuit.dc import (
+    DcSolution,
+    NewtonOptions,
+    dc_operating_point,
+    dc_sweep,
+    newton_solve,
+)
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    DcSpec,
+    Diode,
+    Element,
+    Inductor,
+    PulseSpec,
+    PwlSpec,
+    Resistor,
+    SineSpec,
+    SourceSpec,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.mna import ConvergenceError, SingularCircuitError, Stamper
+from repro.circuit.mosfet import (
+    DeviceDegradation,
+    DeviceVariation,
+    Mosfet,
+    MosfetParams,
+    OperatingPoint,
+)
+from repro.circuit.netlist import Circuit, is_ground
+from repro.circuit.transient import TransientResult, transient
+from repro.circuit.waveform import Waveform
+
+__all__ = [
+    "AcResult",
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "CurrentSource",
+    "DcSolution",
+    "DcSpec",
+    "DeviceDegradation",
+    "DeviceVariation",
+    "Diode",
+    "Element",
+    "Inductor",
+    "Mosfet",
+    "MosfetParams",
+    "NetlistError",
+    "NewtonOptions",
+    "OperatingPoint",
+    "PulseSpec",
+    "PwlSpec",
+    "Resistor",
+    "SineSpec",
+    "SingularCircuitError",
+    "SourceSpec",
+    "Stamper",
+    "TransientResult",
+    "Vccs",
+    "Vcvs",
+    "VoltageSource",
+    "Waveform",
+    "ac_analysis",
+    "clone_element",
+    "dc_operating_point",
+    "flatten_instance_names",
+    "format_value",
+    "dc_sweep",
+    "instantiate",
+    "is_ground",
+    "logspace_frequencies",
+    "newton_solve",
+    "parse_netlist",
+    "parse_value",
+    "transient",
+    "write_netlist",
+]

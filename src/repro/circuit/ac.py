@@ -1,0 +1,83 @@
+"""Small-signal AC analysis.
+
+Nonlinear devices are linearized around a DC operating point; the
+resulting complex MNA system is solved at each requested frequency.
+Sources participate through their ``ac_mag`` attribute (set exactly one
+source's ``ac_mag`` to 1.0 to read transfer functions directly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuit.dc import DcSolution, dc_operating_point
+from repro.circuit.mna import Stamper
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class AcResult:
+    """Complex node solutions over frequency."""
+
+    circuit: Circuit
+    frequencies_hz: np.ndarray
+    """Analysis frequencies [Hz]."""
+
+    states: np.ndarray
+    """Complex solution matrix, shape ``(n_freq, n_unknowns)``."""
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Complex node voltage vs frequency."""
+        idx = self.circuit.node(node_name)
+        if idx < 0:
+            return np.zeros(len(self.frequencies_hz), dtype=complex)
+        return self.states[:, idx]
+
+    def magnitude_db(self, node_name: str) -> np.ndarray:
+        """|V(node)| in dB vs frequency."""
+        mag = np.abs(self.voltage(node_name))
+        return 20.0 * np.log10(np.maximum(mag, 1e-30))
+
+    def phase_deg(self, node_name: str) -> np.ndarray:
+        """Phase of V(node) in degrees vs frequency."""
+        return np.degrees(np.angle(self.voltage(node_name)))
+
+
+def logspace_frequencies(f_start: float, f_stop: float,
+                         points_per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced frequency grid [Hz]."""
+    if f_start <= 0.0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    decades = math.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(math.log10(f_start), math.log10(f_stop), n)
+
+
+def ac_analysis(circuit: Circuit,
+                frequencies_hz: Union[Sequence[float], np.ndarray],
+                operating_point: Optional[DcSolution] = None) -> AcResult:
+    """Linearize at the DC operating point and sweep frequency."""
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if freqs.ndim != 1 or freqs.size == 0:
+        raise ValueError("frequencies must be a non-empty 1-D sequence")
+    if np.any(freqs <= 0.0):
+        raise ValueError("frequencies must be positive")
+
+    circuit.compile()
+    op = operating_point if operating_point is not None else dc_operating_point(circuit)
+    size = circuit.n_unknowns
+    states = np.empty((freqs.size, size), dtype=complex)
+
+    st = Stamper(size, dtype=complex)
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * math.pi * float(freq)
+        st.clear()
+        for element in circuit.elements:
+            element.stamp_ac(st, omega, op.x)
+        st.add_gmin(circuit.n_nodes, 1e-12)
+        states[k] = st.solve()
+    return AcResult(circuit=circuit, frequencies_hz=freqs, states=states)

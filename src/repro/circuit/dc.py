@@ -1,0 +1,201 @@
+"""DC operating-point and DC-sweep analyses.
+
+The operating point is found by damped Newton–Raphson on the MNA system.
+Two industry-standard fallbacks kick in when plain NR stalls:
+
+1. **gmin stepping** — solve with a large shunt conductance from every
+   node to ground, then relax it decade by decade, reusing each solution
+   as the next initial guess;
+2. **source stepping** — ramp all independent sources from 0 to 100 %.
+
+Both are continuation methods; circuits in this library (references,
+mirrors, ring oscillators, OTAs) converge with at most gmin stepping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuit.elements import CurrentSource, VoltageSource
+from repro.circuit.mna import ConvergenceError, Stamper
+from repro.circuit.mosfet import Mosfet, OperatingPoint
+from repro.circuit.netlist import Circuit
+
+#: Maximum per-iteration node-voltage update [V] (NR damping).
+MAX_STEP_V = 0.4
+
+#: Floor shunt conductance always present for numerical robustness [S].
+GMIN_FLOOR = 1e-12
+
+
+@dataclass
+class NewtonOptions:
+    """Tunables of the Newton–Raphson loop."""
+
+    max_iterations: int = 150
+    vtol: float = 1e-9
+    """Convergence tolerance on the solution update [V / A]."""
+
+    reltol: float = 1e-6
+    """Relative convergence tolerance."""
+
+    damping_v: float = MAX_STEP_V
+    """Maximum voltage update per iteration [V]."""
+
+    gmin: float = GMIN_FLOOR
+    """Shunt conductance from every node to ground [S]."""
+
+
+def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
+                 n_nodes: int, x0: Optional[np.ndarray] = None,
+                 options: Optional[NewtonOptions] = None) -> np.ndarray:
+    """Solve the nonlinear MNA system ``F(x) = 0`` by damped NR.
+
+    ``stamp(st, x)`` must assemble the linearized system at guess ``x``.
+    Raises :class:`ConvergenceError` if the iteration does not settle.
+    """
+    opts = options if options is not None else NewtonOptions()
+    x = np.zeros(size) if x0 is None else np.array(x0, dtype=float)
+    if x.shape != (size,):
+        raise ValueError(f"x0 shape {x.shape} != ({size},)")
+    st = Stamper(size)
+    for _ in range(opts.max_iterations):
+        st.clear()
+        stamp(st, x)
+        st.add_gmin(n_nodes, opts.gmin)
+        x_new = st.solve()
+        delta = x_new - x
+        # Damp node-voltage updates; branch currents follow freely.
+        v_delta = delta[:n_nodes]
+        max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+        if max_dv > opts.damping_v:
+            delta = delta * (opts.damping_v / max_dv)
+        x = x + delta
+        scale = np.maximum(np.abs(x), 1.0)
+        if np.all(np.abs(delta) <= opts.vtol + opts.reltol * scale):
+            return x
+    raise ConvergenceError(
+        f"Newton-Raphson did not converge in {opts.max_iterations} iterations")
+
+
+@dataclass
+class DcSolution:
+    """A solved DC operating point."""
+
+    circuit: Circuit
+    x: np.ndarray
+    """Full MNA solution vector (node voltages then branch currents)."""
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage [V]."""
+        return self.circuit.voltage(self.x, node_name)
+
+    def voltages(self, node_names: Iterable[str]) -> List[float]:
+        """Voltages of several nodes."""
+        return [self.voltage(n) for n in node_names]
+
+    def source_current(self, source_name: str) -> float:
+        """Branch current through a voltage source (n+ → n-) [A]."""
+        element = self.circuit[source_name]
+        if not isinstance(element, VoltageSource):
+            raise TypeError(f"{source_name!r} is not a voltage source")
+        return element.branch_current(self.x)
+
+    def device_op(self, device_name: str) -> OperatingPoint:
+        """Operating point of a MOSFET."""
+        element = self.circuit[device_name]
+        if not isinstance(element, Mosfet):
+            raise TypeError(f"{device_name!r} is not a MOSFET")
+        return element.operating_point(self.x)
+
+    def all_device_ops(self) -> dict:
+        """Operating points of every MOSFET, keyed by name."""
+        return {m.name: m.operating_point(self.x) for m in self.circuit.mosfets}
+
+
+def _stamp_dc_factory(circuit: Circuit) -> Callable[[Stamper, np.ndarray], None]:
+    elements = circuit.elements
+
+    def stamp(st: Stamper, x: np.ndarray) -> None:
+        for element in elements:
+            element.stamp_dc(st, x)
+
+    return stamp
+
+
+def dc_operating_point(circuit: Circuit,
+                       x0: Optional[np.ndarray] = None,
+                       options: Optional[NewtonOptions] = None) -> DcSolution:
+    """Find the DC operating point, with gmin/source-stepping fallbacks."""
+    circuit.compile()
+    size = circuit.n_unknowns
+    n_nodes = circuit.n_nodes
+    stamp = _stamp_dc_factory(circuit)
+    opts = options if options is not None else NewtonOptions()
+
+    try:
+        x = newton_solve(stamp, size, n_nodes, x0, opts)
+        return DcSolution(circuit, x)
+    except ConvergenceError:
+        pass
+
+    # --- Fallback 1: gmin stepping -----------------------------------
+    x_guess = x0
+    try:
+        for exponent in range(3, 13):
+            stepped = NewtonOptions(
+                max_iterations=opts.max_iterations, vtol=opts.vtol,
+                reltol=opts.reltol, damping_v=opts.damping_v,
+                gmin=10.0 ** (-exponent))
+            x_guess = newton_solve(stamp, size, n_nodes, x_guess, stepped)
+        x = newton_solve(stamp, size, n_nodes, x_guess, opts)
+        return DcSolution(circuit, x)
+    except ConvergenceError:
+        pass
+
+    # --- Fallback 2: source stepping ----------------------------------
+    sources = [e for e in circuit.elements
+               if isinstance(e, (VoltageSource, CurrentSource))]
+    original_scales = [s.scale for s in sources]
+    x_guess = None
+    try:
+        for fraction in np.linspace(0.05, 1.0, 20):
+            for source, scale0 in zip(sources, original_scales):
+                source.scale = scale0 * float(fraction)
+            x_guess = newton_solve(stamp, size, n_nodes, x_guess, opts)
+        assert x_guess is not None
+        return DcSolution(circuit, x_guess)
+    finally:
+        for source, scale0 in zip(sources, original_scales):
+            source.scale = scale0
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: Union[Sequence[float], np.ndarray],
+             options: Optional[NewtonOptions] = None) -> List[DcSolution]:
+    """Sweep an independent source and solve the OP at each value.
+
+    Each solution seeds the next (continuation), so sweeps through
+    strongly nonlinear regions stay convergent.  The source is restored
+    to its original spec afterwards.
+    """
+    element = circuit[source_name]
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{source_name!r} is not an independent source")
+    from repro.circuit.elements import DcSpec  # local import to avoid cycle noise
+
+    original_spec = element.spec
+    solutions: List[DcSolution] = []
+    x_guess: Optional[np.ndarray] = None
+    try:
+        for value in values:
+            element.spec = DcSpec(float(value))
+            solution = dc_operating_point(circuit, x0=x_guess, options=options)
+            solutions.append(solution)
+            x_guess = solution.x
+    finally:
+        element.spec = original_spec
+    return solutions

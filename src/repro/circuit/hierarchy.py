@@ -1,0 +1,90 @@
+"""Hierarchical circuit composition (subcircuit instantiation).
+
+A plain :class:`~repro.circuit.Circuit` can serve as a *template*:
+:func:`instantiate` stamps a copy of every element into a parent
+circuit, prefixing element and internal-node names and splicing the
+template's *port* nodes onto parent nodes.  This is the SPICE ``X``
+card's job, done as a library call::
+
+    inv = inverter_template(tech)            # nodes: in, out, vdd, 0
+    top = Circuit("buffer")
+    top.voltage_source("vdd", "vdd", "0", tech.vdd)
+    instantiate(top, inv, "x1", {"in": "a", "out": "b", "vdd": "vdd"})
+    instantiate(top, inv, "x2", {"in": "b", "out": "c", "vdd": "vdd"})
+
+Ground names pass through unprefixed.  Each instantiation deep-copies
+per-device mutable state (variation/degradation), so instances age and
+mismatch independently — essential for the Monte-Carlo and aging
+engines.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List
+
+from repro.circuit.elements import Element
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit, is_ground
+
+
+def clone_element(element: Element, new_name: str,
+                  node_map: Dict[str, str]) -> Element:
+    """Copy ``element`` under a new name with renamed nodes.
+
+    Shallow-copies configuration (specs and params are immutable),
+    deep-copies the mutable per-device state of MOSFETs.
+    """
+    clone = copy.copy(element)
+    clone.name = new_name
+    clone.node_names = tuple(node_map.get(n, n) for n in element.node_names)
+    clone.nodes = ()
+    clone.branches = ()
+    if isinstance(clone, Mosfet):
+        clone.variation = copy.deepcopy(element.variation)
+        clone.degradation = copy.deepcopy(element.degradation)
+    return clone
+
+
+def instantiate(parent: Circuit, template: Circuit, prefix: str,
+                connections: Dict[str, str]) -> List[Element]:
+    """Stamp a copy of ``template`` into ``parent``.
+
+    ``connections`` maps template port-node names to parent node names;
+    every other (internal) template node becomes ``<prefix>.<node>``;
+    element names become ``<prefix>.<element>``.  Returns the created
+    elements in template order.
+    """
+    if not prefix:
+        raise ValueError("instance prefix must be non-empty")
+    for port in connections:
+        if is_ground(port):
+            raise ValueError("cannot remap the ground node")
+    # Validate that every port actually exists in the template.
+    template_nodes = set()
+    for element in template.elements:
+        template_nodes.update(element.node_names)
+    for port in connections:
+        if port not in template_nodes:
+            raise ValueError(
+                f"port {port!r} does not exist in template "
+                f"{template.title!r}; nodes: {sorted(template_nodes)}")
+
+    node_map: Dict[str, str] = {}
+    for node in template_nodes:
+        if is_ground(node):
+            continue
+        node_map[node] = connections.get(node, f"{prefix}.{node}")
+
+    created = []
+    for element in template.elements:
+        clone = clone_element(element, f"{prefix}.{element.name}", node_map)
+        parent.add(clone)
+        created.append(clone)
+    return created
+
+
+def flatten_instance_names(parent: Circuit, prefix: str) -> List[str]:
+    """Element names in ``parent`` belonging to instance ``prefix``."""
+    marker = f"{prefix}."
+    return [e.name for e in parent.elements if e.name.startswith(marker)]

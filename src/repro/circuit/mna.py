@@ -1,0 +1,113 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+The :class:`Stamper` wraps the dense system matrix ``A`` and right-hand
+side ``b`` with ground-aware accumulation helpers, so element stamps can
+use node index ``-1`` for ground without special-casing.
+
+Sign conventions:
+
+* KCL rows are written as ``sum of currents LEAVING the node = 0``;
+  a conductance between a and b contributes ``+g`` on the diagonal;
+* :meth:`Stamper.current` adds a current *injected into* the node, i.e.
+  it lands on the RHS with a positive sign.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Stamper:
+    """Ground-aware dense MNA matrix/RHS accumulator."""
+
+    def __init__(self, size: int, dtype=float):
+        if size <= 0:
+            raise ValueError(f"system size must be positive, got {size}")
+        self.size = size
+        self.a = np.zeros((size, size), dtype=dtype)
+        self.b = np.zeros(size, dtype=dtype)
+
+    def clear(self) -> None:
+        """Zero the matrix and RHS for re-stamping."""
+        self.a[:, :] = 0
+        self.b[:] = 0
+
+    # ------------------------------------------------------------------
+    # Primitive accumulation
+    # ------------------------------------------------------------------
+    def matrix(self, row: int, col: int, value: complex) -> None:
+        """Add ``value`` at ``A[row, col]`` (ignored if either is ground)."""
+        if row < 0 or col < 0:
+            return
+        self.a[row, col] += value
+
+    def rhs(self, row: int, value: complex) -> None:
+        """Add ``value`` to ``b[row]`` (ignored for ground)."""
+        if row < 0:
+            return
+        self.b[row] += value
+
+    # ------------------------------------------------------------------
+    # Composite stamps
+    # ------------------------------------------------------------------
+    def conductance(self, node_a: int, node_b: int, g: complex) -> None:
+        """Stamp conductance ``g`` between ``node_a`` and ``node_b``."""
+        self.matrix(node_a, node_a, g)
+        self.matrix(node_b, node_b, g)
+        self.matrix(node_a, node_b, -g)
+        self.matrix(node_b, node_a, -g)
+
+    def current(self, node: int, value: complex) -> None:
+        """Inject current ``value`` INTO ``node`` (RHS contribution)."""
+        self.rhs(node, value)
+
+    def transconductance(self, out_a: int, out_b: int,
+                         ctrl_a: int, ctrl_b: int, gm: complex) -> None:
+        """Stamp ``i(out_a→out_b) = gm · v(ctrl_a - ctrl_b)``."""
+        self.matrix(out_a, ctrl_a, gm)
+        self.matrix(out_a, ctrl_b, -gm)
+        self.matrix(out_b, ctrl_a, -gm)
+        self.matrix(out_b, ctrl_b, gm)
+
+    def branch_voltage(self, node_a: int, node_b: int, branch: int,
+                       rhs: complex) -> None:
+        """Stamp an ideal voltage constraint ``v(a) - v(b) = rhs`` whose
+        branch current is unknown ``x[branch]`` (flowing a → b)."""
+        self.matrix(node_a, branch, 1.0)
+        self.matrix(node_b, branch, -1.0)
+        self.matrix(branch, node_a, 1.0)
+        self.matrix(branch, node_b, -1.0)
+        self.rhs(branch, rhs)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def add_gmin(self, n_nodes: int, gmin: float) -> None:
+        """Add ``gmin`` from every node to ground (convergence aid).
+
+        Only the first ``n_nodes`` diagonal entries are node equations;
+        branch rows are left untouched.
+        """
+        if gmin < 0.0:
+            raise ValueError(f"gmin must be non-negative, got {gmin}")
+        idx = np.arange(n_nodes)
+        self.a[idx, idx] += gmin
+
+    def solve(self, x0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Solve ``A·x = b``; raises ``SingularCircuitError`` when singular."""
+        try:
+            return np.linalg.solve(self.a, self.b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(
+                "singular MNA matrix — floating node or voltage-source loop?"
+            ) from exc
+
+
+class SingularCircuitError(RuntimeError):
+    """The MNA matrix could not be factorised."""
+
+
+class ConvergenceError(RuntimeError):
+    """Newton–Raphson failed to converge after all fallback strategies."""

@@ -1,0 +1,478 @@
+"""Compact MOSFET model with variability and degradation hooks.
+
+The large-signal model is an EKV-flavoured single-expression
+interpolation that is smooth across weak inversion, triode and
+saturation (essential for Newton–Raphson robustness):
+
+    I_DS = 2·n·β_eff·φt² · [ ln²(1+e^{x_f}) − ln²(1+e^{x_r}) ] · (1+λ·v_DS⁺)
+
+with ``x_f = v_P/(2φt)``, ``x_r = (v_P − v_DS)/(2φt)`` and the pinch-off
+voltage ``v_P = (v_GS − V_T(v_BS))/n``.  In strong inversion/saturation
+this collapses to the familiar square law ``β(v_GS−V_T)²/(2n)``; in weak
+inversion it becomes the subthreshold exponential; in triode the
+``(v_GS−V_T−n·v_DS/2)·v_DS`` law.  β_eff includes vertical-field mobility
+degradation (θ) and a first-order velocity-saturation correction.
+
+Two *hook* structures make this the shared substrate of the whole paper:
+
+* :class:`DeviceVariation` — time-zero random offsets sampled by
+  :mod:`repro.variability` (paper §2, Eq 1);
+* :class:`DeviceDegradation` — time-dependent parameter deltas written by
+  the aging engines of :mod:`repro.aging` (paper §3, Fig 2): ΔV_T shift,
+  current-factor loss, output-resistance loss, and a post-breakdown gate
+  leakage path with a BD-spot location (TDDB §3.1).
+
+PMOS devices are evaluated by polarity reflection of the NMOS equations;
+threshold/parameter deltas are defined so that a *positive* ΔV_T always
+means "the device gets harder to turn on" for either polarity, matching
+how the degradation literature (and the paper) quotes shifts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.circuit.elements import Element
+from repro.circuit.mna import Stamper
+from repro.technology.node import TechnologyNode
+
+#: Finite-difference step for terminal-voltage derivatives [V].
+_FD_STEP_V = 1e-6
+
+#: Smoothing scale of the CLM softplus [V].
+_CLM_SMOOTH_V = 0.05
+
+
+def _softplus(x: float, scale: float = 1.0) -> float:
+    """Numerically safe ``scale·ln(1+exp(x/scale))``."""
+    z = x / scale
+    if z > 40.0:
+        return x
+    if z < -40.0:
+        return 0.0
+    return scale * math.log1p(math.exp(z))
+
+
+def _log1pexp(x: float) -> float:
+    """Numerically safe ``ln(1+exp(x))``."""
+    if x > 40.0:
+        return x
+    if x < -40.0:
+        return 0.0
+    return math.log1p(math.exp(x))
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Nominal electrical parameters of one device geometry.
+
+    All values follow the NMOS sign convention (``vt0`` positive); the
+    device's ``polarity`` controls terminal reflection for PMOS.
+    """
+
+    polarity: str
+    """``"n"`` or ``"p"``."""
+
+    w_m: float
+    """Channel width [m]."""
+
+    l_m: float
+    """Channel length [m]."""
+
+    vt0_v: float
+    """Zero-bias threshold magnitude [V] (positive for both polarities)."""
+
+    kp_a_per_v2: float
+    """Process transconductance µ0·Cox [A/V²]."""
+
+    lambda_per_v: float
+    """Channel-length modulation coefficient for THIS length [1/V]."""
+
+    gamma_sqrt_v: float
+    """Body-effect coefficient [√V]."""
+
+    phi_v: float
+    """Surface potential 2φ_F [V]."""
+
+    theta_per_v: float
+    """Vertical-field mobility degradation [1/V]."""
+
+    esat_l_v: float
+    """Velocity-saturation voltage ``E_sat·L`` [V]."""
+
+    n_slope: float
+    """Subthreshold slope factor n (≥1)."""
+
+    tox_m: float
+    """Gate-oxide thickness [m] — needed for oxide-field stress."""
+
+    temperature_k: float = units.T_ROOM
+    """Device temperature [K]."""
+
+    vt_tempco_v_per_k: float = -1.0e-3
+    """Threshold temperature coefficient dV_T/dT [V/K] (≈ −1 mV/K)."""
+
+    mobility_temp_exponent: float = 1.5
+    """Mobility scaling µ ∝ (300/T)^m — lattice scattering, m ≈ 1.5."""
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        for fname in ("w_m", "l_m", "vt0_v", "kp_a_per_v2", "phi_v",
+                      "esat_l_v", "n_slope", "tox_m", "temperature_k"):
+            if getattr(self, fname) <= 0.0:
+                raise ValueError(f"{fname} must be positive, got {getattr(self, fname)}")
+        if self.lambda_per_v < 0.0 or self.gamma_sqrt_v < 0.0 or self.theta_per_v < 0.0:
+            raise ValueError("lambda, gamma and theta must be non-negative")
+
+    @property
+    def beta_a_per_v2(self) -> float:
+        """Nominal current factor β = kp·W/L [A/V²]."""
+        return self.kp_a_per_v2 * self.w_m / self.l_m
+
+    @property
+    def w_um(self) -> float:
+        """Width in µm."""
+        return self.w_m / units.MICRO
+
+    @property
+    def l_um(self) -> float:
+        """Length in µm."""
+        return self.l_m / units.MICRO
+
+    @property
+    def area_um2(self) -> float:
+        """Gate area W·L [µm²]."""
+        return self.w_um * self.l_um
+
+    @property
+    def cox_total_f(self) -> float:
+        """Total gate-oxide capacitance W·L·Cox [F]."""
+        return self.w_m * self.l_m * units.oxide_capacitance_per_area(self.tox_m)
+
+
+@dataclass
+class DeviceVariation:
+    """Time-zero random offsets (paper §2).
+
+    Written by :class:`repro.variability.MismatchSampler`; all-zero means
+    a nominal device.
+    """
+
+    delta_vt_v: float = 0.0
+    """Threshold magnitude offset [V]; positive = harder to turn on."""
+
+    beta_factor: float = 1.0
+    """Multiplicative current-factor offset (1.0 = nominal)."""
+
+    gamma_factor: float = 1.0
+    """Multiplicative body-factor offset."""
+
+
+@dataclass
+class DeviceDegradation:
+    """Time-dependent parameter deltas (paper §3, Fig 2).
+
+    Written by the aging engines; all-zero/one means a fresh device.
+    """
+
+    delta_vt_v: float = 0.0
+    """Threshold magnitude shift [V]; positive = degraded (NBTI/HCI)."""
+
+    beta_factor: float = 1.0
+    """Mobility/current-factor degradation multiplier (≤1 when degraded)."""
+
+    lambda_factor: float = 1.0
+    """Output-conductance multiplier (>1 = reduced r_o, HCI)."""
+
+    gate_leak_s: float = 0.0
+    """Post-breakdown gate leakage conductance [S] (TDDB)."""
+
+    bd_spot_position: float = 0.5
+    """Breakdown-spot location along the channel: 0 = source end,
+    1 = drain end.  Splits the leak path between the two junctions and
+    controls the post-BD channel-current collapse (refs [8], [14])."""
+
+    def reset(self) -> None:
+        """Return the device to the fresh state."""
+        self.delta_vt_v = 0.0
+        self.beta_factor = 1.0
+        self.lambda_factor = 1.0
+        self.gate_leak_s = 0.0
+        self.bd_spot_position = 0.5
+
+    def is_fresh(self) -> bool:
+        """True when no degradation has been applied."""
+        return (self.delta_vt_v == 0.0 and self.beta_factor == 1.0
+                and self.lambda_factor == 1.0 and self.gate_leak_s == 0.0)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Bias summary of one device under a solved DC solution."""
+
+    ids_a: float
+    vgs_v: float
+    vds_v: float
+    vbs_v: float
+    gm_s: float
+    gds_s: float
+    gmb_s: float
+    region: str
+    """``"cutoff"``, ``"triode"`` or ``"saturation"`` (NMOS convention)."""
+
+    @property
+    def ro_ohm(self) -> float:
+        """Small-signal output resistance 1/gds [Ω]."""
+        if self.gds_s <= 0.0:
+            return math.inf
+        return 1.0 / self.gds_s
+
+    @property
+    def intrinsic_gain(self) -> float:
+        """gm·ro — the analog designer's figure of merit."""
+        if self.gds_s <= 0.0:
+            return math.inf
+        return self.gm_s / self.gds_s
+
+
+class Mosfet(Element):
+    """Four-terminal MOSFET element: nodes (drain, gate, source, bulk)."""
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 bulk: str, params: MosfetParams,
+                 variation: Optional[DeviceVariation] = None,
+                 degradation: Optional[DeviceDegradation] = None):
+        super().__init__(name, (drain, gate, source, bulk))
+        self.params = params
+        self.variation = variation if variation is not None else DeviceVariation()
+        self.degradation = degradation if degradation is not None else DeviceDegradation()
+
+    # ------------------------------------------------------------------
+    # Construction from a technology node
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_technology(name: str, drain: str, gate: str, source: str,
+                        bulk: str, tech: TechnologyNode, polarity: str,
+                        w_m: float, l_m: float,
+                        temperature_k: float = units.T_ROOM) -> "Mosfet":
+        """Build a device with parameters derived from ``tech``."""
+        if polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {polarity!r}")
+        if l_m < tech.lmin_m * (1.0 - 1e-9):
+            raise ValueError(
+                f"{name}: L={l_m} below technology minimum {tech.lmin_m}")
+        if w_m < tech.wmin_m * (1.0 - 1e-9):
+            raise ValueError(
+                f"{name}: W={w_m} below technology minimum {tech.wmin_m}")
+        is_n = polarity == "n"
+        u0 = tech.u0_n_m2_per_vs if is_n else tech.u0_p_m2_per_vs
+        vt0 = tech.vt0_n if is_n else abs(tech.vt0_p)
+        kp = tech.kp_n if is_n else tech.kp_p
+        l_um = l_m / units.MICRO
+        params = MosfetParams(
+            polarity=polarity,
+            w_m=w_m,
+            l_m=l_m,
+            vt0_v=vt0,
+            kp_a_per_v2=kp,
+            lambda_per_v=tech.lambda_per_v_um / l_um,
+            gamma_sqrt_v=tech.gamma_body_sqrt_v,
+            phi_v=tech.phi_surface_v,
+            theta_per_v=tech.theta_mobility_per_v,
+            esat_l_v=2.0 * tech.vsat_m_per_s * l_m / u0,
+            n_slope=tech.subthreshold_slope_factor,
+            tox_m=tech.tox_m,
+            temperature_k=temperature_k,
+        )
+        return Mosfet(name, drain, gate, source, bulk, params)
+
+    # ------------------------------------------------------------------
+    # Effective (varied + degraded) parameters
+    # ------------------------------------------------------------------
+    @property
+    def vt_effective_v(self) -> float:
+        """Threshold magnitude including variation and aging shifts [V]."""
+        return self.params.vt0_v + self.variation.delta_vt_v + self.degradation.delta_vt_v
+
+    @property
+    def beta_effective(self) -> float:
+        """Current factor including variation, aging and temperature.
+
+        Mobility falls as (300/T)^m with temperature — the dominant
+        reason hot silicon is slow.
+        """
+        thermal = (units.T_ROOM / self.params.temperature_k) \
+            ** self.params.mobility_temp_exponent
+        return (self.params.beta_a_per_v2 * self.variation.beta_factor
+                * self.degradation.beta_factor * thermal)
+
+    @property
+    def lambda_effective(self) -> float:
+        """CLM coefficient including aging output-resistance loss."""
+        return self.params.lambda_per_v * self.degradation.lambda_factor
+
+    @property
+    def gamma_effective(self) -> float:
+        """Body factor including variation."""
+        return self.params.gamma_sqrt_v * self.variation.gamma_factor
+
+    # ------------------------------------------------------------------
+    # Core current equation (NMOS convention)
+    # ------------------------------------------------------------------
+    def _threshold(self, vbs: float) -> float:
+        """V_T(v_BS, T) with body effect and tempco, NMOS convention."""
+        phi = self.params.phi_v
+        gamma = self.gamma_effective
+        vbs_c = min(vbs, phi - 0.05)
+        vt_thermal = self.params.vt_tempco_v_per_k * (
+            self.params.temperature_k - units.T_ROOM)
+        return (self.vt_effective_v + vt_thermal
+                + gamma * (math.sqrt(phi - vbs_c) - math.sqrt(phi)))
+
+    def _ids_nmos(self, vgs: float, vds: float, vbs: float) -> float:
+        """NMOS-convention channel current (symmetric in vds sign)."""
+        p = self.params
+        phit = units.thermal_voltage(p.temperature_k)
+        n = p.n_slope
+        vt = self._threshold(vbs)
+        vp = (vgs - vt) / n
+        # Effective overdrive for the mobility/velocity denominators.
+        vov = _softplus(vgs - vt, n * phit)
+        theta_eff = self.params.theta_per_v + 1.0 / p.esat_l_v
+        beta_eff = self.beta_effective / (1.0 + theta_eff * vov)
+        s = 2.0 * phit
+        lf = _log1pexp(vp / s)
+        lr = _log1pexp((vp - vds) / s)
+        ids0 = 2.0 * n * beta_eff * phit * phit * (lf * lf - lr * lr)
+        clm = 1.0 + self.lambda_effective * _softplus(vds, _CLM_SMOOTH_V)
+        return ids0 * clm
+
+    def drain_current(self, vgs: float, vds: float, vbs: float) -> float:
+        """Channel current into the drain terminal [A], polarity-aware.
+
+        For NMOS, positive for vds > 0 in conduction; for PMOS the
+        reflected value (negative when the device conducts normally).
+        Gate-leakage current (post-BD) is NOT included here — it is a
+        separate linear path handled by the stamps.
+        """
+        if self.params.polarity == "n":
+            return self._ids_nmos(vgs, vds, vbs)
+        return -self._ids_nmos(-vgs, -vds, -vbs)
+
+    # ------------------------------------------------------------------
+    # Terminal voltages and linearization
+    # ------------------------------------------------------------------
+    def _terminal_voltages(self, x: np.ndarray) -> Tuple[float, float, float]:
+        d, g, s, b = self.nodes
+        vd = x[d] if d >= 0 else 0.0
+        vg = x[g] if g >= 0 else 0.0
+        vs = x[s] if s >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        return float(vg - vs), float(vd - vs), float(vb - vs)
+
+    def linearize(self, vgs: float, vds: float, vbs: float
+                  ) -> Tuple[float, float, float, float]:
+        """Return ``(ids, gm, gds, gmb)`` at the given bias.
+
+        Derivatives are central finite differences of the polarity-aware
+        current — exact signs for both device types without chain-rule
+        bookkeeping.
+        """
+        h = _FD_STEP_V
+        ids = self.drain_current(vgs, vds, vbs)
+        gm = (self.drain_current(vgs + h, vds, vbs)
+              - self.drain_current(vgs - h, vds, vbs)) / (2.0 * h)
+        gds = (self.drain_current(vgs, vds + h, vbs)
+               - self.drain_current(vgs, vds - h, vbs)) / (2.0 * h)
+        gmb = (self.drain_current(vgs, vds, vbs + h)
+               - self.drain_current(vgs, vds, vbs - h)) / (2.0 * h)
+        return ids, gm, gds, gmb
+
+    def operating_point(self, x: np.ndarray) -> OperatingPoint:
+        """Summarise the device bias under DC solution ``x``."""
+        vgs, vds, vbs = self._terminal_voltages(x)
+        ids, gm, gds, gmb = self.linearize(vgs, vds, vbs)
+        # Region classification in NMOS convention.
+        sign = 1.0 if self.params.polarity == "n" else -1.0
+        vgs_n, vds_n, vbs_n = sign * vgs, sign * vds, sign * vbs
+        vov = vgs_n - self._threshold(vbs_n)
+        phit = units.thermal_voltage(self.params.temperature_k)
+        if vov < 2.0 * phit:
+            region = "cutoff"
+        elif vds_n < vov / self.params.n_slope:
+            region = "triode"
+        else:
+            region = "saturation"
+        return OperatingPoint(ids_a=ids, vgs_v=vgs, vds_v=vds, vbs_v=vbs,
+                              gm_s=gm, gds_s=gds, gmb_s=gmb, region=region)
+
+    # ------------------------------------------------------------------
+    # Stamps
+    # ------------------------------------------------------------------
+    def _stamp_channel(self, st: Stamper, x: np.ndarray) -> None:
+        d, g, s, b = self.nodes
+        vgs, vds, vbs = self._terminal_voltages(x)
+        ids, gm, gds, gmb = self.linearize(vgs, vds, vbs)
+        # Companion current source: ieq = ids − gm·vgs − gds·vds − gmb·vbs.
+        ieq = ids - gm * vgs - gds * vds - gmb * vbs
+        # Jacobian entries (drain row; source row mirrored).
+        st.matrix(d, g, gm)
+        st.matrix(d, d, gds)
+        st.matrix(d, b, gmb)
+        st.matrix(d, s, -(gm + gds + gmb))
+        st.matrix(s, g, -gm)
+        st.matrix(s, d, -gds)
+        st.matrix(s, b, -gmb)
+        st.matrix(s, s, gm + gds + gmb)
+        # Current ieq leaves the drain, enters the source.
+        st.current(d, -ieq)
+        st.current(s, ieq)
+
+    def _stamp_gate_leak(self, st: Stamper) -> None:
+        leak = self.degradation.gate_leak_s
+        if leak <= 0.0:
+            return
+        d, g, s, b = self.nodes
+        pos = self.degradation.bd_spot_position
+        # BD spot near the drain (pos→1) puts the leak across gate-drain.
+        st.conductance(g, d, leak * pos)
+        st.conductance(g, s, leak * (1.0 - pos))
+
+    def stamp_dc(self, st: Stamper, x: np.ndarray, t: float = 0.0) -> None:
+        self._stamp_channel(st, x)
+        self._stamp_gate_leak(st)
+
+    def stamp_ac(self, st: Stamper, omega: float, op: np.ndarray) -> None:
+        d, g, s, b = self.nodes
+        vgs, vds, vbs = self._terminal_voltages(op)
+        _, gm, gds, gmb = self.linearize(vgs, vds, vbs)
+        st.transconductance(d, s, g, s, gm)
+        st.conductance(d, s, gds)
+        st.transconductance(d, s, b, s, gmb)
+        self._stamp_gate_leak(st)
+        # Simple Meyer-style gate capacitance: 2/3 of total Cox to source
+        # in saturation; adequate for the AC analyses this library runs.
+        cgs = (2.0 / 3.0) * self.params.cox_total_f
+        st.conductance(g, s, 1j * omega * cgs)
+
+    # ------------------------------------------------------------------
+    # Stress-related helpers used by the aging engines
+    # ------------------------------------------------------------------
+    def oxide_field(self, vgs: float) -> float:
+        """Vertical oxide field magnitude at gate-source bias ``vgs`` [V/m]."""
+        return units.oxide_field(vgs, self.params.tox_m)
+
+    def lateral_field(self, vds: float) -> float:
+        """Crude maximum lateral channel field |vds|/L [V/m] (HCI driver)."""
+        return abs(vds) / self.params.l_m
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (f"<Mosfet {self.name} {p.polarity} W={p.w_um:.3g}µm "
+                f"L={p.l_um:.3g}µm>")

@@ -1,0 +1,139 @@
+"""Fixed-step transient analysis.
+
+Integration methods: trapezoidal (default — accurate for the sinusoidal
+EMC experiments) and backward Euler (L-stable, useful for stiff switching
+circuits).  Each timestep is a damped Newton solve of the companion-model
+system; charge-storage elements keep their history in per-element state
+dicts managed here.
+
+The fixed step keeps results deterministic and reproducible, which the
+benchmark harness relies on.  Choose ``dt`` ≤ 1/50 of the fastest signal
+period; the EMC helpers in :mod:`repro.core.emc_analysis` do this
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.dc import DcSolution, NewtonOptions, dc_operating_point, newton_solve
+from repro.circuit.elements import VoltageSource
+from repro.circuit.mna import Stamper
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveform import Waveform
+
+_METHODS = ("trapezoidal", "backward_euler")
+
+
+@dataclass
+class TransientResult:
+    """Sampled node voltages and branch currents over time."""
+
+    circuit: Circuit
+    times: np.ndarray
+    """Sample instants [s], including t = 0."""
+
+    states: np.ndarray
+    """Solution matrix, shape ``(len(times), n_unknowns)``."""
+
+    def voltage(self, node_name: str) -> Waveform:
+        """Waveform of a node voltage."""
+        idx = self.circuit.node(node_name)
+        if idx < 0:
+            return Waveform(self.times, np.zeros_like(self.times))
+        return Waveform(self.times, self.states[:, idx])
+
+    def differential(self, node_plus: str, node_minus: str) -> Waveform:
+        """Waveform of ``v(node_plus) − v(node_minus)``."""
+        return self.voltage(node_plus) - self.voltage(node_minus)
+
+    def source_current(self, source_name: str) -> Waveform:
+        """Branch-current waveform of a voltage source (n+ → n-)."""
+        element = self.circuit[source_name]
+        if not isinstance(element, VoltageSource):
+            raise TypeError(f"{source_name!r} is not a voltage source")
+        return Waveform(self.times, self.states[:, element.branches[0]])
+
+    def device_bias(self, device_name: str) -> Dict[str, Waveform]:
+        """``{"vgs", "vds", "vbs", "ids"}`` waveforms of a MOSFET.
+
+        This is the input of the waveform-driven stress extraction
+        (paper §3: degradation depends on the applied voltages).
+        """
+        element = self.circuit[device_name]
+        if not isinstance(element, Mosfet):
+            raise TypeError(f"{device_name!r} is not a MOSFET")
+        d, g, s, b = element.nodes
+
+        def node_col(idx: int) -> np.ndarray:
+            if idx < 0:
+                return np.zeros(len(self.times))
+            return self.states[:, idx]
+
+        vd, vg, vs, vb = (node_col(i) for i in (d, g, s, b))
+        ids = np.array([
+            element.drain_current(float(vgi - vsi), float(vdi - vsi), float(vbi - vsi))
+            for vgi, vsi, vdi, vbi in zip(vg, vs, vd, vb)
+        ])
+        return {
+            "vgs": Waveform(self.times, vg - vs),
+            "vds": Waveform(self.times, vd - vs),
+            "vbs": Waveform(self.times, vb - vs),
+            "ids": Waveform(self.times, ids),
+        }
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              method: str = "trapezoidal",
+              initial_op: Optional[DcSolution] = None,
+              options: Optional[NewtonOptions] = None) -> TransientResult:
+    """Integrate the circuit from its DC operating point to ``t_stop``.
+
+    Sources follow their time-dependent specs; the t = 0 point is the DC
+    solution (sources at their DC value), matching SPICE's default
+    (no-UIC) behaviour.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if dt <= 0.0 or t_stop <= 0.0:
+        raise ValueError("t_stop and dt must be positive")
+    if dt > t_stop:
+        raise ValueError("dt exceeds t_stop")
+
+    circuit.compile()
+    size = circuit.n_unknowns
+    n_nodes = circuit.n_nodes
+    opts = options if options is not None else NewtonOptions()
+
+    op = initial_op if initial_op is not None else dc_operating_point(circuit, options=opts)
+    x = np.array(op.x, dtype=float)
+
+    elements = circuit.elements
+    element_states: List[dict] = [dict() for _ in elements]
+    for element, state in zip(elements, element_states):
+        element.init_state(x, state)
+
+    n_steps = int(round(t_stop / dt))
+    times = np.empty(n_steps + 1)
+    states = np.empty((n_steps + 1, size))
+    times[0] = 0.0
+    states[0] = x
+
+    for step in range(1, n_steps + 1):
+        t = step * dt
+
+        def stamp(st: Stamper, x_guess: np.ndarray, _t: float = t) -> None:
+            for element, state in zip(elements, element_states):
+                element.stamp_transient(st, x_guess, state, _t, dt, method)
+
+        x = newton_solve(stamp, size, n_nodes, x0=x, options=opts)
+        for element, state in zip(elements, element_states):
+            element.update_state(x, state, t, dt, method)
+        times[step] = t
+        states[step] = x
+
+    return TransientResult(circuit=circuit, times=times, states=states)

@@ -1,0 +1,216 @@
+"""Sampled waveforms.
+
+Transient analysis produces one :class:`Waveform` per circuit node or
+branch.  The stress-extraction step of the aging engine
+(:mod:`repro.core.aging_simulator`) and the EMC rectification analysis
+(:mod:`repro.core.emc_analysis`) both consume waveforms, so the class
+carries the handful of reductions they need (mean, RMS, duty cycle,
+peak) plus interpolation and algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """An immutable sampled signal ``value(time)``.
+
+    ``times`` must be strictly increasing; ``values`` has the same length.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValueError("times and values must be 1-D arrays")
+        if times.shape != values.shape:
+            raise ValueError(
+                f"times and values length mismatch: {times.shape} vs {values.shape}")
+        if times.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(times) <= 0.0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_function(func: Callable[[np.ndarray], np.ndarray],
+                      t_stop: float, n_samples: int = 1001,
+                      t_start: float = 0.0) -> "Waveform":
+        """Sample ``func`` uniformly on ``[t_start, t_stop]``."""
+        if t_stop <= t_start:
+            raise ValueError("t_stop must exceed t_start")
+        times = np.linspace(t_start, t_stop, n_samples)
+        return Waveform(times, np.asarray(func(times), dtype=float))
+
+    @staticmethod
+    def constant(value: float, t_stop: float, t_start: float = 0.0) -> "Waveform":
+        """A two-sample constant waveform."""
+        return Waveform(np.array([t_start, t_stop]),
+                        np.array([value, value], dtype=float))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Total spanned time [s]."""
+        return float(self.times[-1] - self.times[0])
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def sample(self, t: Union[Number, np.ndarray]) -> Union[float, np.ndarray]:
+        """Linear interpolation at time(s) ``t`` (clamped at the ends)."""
+        result = np.interp(t, self.times, self.values)
+        if np.isscalar(t):
+            return float(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reductions (time-weighted via trapezoidal integration)
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Time-averaged value over the waveform span."""
+        return float(np.trapezoid(self.values, self.times) / self.duration)
+
+    def rms(self) -> float:
+        """Root-mean-square value over the waveform span."""
+        return float(np.sqrt(np.trapezoid(self.values ** 2, self.times) / self.duration))
+
+    def peak(self) -> float:
+        """Maximum value."""
+        return float(np.max(self.values))
+
+    def trough(self) -> float:
+        """Minimum value."""
+        return float(np.min(self.values))
+
+    def peak_to_peak(self) -> float:
+        """Peak-to-peak excursion."""
+        return self.peak() - self.trough()
+
+    def duty_above(self, threshold: float) -> float:
+        """Fraction of time the signal spends above ``threshold``.
+
+        This is the duty-factor input of the AC-stress NBTI model (§3.3):
+        a PMOS gate waveform's time below -|V_T| maps to stress duty.
+        """
+        above = (self.values > threshold).astype(float)
+        return float(np.trapezoid(above, self.times) / self.duration)
+
+    def time_average_of(self, func: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Time average of ``func(values)`` — e.g. mean of exp(V/V0)."""
+        return float(np.trapezoid(func(self.values), self.times) / self.duration)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _binary(self, other: Union["Waveform", Number],
+                op: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> "Waveform":
+        if isinstance(other, Waveform):
+            other_values = other.sample(self.times)
+        else:
+            other_values = np.full_like(self.values, float(other))
+        return Waveform(self.times, op(self.values, other_values))
+
+    def __add__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.multiply)
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self.times, -self.values)
+
+    def abs(self) -> "Waveform":
+        """Pointwise absolute value."""
+        return Waveform(self.times, np.abs(self.values))
+
+    def clip(self, lo: float, hi: float) -> "Waveform":
+        """Pointwise clamp to ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError("clip bounds reversed")
+        return Waveform(self.times, np.clip(self.values, lo, hi))
+
+    def to_csv(self, header: str = "value") -> str:
+        """Serialize as two-column CSV text (``time,<header>``)."""
+        lines = [f"time,{header}"]
+        lines.extend(f"{float(t)!r},{float(v)!r}"
+                     for t, v in zip(self.times, self.values))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_csv(text: str) -> "Waveform":
+        """Parse a two-column CSV produced by :meth:`to_csv`."""
+        rows = [line for line in text.strip().splitlines() if line]
+        if len(rows) < 3:
+            raise ValueError("CSV needs a header and at least two samples")
+        times = []
+        values = []
+        for row in rows[1:]:
+            t_str, _, v_str = row.partition(",")
+            times.append(float(t_str))
+            values.append(float(v_str))
+        return Waveform(np.array(times), np.array(values))
+
+    def spectrum(self) -> tuple:
+        """Single-sided amplitude spectrum ``(freqs_hz, amplitudes)``.
+
+        The waveform is resampled onto a uniform grid (transient output
+        already is uniform, so this is a no-op there), mean retained at
+        DC.  Amplitudes are peak values: a pure ``A·sin`` tone shows A at
+        its frequency.  Used by the EMC emission estimates and jitter
+        diagnostics.
+        """
+        n = len(self.times)
+        uniform_t = np.linspace(self.times[0], self.times[-1], n)
+        values = np.interp(uniform_t, self.times, self.values)
+        dt = uniform_t[1] - uniform_t[0]
+        spectrum = np.fft.rfft(values)
+        freqs = np.fft.rfftfreq(n, dt)
+        amplitudes = np.abs(spectrum) / n
+        amplitudes[1:] *= 2.0  # single-sided
+        return freqs, amplitudes
+
+    def dominant_frequency(self) -> float:
+        """Frequency of the largest non-DC spectral line [Hz]."""
+        freqs, amplitudes = self.spectrum()
+        if len(freqs) < 2:
+            raise ValueError("waveform too short for spectral analysis")
+        k = int(np.argmax(amplitudes[1:])) + 1
+        return float(freqs[k])
+
+    def last_period(self, period: float) -> "Waveform":
+        """Restrict to the final ``period`` seconds (steady-state window).
+
+        EMC and stress analyses discard the start-up transient by keeping
+        only the last few excitation periods.
+        """
+        if period <= 0.0:
+            raise ValueError("period must be positive")
+        t_cut = self.times[-1] - period
+        if t_cut <= self.times[0]:
+            return self
+        mask = self.times >= t_cut
+        # Keep one sample before the cut for interpolation continuity.
+        first = int(np.argmax(mask))
+        if first > 0:
+            first -= 1
+        return Waveform(self.times[first:], self.values[first:])

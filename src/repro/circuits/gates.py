@@ -1,0 +1,116 @@
+"""Static CMOS logic gates beyond the inverter.
+
+NAND2/NOR2 builders plus a truth-table checker that drives every input
+combination and verifies rail-to-rail outputs — the functional-test
+primitive used by the TDDB "does one breakdown kill the gate?"
+experiments and by variability studies on logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import DcSpec
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.circuits.digital import PN_RATIO
+from repro.circuits.references import CircuitFixture
+from repro.technology.node import TechnologyNode
+
+
+def nand2(tech: TechnologyNode, wn_m: Optional[float] = None,
+          wp_m: Optional[float] = None,
+          l_m: Optional[float] = None) -> CircuitFixture:
+    """A 2-input static CMOS NAND gate (series NMOS, parallel PMOS).
+
+    The series NMOS stack is drawn 2× wide to balance the pull-down.
+    Inputs ``a``, ``b``; output ``y``.
+    """
+    length = l_m if l_m is not None else tech.lmin_m
+    wn = wn_m if wn_m is not None else 4.0 * tech.wmin_m
+    wp = wp_m if wp_m is not None else PN_RATIO * wn
+    ckt = Circuit("nand2")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.voltage_source("va", "a", "0", 0.0)
+    ckt.voltage_source("vb", "b", "0", 0.0)
+    ckt.mosfet(Mosfet.from_technology(
+        "mna", "y", "a", "x", "0", tech, "n", w_m=2 * wn, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mnb", "x", "b", "0", "0", tech, "n", w_m=2 * wn, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mpa", "y", "a", "vdd", "vdd", tech, "p", w_m=wp, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mpb", "y", "b", "vdd", "vdd", tech, "p", w_m=wp, l_m=length))
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"a": "a", "b": "b", "y": "y"},
+        devices={"n_a": "mna", "n_b": "mnb", "p_a": "mpa", "p_b": "mpb"},
+        meta={"function": 0b0111},  # y for (a,b) = 11,10,01,00 → 0,1,1,1
+    )
+
+
+def nor2(tech: TechnologyNode, wn_m: Optional[float] = None,
+         wp_m: Optional[float] = None,
+         l_m: Optional[float] = None) -> CircuitFixture:
+    """A 2-input static CMOS NOR gate (parallel NMOS, series PMOS).
+
+    The series PMOS stack is drawn 2× wide.  Inputs ``a``, ``b``;
+    output ``y``.
+    """
+    length = l_m if l_m is not None else tech.lmin_m
+    wn = wn_m if wn_m is not None else 4.0 * tech.wmin_m
+    wp = wp_m if wp_m is not None else PN_RATIO * wn
+    ckt = Circuit("nor2")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.voltage_source("va", "a", "0", 0.0)
+    ckt.voltage_source("vb", "b", "0", 0.0)
+    ckt.mosfet(Mosfet.from_technology(
+        "mna", "y", "a", "0", "0", tech, "n", w_m=wn, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mnb", "y", "b", "0", "0", tech, "n", w_m=wn, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mpa", "x", "a", "vdd", "vdd", tech, "p", w_m=2 * wp, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "mpb", "y", "b", "x", "vdd", tech, "p", w_m=2 * wp, l_m=length))
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"a": "a", "b": "b", "y": "y"},
+        devices={"n_a": "mna", "n_b": "mnb", "p_a": "mpa", "p_b": "mpb"},
+        meta={"function": 0b0001},  # y for 11,10,01,00 → 0,0,0,1
+    )
+
+
+def gate_truth_table(fixture: CircuitFixture,
+                     logic_threshold: float = 0.5) -> List[Tuple[int, int, int]]:
+    """Drive all four input combinations; return ``(a, b, y)`` triples.
+
+    ``y`` is 1/0 when the output settles within ``logic_threshold`` of a
+    rail, -1 when it hangs mid-rail (a broken gate).
+    """
+    ckt = fixture.circuit
+    vdd = ckt["vdd"].spec.dc_value()
+    rows = []
+    for a in (0, 1):
+        for b in (0, 1):
+            ckt["va"].spec = DcSpec(a * vdd)
+            ckt["vb"].spec = DcSpec(b * vdd)
+            vy = dc_operating_point(ckt).voltage(fixture.nodes["y"])
+            if vy > vdd * (1.0 - logic_threshold / 2.0):
+                y = 1
+            elif vy < vdd * logic_threshold / 2.0:
+                y = 0
+            else:
+                y = -1
+            rows.append((a, b, y))
+    return rows
+
+
+def gate_is_functional(fixture: CircuitFixture) -> bool:
+    """True when the gate realizes its nominal truth table rail-to-rail."""
+    expected = fixture.meta["function"]
+    for a, b, y in gate_truth_table(fixture):
+        want = (int(expected) >> (a * 2 + b)) & 1
+        if y != want:
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""Two-stage Miller-compensated operational amplifier.
+
+The workhorse analog block for the paper's variability/aging studies at
+higher complexity than the 5T OTA: eight devices, two gain stages, a
+compensation network — enough structure for realistic offset statistics,
+NBTI-induced drift in the PMOS loads/second stage, and stability
+analysis (phase margin) under degradation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.ac import ac_analysis, logspace_frequencies
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.circuits.references import CircuitFixture
+from repro.technology.node import TechnologyNode
+
+
+def two_stage_opamp(tech: TechnologyNode, i_tail_a: float = 40e-6,
+                    w_in_m: float = 20e-6, w_load_m: float = 8e-6,
+                    w_second_m: float = 40e-6,
+                    l_m: Optional[float] = None,
+                    c_miller_f: float = 1e-12,
+                    r_zero_ohm: float = 2e3,
+                    c_load_f: float = 2e-12) -> CircuitFixture:
+    """Classic two-stage opamp: NMOS input pair with PMOS mirror load,
+    PMOS common-source second stage, Miller R-C compensation.
+
+    Bias currents are supplied by ideal sinks/sources (the bias
+    generator is a separate fixture in a real flow); nodes: ``inp``,
+    ``inn``, ``first`` (1st-stage output), ``out``.
+    """
+    if i_tail_a <= 0.0 or c_miller_f <= 0.0 or c_load_f <= 0.0:
+        raise ValueError("bias current and capacitors must be positive")
+    length = l_m if l_m is not None else 4.0 * tech.lmin_m
+    vcm = 0.55 * tech.vdd
+    ckt = Circuit("two-stage opamp")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.voltage_source("vinp", "inp", "0", vcm, ac_mag=0.5)
+    ckt.voltage_source("vinn", "inn", "0", vcm, ac_mag=-0.5)
+    # First stage.
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "d1", "inp", "tail", "0", tech, "n", w_m=w_in_m, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "m2", "first", "inn", "tail", "0", tech, "n", w_m=w_in_m, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "m3", "d1", "d1", "vdd", "vdd", tech, "p", w_m=w_load_m, l_m=length))
+    ckt.mosfet(Mosfet.from_technology(
+        "m4", "first", "d1", "vdd", "vdd", tech, "p", w_m=w_load_m,
+        l_m=length))
+    ckt.current_source("itail", "tail", "0", i_tail_a)
+    # Second stage: PMOS common source with an ideal sink load.
+    ckt.mosfet(Mosfet.from_technology(
+        "m5", "out", "first", "vdd", "vdd", tech, "p", w_m=w_second_m,
+        l_m=length))
+    ckt.current_source("isink", "out", "0", 2.0 * i_tail_a)
+    # A real current-sink transistor has finite output resistance; the
+    # parallel resistor models it and keeps the DC output bounded when
+    # the second stage rails during sweeps.
+    ckt.resistor("rsink", "out", "0", 200e3)
+    # Miller compensation with nulling resistor.
+    ckt.resistor("rz", "first", "comp", r_zero_ohm)
+    ckt.capacitor("cc", "comp", "out", c_miller_f)
+    ckt.capacitor("cl", "out", "0", c_load_f)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"inp": "inp", "inn": "inn", "first": "first", "out": "out",
+               "tail": "tail", "mirror": "d1"},
+        devices={"pair_a": "m1", "pair_b": "m2", "load_diode": "m3",
+                 "load_mirror": "m4", "second": "m5"},
+        meta={"i_tail_a": i_tail_a, "vcm_v": vcm,
+              "c_miller_f": c_miller_f},
+    )
+
+
+def open_loop_gain(fixture: CircuitFixture,
+                   frequency_hz: float = 100.0) -> float:
+    """Low-frequency differential gain magnitude."""
+    result = ac_analysis(fixture.circuit, [frequency_hz])
+    return float(np.abs(result.voltage(fixture.nodes["out"]))[0])
+
+
+def phase_margin_deg(fixture: CircuitFixture, f_start: float = 1e2,
+                     f_stop: float = 20e9) -> float:
+    """Phase margin at the unity-gain crossover [degrees].
+
+    Uses the differential AC drive baked into the fixture (±0.5 V AC),
+    so the response IS the open-loop transfer function.
+    """
+    freqs = logspace_frequencies(f_start, f_stop, points_per_decade=24)
+    result = ac_analysis(fixture.circuit, freqs)
+    response = result.voltage(fixture.nodes["out"])
+    mag = np.abs(response)
+    below = np.where(mag < 1.0)[0]
+    if below.size == 0 or below[0] == 0:
+        raise ValueError("gain does not cross unity in the swept range")
+    k = int(below[0])
+    # Interpolate the crossover frequency and phase (unwrapped).
+    phase = np.unwrap(np.angle(response))
+    frac = (np.log(mag[k - 1]) / (np.log(mag[k - 1]) - np.log(mag[k])))
+    phase_at_ugf = phase[k - 1] + frac * (phase[k] - phase[k - 1])
+    # The amp inverts... reference phase is the DC phase; margin is the
+    # distance of the accumulated EXTRA lag from 180 degrees.
+    lag_deg = math.degrees(abs(phase_at_ugf - phase[0]))
+    return 180.0 - lag_deg
+
+
+def unity_gain_frequency_hz(fixture: CircuitFixture, f_start: float = 1e2,
+                            f_stop: float = 20e9) -> float:
+    """Unity-gain crossover frequency [Hz]."""
+    freqs = logspace_frequencies(f_start, f_stop, points_per_decade=24)
+    result = ac_analysis(fixture.circuit, freqs)
+    mag = np.abs(result.voltage(fixture.nodes["out"]))
+    below = np.where(mag < 1.0)[0]
+    if below.size == 0 or below[0] == 0:
+        raise ValueError("gain does not cross unity in the swept range")
+    k = int(below[0])
+    f1, f2 = freqs[k - 1], freqs[k]
+    g1, g2 = mag[k - 1], mag[k]
+    frac = np.log(g1) / (np.log(g1) - np.log(g2))
+    return float(f1 * (f2 / f1) ** frac)

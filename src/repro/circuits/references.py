@@ -1,0 +1,264 @@
+"""Bias/reference circuits, including the paper's Fig 3 victim.
+
+The Fig 3 circuit of the paper is a current reference whose *input
+filtering harms its EMC behaviour*: a simple NMOS current mirror whose
+output gate is low-pass filtered.  The rectification story (Fig 4):
+
+* the diode-connected input device M1 is forced to carry I_REF on
+  average; under a superimposed tone its square-law nonlinearity makes
+  the *mean* gate voltage drop (E[(V_GS−V_T)²] is fixed ⇒ E[V_GS−V_T]
+  shrinks as the swing grows);
+* the R·C filter hands that *reduced mean* to the output device M2, so
+  the mean output current is pumped to a LOWER value;
+* without the filter, M2 sees the full swing and its own square law
+  re-expands the mean — the unfiltered mirror is far less susceptible.
+
+Builders return a :class:`CircuitFixture` naming the interesting nodes
+and devices so analyses and benchmarks stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.technology.node import TechnologyNode
+
+
+@dataclass
+class CircuitFixture:
+    """A built circuit plus its landmark node/device names."""
+
+    circuit: Circuit
+    nodes: Dict[str, str] = field(default_factory=dict)
+    """Role → node name (e.g. ``{"out": "out"}``)."""
+
+    devices: Dict[str, str] = field(default_factory=dict)
+    """Role → element name (e.g. ``{"mirror_in": "m1"}``)."""
+
+    meta: Dict[str, float] = field(default_factory=dict)
+    """Numeric facts other code needs (bias levels, expected values)."""
+
+
+def simple_current_mirror(tech: TechnologyNode, i_ref_a: float = 100e-6,
+                          w_m: float = 10e-6, l_m: float = 1e-6,
+                          mirror_ratio: float = 1.0,
+                          v_out_v: float = None) -> CircuitFixture:
+    """A plain two-transistor NMOS current mirror.
+
+    ``iref`` pulls I_REF out of the diode node from VDD; the output
+    device drains into a voltage source (acting as an ideal load) so the
+    output current is directly readable as that source's branch current.
+    """
+    if i_ref_a <= 0.0:
+        raise ValueError("reference current must be positive")
+    if mirror_ratio <= 0.0:
+        raise ValueError("mirror ratio must be positive")
+    v_out = v_out_v if v_out_v is not None else tech.vdd / 2.0
+    ckt = Circuit("simple current mirror")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.current_source("iref", "vdd", "din", i_ref_a)
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "din", "din", "0", "0", tech, "n", w_m=w_m, l_m=l_m))
+    ckt.mosfet(Mosfet.from_technology(
+        "m2", "out", "din", "0", "0", tech, "n",
+        w_m=w_m * mirror_ratio, l_m=l_m))
+    ckt.voltage_source("vout", "out", "0", v_out)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"diode": "din", "out": "out"},
+        devices={"mirror_in": "m1", "mirror_out": "m2"},
+        meta={"i_ref_a": i_ref_a, "mirror_ratio": mirror_ratio},
+    )
+
+
+def filtered_current_reference(tech: TechnologyNode, i_ref_a: float = 100e-6,
+                               w_m: float = 10e-6, l_m: float = 1e-6,
+                               r_filter_ohm: float = 10e3,
+                               c_filter_f: float = 10e-12,
+                               filtered: bool = True) -> CircuitFixture:
+    """The paper's Fig 3 circuit: current reference with gate filtering.
+
+    With ``filtered=True`` an R–C low-pass sits between the diode node
+    and M2's gate (the EMC-harmful configuration); with ``filtered=False``
+    the gate ties straight to the diode node (the robust configuration).
+    The EMI tone is meant to be coupled onto the ``din`` node with
+    :func:`repro.emc.add_dpi_injection`.
+    """
+    if i_ref_a <= 0.0:
+        raise ValueError("reference current must be positive")
+    if r_filter_ohm <= 0.0 or c_filter_f <= 0.0:
+        raise ValueError("filter R and C must be positive")
+    ckt = Circuit("filtered current reference (Fig 3)")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.current_source("iref", "vdd", "din", i_ref_a)
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "din", "din", "0", "0", tech, "n", w_m=w_m, l_m=l_m))
+    gate_node = "gate" if filtered else "din"
+    if filtered:
+        ckt.resistor("rf", "din", "gate", r_filter_ohm)
+        ckt.capacitor("cf", "gate", "0", c_filter_f)
+    ckt.mosfet(Mosfet.from_technology(
+        "m2", "out", gate_node, "0", "0", tech, "n", w_m=w_m, l_m=l_m))
+    ckt.voltage_source("vout", "out", "0", tech.vdd / 2.0)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"diode": "din", "gate": gate_node, "out": "out"},
+        devices={"mirror_in": "m1", "mirror_out": "m2"},
+        meta={"i_ref_a": i_ref_a,
+              "filter_pole_hz": (1.0 / (6.283185307179586
+                                        * r_filter_ohm * c_filter_f))
+              if filtered else float("inf"),
+              "filtered": 1.0 if filtered else 0.0},
+    )
+
+
+def beta_multiplier_reference(tech: TechnologyNode, w_m: float = 20e-6,
+                              l_m: float = 2e-6, ratio: float = 4.0,
+                              r_set_ohm: float = 2e3) -> CircuitFixture:
+    """A self-biased β-multiplier (constant-gm) current reference.
+
+    Two mirrored branches: PMOS mirror on top forces equal currents;
+    the NMOS pair with a W-ratio of ``ratio`` and source resistor sets
+    I = 2/(β·R²)·(1−1/√ratio)² (square-law estimate).  A classic victim
+    for supply-borne EMI and a aging testbench (all four devices see DC
+    stress).
+    """
+    if ratio <= 1.0:
+        raise ValueError("beta-multiplier ratio must exceed 1")
+    if r_set_ohm <= 0.0:
+        raise ValueError("set resistor must be positive")
+    ckt = Circuit("beta multiplier reference")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    # PMOS mirror (diode on branch A).
+    ckt.mosfet(Mosfet.from_technology(
+        "mp1", "na", "na", "vdd", "vdd", tech, "p", w_m=2 * w_m, l_m=l_m))
+    ckt.mosfet(Mosfet.from_technology(
+        "mp2", "nb", "na", "vdd", "vdd", tech, "p", w_m=2 * w_m, l_m=l_m))
+    # NMOS pair (diode on branch B); M_n2 is 'ratio' times wider with a
+    # source degeneration resistor.
+    ckt.mosfet(Mosfet.from_technology(
+        "mn1", "na", "nb", "0", "0", tech, "n", w_m=w_m, l_m=l_m))
+    ckt.mosfet(Mosfet.from_technology(
+        "mn2", "nb", "nb", "ns", "0", tech, "n", w_m=ratio * w_m, l_m=l_m))
+    ckt.resistor("rset", "ns", "0", r_set_ohm)
+    # Startup: a weak pull makes the zero-current solution infeasible.
+    ckt.resistor("rstart", "vdd", "nb", 1e6)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"branch_a": "na", "branch_b": "nb", "source": "ns"},
+        devices={"p_diode": "mp1", "p_mirror": "mp2",
+                 "n_mirror": "mn1", "n_diode": "mn2"},
+        meta={"ratio": ratio, "r_set_ohm": r_set_ohm},
+    )
+
+
+def emc_hardened_current_reference(tech: TechnologyNode,
+                                   i_ref_a: float = 100e-6,
+                                   w_m: float = 10e-6, l_m: float = 1e-6,
+                                   r_degen_ohm: float = 2e3,
+                                   r_filter_ohm: float = 10e3,
+                                   c_filter_f: float = 10e-12) -> CircuitFixture:
+    """An EMC-insensitive variant of the Fig 3 reference (paper §5.3).
+
+    Ref [33] (Redouté & Steyaert) hardens current mirrors against
+    conducted EMI.  The variant implemented here uses **source
+    degeneration**: resistors in both source legs linearize the
+    current–voltage law around the bias point, and rectification — a
+    second-order (curvature) effect — falls by roughly ``(1+gm·R_s)²``.
+    The gate filter of the original Fig 3 circuit is retained, so the
+    comparison against :func:`filtered_current_reference` isolates the
+    hardening itself (same topology, same filtering, same bias).
+    """
+    if i_ref_a <= 0.0:
+        raise ValueError("reference current must be positive")
+    if r_degen_ohm <= 0.0:
+        raise ValueError("degeneration resistance must be positive")
+    ckt = Circuit("EMC-hardened current reference")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.current_source("iref", "vdd", "din", i_ref_a)
+    ckt.mosfet(Mosfet.from_technology(
+        "m1", "din", "din", "s1", "0", tech, "n", w_m=w_m, l_m=l_m))
+    ckt.resistor("rs1", "s1", "0", r_degen_ohm)
+    ckt.resistor("rf", "din", "gate", r_filter_ohm)
+    ckt.capacitor("cf", "gate", "0", c_filter_f)
+    ckt.mosfet(Mosfet.from_technology(
+        "m2", "out", "gate", "s2", "0", tech, "n", w_m=w_m, l_m=l_m))
+    ckt.resistor("rs2", "s2", "0", r_degen_ohm)
+    ckt.voltage_source("vout", "out", "0", tech.vdd / 2.0)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"diode": "din", "gate": "gate", "out": "out"},
+        devices={"mirror_in": "m1", "mirror_out": "m2"},
+        meta={"i_ref_a": i_ref_a, "r_degen_ohm": r_degen_ohm},
+    )
+
+
+def solve_beta_multiplier(fixture: CircuitFixture):
+    """DC operating point of the β-multiplier in its CONDUCTING state.
+
+    Self-biased references have a degenerate (near-zero-current) DC
+    solution besides the wanted one; plain Newton from a zero guess can
+    land there.  This helper seeds the gate nodes near the conducting
+    state — the standard "nodeset" trick — and returns the
+    :class:`~repro.circuit.DcSolution`.
+    """
+    import numpy as np
+
+    from repro.circuit.dc import dc_operating_point
+    from repro.circuit.mna import ConvergenceError
+
+    ckt = fixture.circuit
+    ckt.compile()
+    vdd = ckt["vdd"].spec.dc_value()
+    nb = fixture.nodes["branch_b"]
+    na = fixture.nodes["branch_a"]
+    # A self-biased reference has several coexisting DC states (off,
+    # conducting, startup-latched).  Seed Newton from a small grid of
+    # gate voltages and keep the strongest conducting solution whose
+    # gate sits below the latched region — that is the state the
+    # startup circuit settles into in a real power-up transient.
+    best = None
+    best_current = -1.0
+    for nb_seed in (0.35, 0.42, 0.5, 0.58):
+        x0 = np.zeros(ckt.n_unknowns)
+        x0[ckt.node("vdd")] = vdd
+        x0[ckt.node(nb)] = nb_seed * vdd
+        x0[ckt.node(na)] = vdd - nb_seed * vdd
+        try:
+            solution = dc_operating_point(ckt, x0=x0)
+        except ConvergenceError:
+            continue
+        v_nb = solution.voltage(nb)
+        i_set = solution.voltage(fixture.nodes["source"]) / fixture.meta["r_set_ohm"]
+        if v_nb < 0.75 * vdd and i_set > best_current:
+            best = solution
+            best_current = i_set
+    if best is None:
+        raise ConvergenceError("no conducting beta-multiplier state found")
+    return best
+
+
+def resistor_divider_bias(tech: TechnologyNode, fraction: float = 0.5,
+                          r_total_ohm: float = 100e3) -> CircuitFixture:
+    """A resistive bias divider (linear — rectification-free control).
+
+    Useful as the EMC control experiment: a perfectly linear victim
+    shows ripple but NO rectified DC shift, isolating nonlinearity as
+    the rectification mechanism.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    if r_total_ohm <= 0.0:
+        raise ValueError("total resistance must be positive")
+    ckt = Circuit("resistive divider")
+    ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+    ckt.resistor("rtop", "vdd", "mid", (1.0 - fraction) * r_total_ohm)
+    ckt.resistor("rbot", "mid", "0", fraction * r_total_ohm)
+    return CircuitFixture(
+        circuit=ckt,
+        nodes={"out": "mid"},
+        meta={"nominal_v": fraction * tech.vdd},
+    )

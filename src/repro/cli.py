@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``nodes`` — list the shipped technology nodes with headline numbers;
+* ``node <name>`` — one node in full detail (device, mismatch, aging,
+  interconnect constants);
+* ``op <netlist> [--tech NODE]`` — parse a netlist file and print the DC
+  operating point (node voltages, source currents, device bias);
+* ``tran <netlist> --tstop T --dt DT [--tech NODE] [--nodes a,b]`` —
+  transient analysis; prints summary statistics per requested node;
+* ``aging <name>`` — the degradation outlook of a node: 10-year NBTI/
+  HCI shifts, TDDB characteristic life, EM MTTF at J_max.
+
+The CLI is a thin veneer over the library; everything it prints is
+available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.report import render_key_values, render_section, render_table
+
+
+def _cmd_nodes(args: argparse.Namespace) -> int:
+    from repro.technology import scaling_trend
+
+    rows = []
+    for tech in scaling_trend():
+        rows.append([tech.name, tech.tox_nm, tech.vdd, tech.vt0_n,
+                     tech.mismatch.a_vt_mv_um,
+                     tech.nominal_oxide_field() / 1e8])
+    print(render_table(
+        ["node", "tox [nm]", "VDD [V]", "VT0n [V]", "A_VT [mV.um]",
+         "E_ox [MV/cm]"], rows))
+    return 0
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.technology import get_node
+
+    tech = get_node(args.name)
+    device = [
+        ("minimum L", f"{tech.lmin_um} um"),
+        ("minimum W", f"{tech.wmin_um:.3f} um"),
+        ("tox", f"{tech.tox_nm} nm"),
+        ("VDD", f"{tech.vdd} V"),
+        ("VT0 n/p", f"{tech.vt0_n} / {tech.vt0_p} V"),
+        ("kp n/p", f"{tech.kp_n * 1e6:.0f} / {tech.kp_p * 1e6:.0f} uA/V^2"),
+        ("Cox", f"{tech.cox_f_per_m2 * 1e3:.2f} mF/m^2"),
+    ]
+    mismatch = [
+        ("A_VT", f"{tech.mismatch.a_vt_mv_um:.2f} mV.um"),
+        ("S_VT", f"{tech.mismatch.s_vt_mv_per_um:.4f} mV/um"),
+        ("A_beta", f"{tech.mismatch.a_beta_pct_um:.2f} %.um"),
+        ("short-channel L*", f"{tech.mismatch.short_channel_l_um:.3f} um"),
+    ]
+    aging = [
+        ("NBTI n / prefactor", f"{tech.aging.nbti_time_exponent} / "
+                               f"{tech.aging.nbti_prefactor_v * 1e3:.1f} mV"),
+        ("HCI n / 1s-ref dVT", f"{tech.aging.hci_time_exponent} / "
+                               f"{tech.aging.hci_prefactor_v * 1e6:.2f} uV"),
+        ("TDDB Weibull beta", f"{tech.aging.tddb_weibull_shape:.2f}"),
+        ("EM Ea", f"{tech.aging.em_ea_ev} eV"),
+        ("Blech (J.L)crit", f"{tech.aging.em_blech_product_a_per_m:.0f} A/m"),
+    ]
+    interconnect = [
+        ("resistivity", f"{tech.interconnect.resistivity_ohm_m * 1e8:.1f} "
+                        f"uOhm.cm"),
+        ("thickness", f"{tech.interconnect.thickness_m * 1e9:.0f} nm"),
+        ("J_max", f"{tech.interconnect.j_max_a_per_m2 / 1e10:.1f} MA/cm^2"),
+    ]
+    print(render_section(f"technology node {tech.name}",
+                         render_key_values(device)))
+    print(render_section("mismatch (Eq 1)", render_key_values(mismatch)))
+    print(render_section("degradation (section 3)", render_key_values(aging)))
+    print(render_section("interconnect", render_key_values(interconnect)))
+    return 0
+
+
+def _load_circuit(path: str, tech_name: Optional[str]):
+    from repro.circuit import parse_netlist
+    from repro.technology import get_node
+
+    tech = get_node(tech_name) if tech_name else None
+    with open(path, encoding="utf-8") as handle:
+        return parse_netlist(handle.read(), tech=tech)
+
+
+def _cmd_op(args: argparse.Namespace) -> int:
+    from repro.circuit import VoltageSource, dc_operating_point
+
+    circuit = _load_circuit(args.netlist, args.tech)
+    op = dc_operating_point(circuit)
+    volt_rows = [[name, op.voltage(name)] for name in circuit.node_names]
+    print(render_section(f"DC operating point: {circuit.title}",
+                         render_table(["node", "V"], volt_rows)))
+    src_rows = [[e.name, op.source_current(e.name)]
+                for e in circuit.elements if isinstance(e, VoltageSource)]
+    if src_rows:
+        print(render_section("voltage-source currents (n+ -> n-)",
+                             render_table(["source", "I [A]"], src_rows)))
+    dev_rows = []
+    for name, dev in op.all_device_ops().items():
+        dev_rows.append([name, dev.region, dev.ids_a, dev.vgs_v, dev.vds_v,
+                         dev.gm_s])
+    if dev_rows:
+        print(render_section(
+            "devices",
+            render_table(["device", "region", "Ids [A]", "Vgs [V]",
+                          "Vds [V]", "gm [S]"], dev_rows)))
+    return 0
+
+
+def _cmd_tran(args: argparse.Namespace) -> int:
+    from repro.circuit import transient
+
+    circuit = _load_circuit(args.netlist, args.tech)
+    result = transient(circuit, t_stop=args.tstop, dt=args.dt)
+    nodes = (args.nodes.split(",") if args.nodes
+             else circuit.node_names[:8])
+    rows = []
+    for node in nodes:
+        wave = result.voltage(node.strip())
+        rows.append([node.strip(), wave.mean(), wave.rms(), wave.trough(),
+                     wave.peak()])
+    print(render_section(
+        f"transient 0..{args.tstop:g}s (dt={args.dt:g}s): {circuit.title}",
+        render_table(["node", "mean", "rms", "min", "max"], rows)))
+    return 0
+
+
+def _cmd_aging(args: argparse.Namespace) -> int:
+    from repro.aging import (
+        ElectromigrationModel,
+        HciModel,
+        NbtiModel,
+        TddbModel,
+    )
+    from repro.circuit import Mosfet
+    from repro.technology import get_node
+
+    tech = get_node(args.name)
+    hot = units.celsius_to_kelvin(105.0)
+    ten_years = units.years_to_seconds(10.0)
+    nbti = NbtiModel(tech.aging)
+    hci = HciModel(tech.aging)
+    tddb = TddbModel(tech.aging)
+    em = ElectromigrationModel(tech.aging)
+    device = Mosfet.from_technology(
+        "m", "d", "g", "s", "b", tech, "n",
+        w_m=max(1e-6, 4 * tech.wmin_m), l_m=tech.lmin_m)
+    rows = [
+        ("NBTI dVT, 10yr DC @105C",
+         f"{nbti.delta_vt_v(tech.nominal_oxide_field(), hot, ten_years) * 1e3:.1f} mV"),
+        ("HCI dVT, 10yr worst-case DC",
+         f"{hci.delta_vt_v(device, tech.vdd / 2, tech.vdd, hot, ten_years) * 1e3:.1f} mV"),
+        ("TDDB eta @ nominal field",
+         f"{units.seconds_to_years(tddb.characteristic_life_s(tech.nominal_oxide_field(), 1.0)):.1f} years"),
+        ("EM MTTF @ J_max, 105C",
+         f"{units.seconds_to_years(em.black_mttf_s(tech.interconnect.j_max_a_per_m2, hot)):.1f} years"),
+    ]
+    print(render_section(f"10-year degradation outlook: {tech.name}",
+                         render_key_values(rows)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="yield & reliability analysis for nanometer CMOS "
+                    "(DATE 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("nodes", help="list technology nodes").set_defaults(
+        func=_cmd_nodes)
+
+    p_node = sub.add_parser("node", help="describe one technology node")
+    p_node.add_argument("name")
+    p_node.set_defaults(func=_cmd_node)
+
+    p_op = sub.add_parser("op", help="DC operating point of a netlist")
+    p_op.add_argument("netlist")
+    p_op.add_argument("--tech", default=None,
+                      help="technology node for MOSFET cards")
+    p_op.set_defaults(func=_cmd_op)
+
+    p_tran = sub.add_parser("tran", help="transient analysis of a netlist")
+    p_tran.add_argument("netlist")
+    p_tran.add_argument("--tstop", type=float, required=True)
+    p_tran.add_argument("--dt", type=float, required=True)
+    p_tran.add_argument("--tech", default=None)
+    p_tran.add_argument("--nodes", default=None,
+                        help="comma-separated nodes to report")
+    p_tran.set_defaults(func=_cmd_tran)
+
+    p_aging = sub.add_parser("aging",
+                             help="degradation outlook of a node")
+    p_aging.add_argument("name")
+    p_aging.set_defaults(func=_cmd_aging)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Analysis engines — the paper's "proper analysis tools at design time".
+
+* :class:`MonteCarloYield` / :class:`Specification` — §2 yield under
+  sampled variability;
+* :class:`ReliabilitySimulator` / :class:`MissionProfile` — §3 circuit
+  aging over a mission (simulate → stress-extract → degrade loop);
+* :mod:`repro.core.lifetime` — parametric + TDDB competing-risk
+  lifetime estimation;
+* :class:`EmcAnalyzer` — §4 susceptibility scans and immunity curves.
+"""
+
+from repro.core.aging_simulator import (
+    AgingReport,
+    MissionPhase,
+    MissionProfile,
+    ReliabilitySimulator,
+)
+from repro.core.breakdown_sim import (
+    BreakdownSample,
+    BreakdownSimulator,
+    BreakdownSurvival,
+)
+from repro.core.corners import CornerAnalysis, CornerResult, PvtPoint
+from repro.core.guardband import GuardbandReport, guardband_analysis
+from repro.core.sweeps import SweepResult, crossover, sweep
+from repro.core.emc_analysis import EmcAnalyzer, SusceptibilityMap
+from repro.core.importance import ImportanceResult, ImportanceSampler
+from repro.core.lifetime import (
+    LifetimeEstimator,
+    LifetimeSummary,
+    combined_survival,
+    mission_survival_probability,
+    reliability_yield,
+    tddb_survival_fn,
+    time_to_spec_violation,
+)
+from repro.core.yield_analysis import (
+    MonteCarloYield,
+    Specification,
+    YieldResult,
+    wilson_interval,
+)
+
+__all__ = [
+    "AgingReport",
+    "BreakdownSample",
+    "BreakdownSimulator",
+    "BreakdownSurvival",
+    "GuardbandReport",
+    "guardband_analysis",
+    "CornerAnalysis",
+    "CornerResult",
+    "PvtPoint",
+    "EmcAnalyzer",
+    "ImportanceResult",
+    "ImportanceSampler",
+    "LifetimeEstimator",
+    "LifetimeSummary",
+    "MissionPhase",
+    "MissionProfile",
+    "MonteCarloYield",
+    "ReliabilitySimulator",
+    "Specification",
+    "SusceptibilityMap",
+    "SweepResult",
+    "YieldResult",
+    "combined_survival",
+    "crossover",
+    "mission_survival_probability",
+    "reliability_yield",
+    "sweep",
+    "tddb_survival_fn",
+    "time_to_spec_violation",
+    "wilson_interval",
+]

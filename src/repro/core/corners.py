@@ -1,0 +1,140 @@
+"""Corner analysis: the systematic (inter-die) side of §2 yield.
+
+Intra-die mismatch is sampled by :class:`~repro.core.MonteCarloYield`;
+the *systematic* component — wafer-to-wafer and lot-to-lot shifts — is
+traditionally bounded by evaluating the design at the process corners
+(TT/FF/SS/FS/SF), optionally crossed with supply and temperature
+extremes (the full PVT matrix).  This engine runs a metric over that
+matrix and reports the worst case per spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.circuit.elements import DcSpec, VoltageSource
+from repro.circuit.mna import ConvergenceError, SingularCircuitError
+from repro.circuits.references import CircuitFixture
+from repro.core.yield_analysis import Specification
+from repro.technology.node import TechnologyNode
+from repro.variability.sampler import ProcessCorner, standard_corners
+
+MetricFn = Callable[[CircuitFixture], float]
+
+
+@dataclass(frozen=True)
+class PvtPoint:
+    """One process/voltage/temperature combination."""
+
+    corner: str
+    vdd_scale: float
+    temperature_k: float
+
+    @property
+    def label(self) -> str:
+        """Compact identifier, e.g. ``SS/0.9V/398K``."""
+        return f"{self.corner}/{self.vdd_scale:g}x/{self.temperature_k:g}K"
+
+
+@dataclass
+class CornerResult:
+    """Metric values over the PVT matrix."""
+
+    values: Dict[str, Dict[str, float]]
+    """spec name → point label → value (NaN = failed evaluation)."""
+
+    points: List[PvtPoint]
+
+    def worst_case(self, spec: Specification) -> tuple:
+        """``(point_label, value)`` of the worst excursion for a spec.
+
+        "Worst" = smallest margin to the nearest bound; NaN evaluations
+        dominate (a corner you cannot evaluate is the worst corner).
+        """
+        per_point = self.values[spec.name]
+
+        def margin(value: float) -> float:
+            if math.isnan(value):
+                return -math.inf
+            margins = []
+            if spec.lower is not None:
+                margins.append(value - spec.lower)
+            if spec.upper is not None:
+                margins.append(spec.upper - value)
+            return min(margins)
+
+        label = min(per_point, key=lambda lbl: margin(per_point[lbl]))
+        return label, per_point[label]
+
+    def all_pass(self, spec: Specification) -> bool:
+        """Whether the spec holds at EVERY PVT point."""
+        return all(spec.passes(v) for v in self.values[spec.name].values())
+
+
+class CornerAnalysis:
+    """Runs metrics across corners × supply scales × temperatures."""
+
+    def __init__(self, fixture: CircuitFixture, specs: Sequence[Specification],
+                 tech: TechnologyNode,
+                 vdd_source_name: str = "vdd",
+                 corners: Optional[Dict[str, ProcessCorner]] = None,
+                 vdd_scales: Sequence[float] = (0.9, 1.0, 1.1),
+                 temperatures_k: Sequence[float] = (233.15, 300.0, 398.15)):
+        if not specs:
+            raise ValueError("at least one specification is required")
+        self.fixture = fixture
+        self.specs = list(specs)
+        self.tech = tech
+        self.vdd_source_name = vdd_source_name
+        self.corners = corners if corners is not None else standard_corners(tech)
+        self.vdd_scales = list(vdd_scales)
+        self.temperatures_k = list(temperatures_k)
+        source = fixture.circuit[vdd_source_name]
+        if not isinstance(source, VoltageSource):
+            raise TypeError(f"{vdd_source_name!r} is not a voltage source")
+
+    def _set_temperature(self, temperature_k: float) -> None:
+        for device in self.fixture.circuit.mosfets:
+            # MosfetParams is frozen; swap a copy with the new temperature.
+            from dataclasses import replace
+
+            device.params = replace(device.params,
+                                    temperature_k=temperature_k)
+
+    def run(self) -> CornerResult:
+        """Evaluate every spec at every PVT point; restores the fixture."""
+        circuit = self.fixture.circuit
+        source = circuit[self.vdd_source_name]
+        nominal_spec = source.spec
+        nominal_vdd = nominal_spec.dc_value()
+        points: List[PvtPoint] = []
+        values: Dict[str, Dict[str, float]] = {s.name: {} for s in self.specs}
+        try:
+            for corner_name, corner in self.corners.items():
+                corner.apply(circuit)
+                for scale in self.vdd_scales:
+                    source.spec = DcSpec(scale * nominal_vdd)
+                    for temperature in self.temperatures_k:
+                        self._set_temperature(temperature)
+                        point = PvtPoint(corner=corner_name,
+                                         vdd_scale=scale,
+                                         temperature_k=temperature)
+                        points.append(point)
+                        for spec in self.specs:
+                            try:
+                                value = float(spec.extractor(self.fixture))
+                            except (ConvergenceError, SingularCircuitError,
+                                    ValueError):
+                                value = float("nan")
+                            values[spec.name][point.label] = value
+        finally:
+            source.spec = nominal_spec
+            self._set_temperature(300.0)
+            self.corners["TT"].apply(circuit) if "TT" in self.corners else None
+            for device in circuit.mosfets:
+                from repro.circuit.mosfet import DeviceVariation
+
+                device.variation = DeviceVariation()
+        return CornerResult(values=values, points=points)

@@ -1,0 +1,174 @@
+"""Monte-Carlo yield estimation (paper §2 / §5 intro).
+
+"Yield can be described as the proportion of fabricated circuits which
+meet the design specifications once the production process has been
+completed."  The engine samples intra-die mismatch (and optionally LER)
+with :class:`repro.variability.MismatchSampler`, evaluates user
+specifications on each virtual die, and reports the pass fraction with a
+Wilson confidence interval.
+
+Example::
+
+    fx = differential_pair(tech)
+    spec = Specification("offset", lambda f: input_referred_offset_v(f),
+                         lower=-5e-3, upper=5e-3)
+    result = MonteCarloYield(fx, [spec], tech).run(n_samples=500, seed=1)
+    print(result.yield_fraction, result.wilson_interval())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.mna import ConvergenceError, SingularCircuitError
+from repro.circuits.references import CircuitFixture
+from repro.technology.node import TechnologyNode
+from repro.variability.sampler import MismatchSampler, Placement
+
+
+@dataclass(frozen=True)
+class Specification:
+    """One pass/fail criterion on a scalar circuit metric."""
+
+    name: str
+    extractor: Callable[[CircuitFixture], float]
+    """Maps the (variation-laden) fixture to the metric value."""
+
+    lower: Optional[float] = None
+    """Lower acceptance bound (None = unbounded)."""
+
+    upper: Optional[float] = None
+    """Upper acceptance bound (None = unbounded)."""
+
+    def __post_init__(self) -> None:
+        if self.lower is None and self.upper is None:
+            raise ValueError(f"spec {self.name!r} has no bounds")
+        if (self.lower is not None and self.upper is not None
+                and self.lower >= self.upper):
+            raise ValueError(f"spec {self.name!r}: lower >= upper")
+
+    def passes(self, value: float) -> bool:
+        """Whether ``value`` meets the spec (non-finite always fails)."""
+        if not math.isfinite(value):
+            return False
+        if self.lower is not None and value < self.lower:
+            return False
+        if self.upper is not None and value > self.upper:
+            return False
+        return True
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+@dataclass
+class YieldResult:
+    """Outcome of a Monte-Carlo yield run."""
+
+    n_samples: int
+    values: Dict[str, np.ndarray]
+    """Spec name → sampled metric values (NaN = evaluation failed)."""
+
+    passes: np.ndarray
+    """Per-sample overall pass flags."""
+
+    spec_passes: Dict[str, np.ndarray] = field(default_factory=dict)
+    """Spec name → per-sample pass flags."""
+
+    @property
+    def yield_fraction(self) -> float:
+        """Estimated yield (all specs met)."""
+        return float(np.mean(self.passes))
+
+    def spec_yield(self, name: str) -> float:
+        """Per-spec yield (other specs ignored)."""
+        return float(np.mean(self.spec_passes[name]))
+
+    def wilson_interval(self, z: float = 1.96) -> tuple:
+        """Confidence interval on the overall yield."""
+        return wilson_interval(int(np.sum(self.passes)), self.n_samples, z)
+
+    def sigma(self, name: str) -> float:
+        """Standard deviation of a metric across good evaluations."""
+        vals = self.values[name]
+        finite = vals[np.isfinite(vals)]
+        if finite.size < 2:
+            raise ValueError(f"not enough valid samples for {name!r}")
+        return float(np.std(finite, ddof=1))
+
+    def mean(self, name: str) -> float:
+        """Mean of a metric across good evaluations."""
+        vals = self.values[name]
+        finite = vals[np.isfinite(vals)]
+        if finite.size == 0:
+            raise ValueError(f"no valid samples for {name!r}")
+        return float(np.mean(finite))
+
+
+class MonteCarloYield:
+    """Monte-Carlo yield engine over intra-die variability."""
+
+    def __init__(self, fixture: CircuitFixture, specs: List[Specification],
+                 tech: TechnologyNode,
+                 placements: Optional[Dict[str, Placement]] = None,
+                 include_ler: bool = False):
+        if not specs:
+            raise ValueError("at least one specification is required")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate specification names")
+        self.fixture = fixture
+        self.specs = list(specs)
+        self.tech = tech
+        self.placements = placements
+        self.include_ler = include_ler
+
+    def run(self, n_samples: int, seed: int = 0) -> YieldResult:
+        """Sample ``n_samples`` virtual dies and evaluate every spec.
+
+        A sample whose evaluation does not converge is recorded as NaN
+        and counted as a FAIL (a die you cannot verify is a die you
+        cannot ship).  Device variations are restored to nominal
+        afterwards.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        rng = np.random.default_rng(seed)
+        sampler = MismatchSampler(self.tech, rng, include_ler=self.include_ler)
+        values = {s.name: np.full(n_samples, np.nan) for s in self.specs}
+        spec_passes = {s.name: np.zeros(n_samples, dtype=bool) for s in self.specs}
+        passes = np.zeros(n_samples, dtype=bool)
+        circuit = self.fixture.circuit
+        try:
+            for k in range(n_samples):
+                sampler.assign(circuit, self.placements)
+                sample_ok = True
+                for spec in self.specs:
+                    try:
+                        value = float(spec.extractor(self.fixture))
+                    except (ConvergenceError, SingularCircuitError, ValueError):
+                        value = float("nan")
+                    values[spec.name][k] = value
+                    ok = spec.passes(value)
+                    spec_passes[spec.name][k] = ok
+                    sample_ok = sample_ok and ok
+                passes[k] = sample_ok
+        finally:
+            sampler.clear(circuit)
+        return YieldResult(n_samples=n_samples, values=values,
+                           passes=passes, spec_passes=spec_passes)

@@ -1,0 +1,36 @@
+"""Digital timing flow: cell characterization + STA-lite.
+
+The chip-level consequence engine for the paper's digital claims
+("variable delay" §2, "slower circuits" §3.2):
+
+* :func:`characterize_cell` — NLDM-style (slew × load) delay/transition
+  tables measured by transient simulation, honouring whatever
+  variation/degradation is installed on the cell's devices;
+* :class:`TimingGraph` — arrival-time/slew propagation over a gate DAG,
+  critical path extraction, table substitution for aged/corner timing;
+* :func:`path_derate` — the slow/fresh guardband of a path.
+"""
+
+from repro.digitalflow.characterize import (
+    DelayTable,
+    characterize_cell,
+    measure_edge,
+)
+from repro.digitalflow.library import (
+    DEFAULT_LOADS_F,
+    DEFAULT_SLEWS_S,
+    characterize_library,
+)
+from repro.digitalflow.sta import ArrivalTime, TimingGraph, path_derate
+
+__all__ = [
+    "ArrivalTime",
+    "DEFAULT_LOADS_F",
+    "DEFAULT_SLEWS_S",
+    "DelayTable",
+    "characterize_library",
+    "TimingGraph",
+    "characterize_cell",
+    "measure_edge",
+    "path_derate",
+]

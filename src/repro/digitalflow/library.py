@@ -1,0 +1,86 @@
+"""Standard-cell library characterization.
+
+Builds a small characterized library (INV/NAND2/NOR2) for a technology
+node, with optional device variation/degradation installed first — the
+glue between the circuit fixtures, the characterization engine and the
+STA, so a caller can write::
+
+    lib = characterize_library(tech)
+    aged = characterize_library(tech, prepare=install_aging)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.circuits.digital import inverter
+from repro.circuits.gates import nand2, nor2
+from repro.circuits.references import CircuitFixture
+from repro.digitalflow.characterize import DelayTable, characterize_cell
+from repro.technology.node import TechnologyNode
+
+#: Default characterization grid (10–90 % input slews).
+DEFAULT_SLEWS_S = (20e-12, 60e-12, 150e-12)
+
+#: Default load grid.
+DEFAULT_LOADS_F = (1e-15, 4e-15, 12e-15)
+
+PrepareFn = Callable[[CircuitFixture], None]
+
+
+def _gate_fixture_with_load(builder, tech: TechnologyNode) -> CircuitFixture:
+    """Build a gate fixture and attach the swept load capacitor."""
+    fixture = builder(tech)
+    fixture.circuit.capacitor("cload", fixture.nodes["y"], "0", 2e-15)
+    return fixture
+
+
+def characterize_library(tech: TechnologyNode,
+                         slews_s: Sequence[float] = DEFAULT_SLEWS_S,
+                         loads_f: Sequence[float] = DEFAULT_LOADS_F,
+                         prepare: Optional[PrepareFn] = None,
+                         worst_arc: bool = True) -> Dict[str, DelayTable]:
+    """Characterize INV/NAND2/NOR2 for ``tech``.
+
+    ``prepare`` runs on each fixture before measurement (install
+    sampled variations, aging deltas, a different supply, ...).  With
+    ``worst_arc=True`` both input polarities are measured and the
+    slower entry is kept per grid point — the pessimistic single-table
+    view a simple STA consumes.
+    """
+    import numpy as np
+
+    cells = {
+        "inv": (lambda t: inverter(t, load_c_f=2e-15), "vin", "in", "out"),
+        "nand2": (lambda t: _gate_fixture_with_load(nand2, t),
+                  "va", "a", "y"),
+        "nor2": (lambda t: _gate_fixture_with_load(nor2, t),
+                 "va", "a", "y"),
+    }
+    library: Dict[str, DelayTable] = {}
+    for name, (builder, input_name, input_node, output_node) in cells.items():
+        fixture = builder(tech)
+        if name == "nand2":
+            # Side input held HIGH so input a controls the output.
+            from repro.circuit import DcSpec
+
+            fixture.circuit["vb"].spec = DcSpec(tech.vdd)
+        if prepare is not None:
+            prepare(fixture)
+        arcs = []
+        polarities = (True, False) if worst_arc else (True,)
+        for rising in polarities:
+            arcs.append(characterize_cell(
+                fixture, tech, slews_s, loads_f, input_name=input_name,
+                input_node=input_node, output_node=output_node,
+                rising_input=rising))
+        if len(arcs) == 1:
+            library[name] = arcs[0]
+        else:
+            library[name] = DelayTable(
+                slews_s=arcs[0].slews_s, loads_f=arcs[0].loads_f,
+                delay_s=np.maximum(arcs[0].delay_s, arcs[1].delay_s),
+                transition_s=np.maximum(arcs[0].transition_s,
+                                        arcs[1].transition_s),
+                input_cap_f=arcs[0].input_cap_f)
+    return library

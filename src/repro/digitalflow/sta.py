@@ -1,0 +1,164 @@
+"""STA-lite: static timing analysis over a gate-level DAG.
+
+Given cells characterized by :mod:`repro.digitalflow.characterize`, a
+:class:`TimingGraph` propagates arrival times and slews through a
+combinational netlist (a networkx DAG): each cell's delay is looked up
+from its table at (incoming slew, capacitive load of its fanout), the
+output slew feeds the next stage — the standard NLDM timing loop.
+
+This is the tool that turns the paper's device-level stories into chip
+numbers: swap in an AGED cell table (characterize with degradation
+installed) or a slow-corner table, re-run, and read the path-delay
+guardband directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.digitalflow.characterize import DelayTable
+
+
+@dataclass(frozen=True)
+class ArrivalTime:
+    """Timing state at one pin/net."""
+
+    time_s: float
+    slew_s: float
+    from_cell: Optional[str]
+
+
+class TimingGraph:
+    """A combinational timing graph (cells + primary I/O nets)."""
+
+    def __init__(self):
+        self.graph = nx.DiGraph()
+        self._tables: Dict[str, DelayTable] = {}
+        self._inputs: Dict[str, float] = {}
+        self._outputs: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str, slew_s: float = 20e-12) -> None:
+        """Declare a primary input net with its driver slew."""
+        if slew_s <= 0.0:
+            raise ValueError("input slew must be positive")
+        self.graph.add_node(net, kind="net")
+        self._inputs[net] = slew_s
+
+    def add_output(self, net: str, load_f: float = 2e-15) -> None:
+        """Declare a primary output net with its external load."""
+        if load_f < 0.0:
+            raise ValueError("output load must be non-negative")
+        self.graph.add_node(net, kind="net")
+        self._outputs[net] = load_f
+
+    def add_cell(self, name: str, table: DelayTable,
+                 inputs: Sequence[str], output: str) -> None:
+        """Instantiate a cell between input nets and an output net."""
+        if name in self._tables:
+            raise ValueError(f"duplicate cell name {name!r}")
+        if not inputs:
+            raise ValueError(f"cell {name!r} needs at least one input")
+        self._tables[name] = table
+        self.graph.add_node(name, kind="cell")
+        for net in inputs:
+            self.graph.add_node(net, kind="net")
+            self.graph.add_edge(net, name)
+        self.graph.add_node(output, kind="net")
+        self.graph.add_edge(name, output)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _cell_load_f(self, cell: str) -> float:
+        """Load a cell drives: fanout input caps + primary-output load."""
+        output_net = next(iter(self.graph.successors(cell)))
+        load = self._outputs.get(output_net, 0.0)
+        for fanout_cell in self.graph.successors(output_net):
+            load += self._tables[fanout_cell].input_cap_f
+        return load
+
+    def propagate(self) -> Dict[str, ArrivalTime]:
+        """Worst-case arrival times at every net.
+
+        Topological walk: a net's arrival is the max over its driver
+        arcs; a cell's delay/output-slew come from its table at the
+        worst input (slew, arrival) and its fanout load.
+        """
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError("timing graph has a combinational loop")
+        arrivals: Dict[str, ArrivalTime] = {}
+        for net, slew in self._inputs.items():
+            arrivals[net] = ArrivalTime(0.0, slew, None)
+        for node in nx.topological_sort(self.graph):
+            if self.graph.nodes[node].get("kind") != "cell":
+                continue
+            fanins = list(self.graph.predecessors(node))
+            missing = [n for n in fanins if n not in arrivals]
+            if missing:
+                raise ValueError(
+                    f"cell {node!r}: undriven input nets {missing} — "
+                    f"declare them with add_input()")
+            worst = max((arrivals[n] for n in fanins),
+                        key=lambda a: a.time_s)
+            load = self._cell_load_f(node)
+            delay, out_slew = self._tables[node].lookup(worst.slew_s, load)
+            output_net = next(iter(self.graph.successors(node)))
+            candidate = ArrivalTime(worst.time_s + delay, out_slew, node)
+            existing = arrivals.get(output_net)
+            if existing is None or candidate.time_s > existing.time_s:
+                arrivals[output_net] = candidate
+        return arrivals
+
+    def critical_path(self) -> Tuple[float, List[str]]:
+        """``(delay, [input_net, cell, net, ..., output_net])`` of the
+        slowest input→output path."""
+        arrivals = self.propagate()
+        if not self._outputs:
+            raise ValueError("no primary outputs declared")
+        end_net = max(self._outputs,
+                      key=lambda n: arrivals[n].time_s
+                      if n in arrivals else float("-inf"))
+        if end_net not in arrivals:
+            raise ValueError(f"output {end_net!r} is never driven")
+        path: List[str] = [end_net]
+        node = end_net
+        while arrivals[node].from_cell is not None:
+            cell = arrivals[node].from_cell
+            path.append(cell)
+            fanins = list(self.graph.predecessors(cell))
+            node = max(fanins, key=lambda n: arrivals[n].time_s)
+            path.append(node)
+        path.reverse()
+        return arrivals[end_net].time_s, path
+
+    def with_tables(self, tables: Dict[str, DelayTable]) -> "TimingGraph":
+        """A copy of the graph using substituted cell tables.
+
+        The aging/corner workflow: characterize aged cells, substitute,
+        re-time.  Cells not named in ``tables`` keep their current one.
+        """
+        clone = TimingGraph()
+        clone.graph = self.graph.copy()
+        clone._tables = dict(self._tables)
+        clone._tables.update(tables)
+        clone._inputs = dict(self._inputs)
+        clone._outputs = dict(self._outputs)
+        unknown = set(tables) - set(self._tables)
+        if unknown:
+            raise ValueError(f"tables for unknown cells: {sorted(unknown)}")
+        return clone
+
+
+def path_derate(fresh: TimingGraph, slow: TimingGraph) -> float:
+    """Critical-path delay ratio slow/fresh — the timing guardband."""
+    fresh_delay, _ = fresh.critical_path()
+    slow_delay, _ = slow.critical_path()
+    if fresh_delay <= 0.0:
+        raise ValueError("fresh critical path has non-positive delay")
+    return slow_delay / fresh_delay

@@ -1,0 +1,60 @@
+"""Electromagnetic compatibility substrate (paper §4).
+
+* :mod:`repro.emc.standards` — IEC 62132 / EMC-Directive constants,
+  DPI dBm↔volt conversions;
+* :mod:`repro.emc.interference` — EMI injection networks
+  (:func:`add_dpi_injection`, :func:`superimpose_on_source`);
+* :mod:`repro.emc.susceptibility` — rectified DC-shift metrics.
+
+The sweep harness that turns these into Fig 4-style susceptibility maps
+is :class:`repro.core.emc_analysis.EmcAnalyzer`.
+"""
+
+from repro.emc.emission import (
+    AUTOMOTIVE_MASK,
+    EmissionMask,
+    EmissionViolation,
+    amps_to_dbua,
+    check_emissions,
+    supply_current_spectrum,
+    worst_emission_margin_db,
+)
+from repro.emc.interference import (
+    EmiInjection,
+    add_dpi_injection,
+    superimpose_on_source,
+)
+from repro.emc.standards import (
+    DPI_IMPEDANCE_OHM,
+    IEC_FREQ_MAX_HZ,
+    IEC_FREQ_MIN_HZ,
+    amplitude_v_to_dbm,
+    dbm_to_amplitude_v,
+    iec_frequency_range,
+    immunity_test_frequencies,
+    in_regulated_band,
+)
+from repro.emc.susceptibility import DcShift, measure_dc_shift
+
+__all__ = [
+    "AUTOMOTIVE_MASK",
+    "DPI_IMPEDANCE_OHM",
+    "EmissionMask",
+    "EmissionViolation",
+    "amps_to_dbua",
+    "check_emissions",
+    "supply_current_spectrum",
+    "worst_emission_margin_db",
+    "DcShift",
+    "EmiInjection",
+    "IEC_FREQ_MAX_HZ",
+    "IEC_FREQ_MIN_HZ",
+    "add_dpi_injection",
+    "amplitude_v_to_dbm",
+    "dbm_to_amplitude_v",
+    "iec_frequency_range",
+    "immunity_test_frequencies",
+    "in_regulated_band",
+    "measure_dc_shift",
+    "superimpose_on_source",
+]

@@ -1,0 +1,160 @@
+"""Conducted-emission estimation (the other half of paper §4).
+
+EMC is two-sided: *susceptibility* (handled by
+:mod:`repro.core.emc_analysis`) and *emission* — "the higher switching
+speeds … increased number of communication interfaces" make ICs noisy
+neighbours, and the paper cites the diverging trend "between maximum
+emission level and actual IC emission" (ref [38]).
+
+The conducted-emission observable is the spectrum of the current a
+circuit draws from its supply pins: switching circuits pump harmonics
+into the board.  This module turns a transient supply-current waveform
+into a spectrum and checks it against an emission *mask* (limit lines in
+dBµA vs frequency, the format of CISPR-25-style conducted limits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientResult
+from repro.circuit.waveform import Waveform
+
+
+def supply_current_spectrum(result: TransientResult, source_name: str,
+                            settle_s: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Spectrum of the current drawn through a supply source.
+
+    Returns ``(freqs_hz, amplitudes_a)`` — peak amplitudes per spectral
+    line, DC at index 0.  ``settle_s`` discards the start-up transient.
+    """
+    wave = result.source_current(source_name)
+    if settle_s > 0.0:
+        wave = wave.last_period(wave.duration - settle_s)
+    return wave.spectrum()
+
+
+def amps_to_dbua(amplitude_a: float) -> float:
+    """Convert a current amplitude to dBµA."""
+    if amplitude_a <= 0.0:
+        return -math.inf
+    return 20.0 * math.log10(amplitude_a / 1e-6)
+
+
+@dataclass(frozen=True)
+class EmissionMask:
+    """A piecewise-linear (in log-f) conducted-emission limit line.
+
+    ``points`` are ``(frequency_hz, limit_dbua)`` pairs with strictly
+    increasing frequencies; the limit is interpolated in log-frequency
+    between them and clamped outside.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a mask needs at least two points")
+        freqs = [p[0] for p in self.points]
+        if any(f <= 0.0 for f in freqs):
+            raise ValueError("mask frequencies must be positive")
+        if any(b <= a for a, b in zip(freqs[1:], freqs[:-1])):
+            pass
+        if any(f2 <= f1 for f1, f2 in zip(freqs, freqs[1:])):
+            raise ValueError("mask frequencies must be strictly increasing")
+
+    def limit_dbua(self, frequency_hz: float) -> float:
+        """Interpolated limit at ``frequency_hz`` [dBµA]."""
+        if frequency_hz <= 0.0:
+            raise ValueError("frequency must be positive")
+        log_f = math.log10(frequency_hz)
+        log_fs = [math.log10(p[0]) for p in self.points]
+        limits = [p[1] for p in self.points]
+        return float(np.interp(log_f, log_fs, limits))
+
+    @property
+    def f_min_hz(self) -> float:
+        """Lower edge of the mask."""
+        return self.points[0][0]
+
+    @property
+    def f_max_hz(self) -> float:
+        """Upper edge of the mask."""
+        return self.points[-1][0]
+
+
+#: A CISPR-25-flavoured conducted-emission mask (class-3-ish levels):
+#: generous at low frequency, tightening through the FM band.
+AUTOMOTIVE_MASK = EmissionMask(points=(
+    (150e3, 90.0),
+    (30e6, 70.0),
+    (108e6, 50.0),
+    (1e9, 50.0),
+))
+
+
+@dataclass(frozen=True)
+class EmissionViolation:
+    """One spectral line exceeding the mask."""
+
+    frequency_hz: float
+    level_dbua: float
+    limit_dbua: float
+
+    @property
+    def margin_db(self) -> float:
+        """Excess over the limit [dB] (positive = violating)."""
+        return self.level_dbua - self.limit_dbua
+
+
+def check_emissions(freqs_hz: np.ndarray, amplitudes_a: np.ndarray,
+                    mask: EmissionMask,
+                    floor_dbua: float = -20.0) -> List[EmissionViolation]:
+    """Compare a current spectrum against a mask.
+
+    DC is skipped; lines below ``floor_dbua`` are ignored as numerical
+    noise.  Returns the violating lines, worst first.
+    """
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    amplitudes_a = np.asarray(amplitudes_a, dtype=float)
+    if freqs_hz.shape != amplitudes_a.shape:
+        raise ValueError("frequency/amplitude length mismatch")
+    violations = []
+    for f, amp in zip(freqs_hz[1:], amplitudes_a[1:]):
+        if f < mask.f_min_hz or f > mask.f_max_hz:
+            continue
+        level = amps_to_dbua(float(amp))
+        if level < floor_dbua:
+            continue
+        limit = mask.limit_dbua(float(f))
+        if level > limit:
+            violations.append(EmissionViolation(
+                frequency_hz=float(f), level_dbua=level, limit_dbua=limit))
+    violations.sort(key=lambda v: v.margin_db, reverse=True)
+    return violations
+
+
+def worst_emission_margin_db(freqs_hz: np.ndarray,
+                             amplitudes_a: np.ndarray,
+                             mask: EmissionMask) -> float:
+    """Signed worst margin vs the mask [dB]; negative = compliant.
+
+    The single-number emission verdict: max over in-band lines of
+    (level − limit).
+    """
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    amplitudes_a = np.asarray(amplitudes_a, dtype=float)
+    worst = -math.inf
+    for f, amp in zip(freqs_hz[1:], amplitudes_a[1:]):
+        if f < mask.f_min_hz or f > mask.f_max_hz:
+            continue
+        level = amps_to_dbua(float(amp))
+        worst = max(worst, level - mask.limit_dbua(float(f)))
+    if worst == -math.inf:
+        raise ValueError("no spectral lines inside the mask band")
+    return worst

@@ -1,0 +1,106 @@
+"""EMI injection machinery (paper §4).
+
+Conducted interference reaches a circuit node through a coupling path.
+Two idioms are provided:
+
+* :func:`add_dpi_injection` — the IEC 62132-4 Direct Power Injection
+  topology: a sine source behind the 50 Ω reference impedance, coupled
+  into the victim node through a DC-blocking capacitor.  This is how the
+  susceptibility experiments (E8) drive the Fig 3 current reference.
+
+* :func:`superimpose_on_source` — ride the interference directly on an
+  existing supply/bias source (replaces its spec with a
+  :class:`~repro.circuit.SineSpec` around the original DC value), the
+  textbook "EMI on the supply rail" case.
+
+Both return an :class:`EmiInjection` handle whose ``set_tone()`` retunes
+amplitude/frequency between transient runs and whose ``remove()``/context
+manager restores the pristine circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.elements import DcSpec, SineSpec, SourceSpec, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.emc.standards import DPI_IMPEDANCE_OHM
+
+
+class EmiInjection:
+    """Handle over an injected EMI tone; context-manager friendly."""
+
+    def __init__(self, circuit: Circuit, source: VoltageSource,
+                 offset_v: float = 0.0,
+                 restore_spec: Optional[SourceSpec] = None):
+        self.circuit = circuit
+        self.source = source
+        self.offset_v = offset_v
+        self._restore_spec = restore_spec
+        self._removable = restore_spec is not None
+
+    def set_tone(self, amplitude_v: float, frequency_hz: float,
+                 phase_rad: float = 0.0) -> None:
+        """(Re)program the interference tone."""
+        if amplitude_v < 0.0:
+            raise ValueError(f"amplitude must be non-negative, got {amplitude_v}")
+        if amplitude_v == 0.0:
+            self.source.spec = DcSpec(self.offset_v)
+            return
+        self.source.spec = SineSpec(offset=self.offset_v, amplitude=amplitude_v,
+                                    frequency_hz=frequency_hz,
+                                    phase_rad=phase_rad)
+
+    def silence(self) -> None:
+        """Set the tone amplitude to zero (keeps the coupling network)."""
+        self.source.spec = DcSpec(self.offset_v)
+
+    def remove(self) -> None:
+        """Restore the original source spec (superimposed injections only)."""
+        if self._restore_spec is not None:
+            self.source.spec = self._restore_spec
+
+    def __enter__(self) -> "EmiInjection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._removable:
+            self.remove()
+        else:
+            self.silence()
+
+
+def add_dpi_injection(circuit: Circuit, victim_node: str,
+                      coupling_c_f: float = 6.8e-9,
+                      source_impedance_ohm: float = DPI_IMPEDANCE_OHM,
+                      prefix: str = "emi") -> EmiInjection:
+    """Attach a DPI injection network to ``victim_node``.
+
+    Adds ``V(prefix_src) → R(50Ω) → C(block) → victim_node``.  6.8 nF is
+    the standard DPI blocking capacitor — transparent above ~1 MHz,
+    protecting the bias point below.
+    """
+    if coupling_c_f <= 0.0:
+        raise ValueError("coupling capacitance must be positive")
+    if source_impedance_ohm <= 0.0:
+        raise ValueError("source impedance must be positive")
+    src_node = f"{prefix}_src"
+    mid_node = f"{prefix}_mid"
+    source = circuit.voltage_source(f"{prefix}_v", src_node, "0", 0.0)
+    circuit.resistor(f"{prefix}_r", src_node, mid_node, source_impedance_ohm)
+    circuit.capacitor(f"{prefix}_c", mid_node, victim_node, coupling_c_f)
+    return EmiInjection(circuit, source, offset_v=0.0)
+
+
+def superimpose_on_source(circuit: Circuit, source_name: str) -> EmiInjection:
+    """Ride the EMI tone on an existing DC voltage source.
+
+    The tone oscillates around the source's original DC value; exiting
+    the context manager (or ``remove()``) restores the original spec.
+    """
+    element = circuit[source_name]
+    if not isinstance(element, VoltageSource):
+        raise TypeError(f"{source_name!r} is not a voltage source")
+    original = element.spec
+    return EmiInjection(circuit, element, offset_v=original.dc_value(),
+                        restore_spec=original)

@@ -1,0 +1,74 @@
+"""EMC standards helpers (paper §4).
+
+The paper anchors EMC compliance to two documents:
+
+* the **EU EMC Directive 2004/108/EC** (ref [13]) — legislation requiring
+  conformance in the 150 kHz – 1 GHz range;
+* **IEC 62132-1** (ref [19]) — measurement of IC electromagnetic
+  immunity, same frequency window, with the Direct Power Injection (DPI)
+  method as the usual conducted-immunity test.
+
+This module provides the frequency window, standard test grids and the
+dBm ↔ volt conversions of a 50 Ω DPI setup.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Lower edge of the regulated band [Hz] (EMC Directive / IEC 62132).
+IEC_FREQ_MIN_HZ = 150e3
+
+#: Upper edge of the regulated band [Hz].
+IEC_FREQ_MAX_HZ = 1e9
+
+#: Reference impedance of the DPI injection path [Ω].
+DPI_IMPEDANCE_OHM = 50.0
+
+
+def iec_frequency_range() -> tuple:
+    """The (min, max) regulated frequency window [Hz]."""
+    return IEC_FREQ_MIN_HZ, IEC_FREQ_MAX_HZ
+
+
+def in_regulated_band(frequency_hz: float) -> bool:
+    """True when ``frequency_hz`` falls inside the 150 kHz–1 GHz band."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return IEC_FREQ_MIN_HZ <= frequency_hz <= IEC_FREQ_MAX_HZ
+
+
+def immunity_test_frequencies(points_per_decade: int = 4) -> np.ndarray:
+    """Logarithmic test grid spanning the regulated band [Hz]."""
+    if points_per_decade <= 0:
+        raise ValueError("points_per_decade must be positive")
+    decades = math.log10(IEC_FREQ_MAX_HZ / IEC_FREQ_MIN_HZ)
+    n = int(round(decades * points_per_decade)) + 1
+    return np.logspace(math.log10(IEC_FREQ_MIN_HZ),
+                       math.log10(IEC_FREQ_MAX_HZ), n)
+
+
+def dbm_to_amplitude_v(power_dbm: float,
+                       impedance_ohm: float = DPI_IMPEDANCE_OHM) -> float:
+    """Peak voltage amplitude of a sine delivering ``power_dbm`` into Z.
+
+    DPI immunity levels are specified as forward power; the equivalent
+    source amplitude is ``V_peak = sqrt(2·Z·P)``.
+    """
+    if impedance_ohm <= 0.0:
+        raise ValueError("impedance must be positive")
+    power_w = 10.0 ** (power_dbm / 10.0) * 1e-3
+    return math.sqrt(2.0 * impedance_ohm * power_w)
+
+
+def amplitude_v_to_dbm(amplitude_v: float,
+                       impedance_ohm: float = DPI_IMPEDANCE_OHM) -> float:
+    """Inverse of :func:`dbm_to_amplitude_v`."""
+    if amplitude_v <= 0.0:
+        raise ValueError("amplitude must be positive")
+    if impedance_ohm <= 0.0:
+        raise ValueError("impedance must be positive")
+    power_w = amplitude_v ** 2 / (2.0 * impedance_ohm)
+    return 10.0 * math.log10(power_w / 1e-3)

@@ -1,0 +1,66 @@
+"""Susceptibility metrics: EMI-induced DC shift (rectification).
+
+"In analog circuits, the shift of the DC operating point due to
+electromagnetic interference is identified as one of the major causes
+of failure in susceptibility tests" (paper §4, refs [32], [35]).  The
+mechanism is rectification: circuit nonlinearity converts a zero-mean
+tone into a DC error.  The metrics here quantify that shift from a
+transient waveform; the sweep harness lives in
+:mod:`repro.core.emc_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class DcShift:
+    """Rectified DC error of one observable under one EMI tone."""
+
+    nominal: float
+    """EMI-free DC value of the observable."""
+
+    mean_under_emi: float
+    """Time-averaged value under interference (steady-state window)."""
+
+    ripple_peak_to_peak: float
+    """Residual AC swing of the observable under interference."""
+
+    @property
+    def shift(self) -> float:
+        """Absolute rectified shift (signed: negative = pumped down)."""
+        return self.mean_under_emi - self.nominal
+
+    @property
+    def relative_shift(self) -> float:
+        """Shift relative to the nominal value (signed fraction)."""
+        if self.nominal == 0.0:
+            raise ZeroDivisionError("nominal value is zero; use .shift")
+        return self.shift / self.nominal
+
+    def exceeds(self, tolerance_fraction: float) -> bool:
+        """True when |relative shift| violates the given tolerance."""
+        if tolerance_fraction <= 0.0:
+            raise ValueError("tolerance must be positive")
+        return abs(self.relative_shift) > tolerance_fraction
+
+
+def measure_dc_shift(waveform: Waveform, nominal: float,
+                     settle_periods: float, tone_period_s: float) -> DcShift:
+    """Extract the rectified DC shift from a transient waveform.
+
+    The start-up transient is discarded: only the last
+    ``settle_periods`` tone periods are averaged, and an integer number
+    of periods is used so the tone itself averages out exactly.
+    """
+    if settle_periods <= 0.0:
+        raise ValueError("settle_periods must be positive")
+    if tone_period_s <= 0.0:
+        raise ValueError("tone period must be positive")
+    window = waveform.last_period(settle_periods * tone_period_s)
+    return DcShift(nominal=nominal,
+                   mean_under_emi=window.mean(),
+                   ripple_peak_to_peak=window.peak_to_peak())

@@ -1,0 +1,62 @@
+"""Plain-text report rendering.
+
+Small, dependency-free table/section formatting shared by the CLI, the
+examples and the benchmark harness.  Everything returns strings so the
+callers decide where output goes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value) -> str:
+    """Compact cell formatting: floats get 4 significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in formatted:
+        if len(row) != len(widths):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(widths)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in formatted:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_section(title: str, body: str) -> str:
+    """A titled section with an underline."""
+    bar = "=" * len(title)
+    return f"{title}\n{bar}\n{body}\n"
+
+
+def render_key_values(pairs: Sequence[tuple], indent: int = 2) -> str:
+    """Aligned ``key: value`` lines."""
+    if not pairs:
+        return ""
+    width = max(len(str(k)) for k, _ in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{str(k).ljust(width)} : {format_cell(v)}"
+                     for k, v in pairs)

@@ -1,0 +1,75 @@
+"""Design-level countermeasures (paper §5).
+
+* §5.1 post-fabrication calibration: :class:`CurrentSteeringDac` +
+  :func:`sspa_sequence` / :func:`calibrate` / :func:`area_tradeoff`;
+* §5.2 knobs & monitors: :class:`Monitor`, :class:`Knob`,
+  :class:`SpecTarget`, :class:`ControlAlgorithm`, :class:`AdaptiveSystem`.
+"""
+
+from repro.solutions.calibration import (
+    AreaTradeoff,
+    age_dac_sources,
+    CalibrationResult,
+    area_tradeoff,
+    calibrate,
+    inl_yield,
+    max_sigma_for_yield,
+    measure_unary_errors,
+    sspa_sequence,
+    sspa_sequence_paired,
+)
+from repro.solutions.dac import (
+    CurrentSteeringDac,
+    sfdr_db,
+    DacConfig,
+    DacDesign,
+    intrinsic_sigma_for_inl,
+)
+from repro.solutions.knob_library import (
+    aging_sensor_monitor,
+    bias_current_knob,
+    body_bias_knob,
+    dc_monitor,
+    frequency_monitor,
+    source_current_monitor,
+    supply_knob,
+)
+from repro.solutions.knobs_monitors import (
+    AdaptiveSystem,
+    ControlAlgorithm,
+    Knob,
+    Monitor,
+    RegulationRecord,
+    SpecTarget,
+)
+
+__all__ = [
+    "AdaptiveSystem",
+    "AreaTradeoff",
+    "CalibrationResult",
+    "ControlAlgorithm",
+    "CurrentSteeringDac",
+    "DacConfig",
+    "DacDesign",
+    "Knob",
+    "Monitor",
+    "RegulationRecord",
+    "SpecTarget",
+    "age_dac_sources",
+    "aging_sensor_monitor",
+    "area_tradeoff",
+    "bias_current_knob",
+    "body_bias_knob",
+    "calibrate",
+    "dc_monitor",
+    "frequency_monitor",
+    "inl_yield",
+    "intrinsic_sigma_for_inl",
+    "max_sigma_for_yield",
+    "measure_unary_errors",
+    "sfdr_db",
+    "source_current_monitor",
+    "sspa_sequence",
+    "sspa_sequence_paired",
+    "supply_knob",
+]

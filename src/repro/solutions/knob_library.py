@@ -1,0 +1,137 @@
+"""Concrete knobs and monitors for circuit fixtures (§5.2 building blocks).
+
+The generic framework in :mod:`repro.solutions.knobs_monitors` works on
+callables; this module provides the common *circuit-bound* instances —
+the actual "tunable or reconfigurable circuit parts" and "simple
+measurement circuits" the paper describes:
+
+* :func:`supply_knob` — a programmable supply/LDO level;
+* :func:`bias_current_knob` — a trimmed current-source DAC;
+* :func:`body_bias_knob` — forward/reverse body bias shifting V_T
+  (implemented through the devices' variation hook, exactly how an
+  adaptive body bias moves the threshold);
+* :func:`frequency_monitor` — a ring-oscillator readout;
+* :func:`dc_monitor` — an operating-point probe (replica/sense node);
+* :func:`aging_sensor_monitor` — a stressed-vs-fresh replica pair, the
+  classic on-chip NBTI/ΔV_T odometer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import CurrentSource, DcSpec, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import transient
+from repro.circuits.digital import oscillation_frequency
+from repro.circuits.references import CircuitFixture
+from repro.solutions.knobs_monitors import Knob, Monitor
+
+
+def supply_knob(circuit: Circuit, source_name: str,
+                levels_v: Sequence[float], name: str = "vdd_knob",
+                initial_index: int = 0) -> Knob:
+    """A knob stepping a supply voltage source through fixed levels."""
+    source = circuit[source_name]
+    if not isinstance(source, VoltageSource):
+        raise TypeError(f"{source_name!r} is not a voltage source")
+
+    def apply(level: float) -> None:
+        source.spec = DcSpec(level)
+
+    return Knob(name, list(levels_v), apply, initial_index=initial_index)
+
+
+def bias_current_knob(circuit: Circuit, source_name: str,
+                      levels_a: Sequence[float], name: str = "bias_knob",
+                      initial_index: int = 0) -> Knob:
+    """A knob stepping a bias current source (a trim DAC)."""
+    source = circuit[source_name]
+    if not isinstance(source, CurrentSource):
+        raise TypeError(f"{source_name!r} is not a current source")
+
+    def apply(level: float) -> None:
+        source.spec = DcSpec(level)
+
+    return Knob(name, list(levels_a), apply, initial_index=initial_index)
+
+
+def body_bias_knob(circuit: Circuit, device_names: Sequence[str],
+                   vt_shifts_v: Sequence[float], name: str = "bb_knob",
+                   initial_index: int = 0) -> Knob:
+    """A knob applying a common V_T shift to a set of devices.
+
+    Negative shifts model forward body bias (faster, leakier); positive
+    shifts reverse body bias.  The shift rides on the devices' variation
+    hook so it composes with sampled mismatch and with aging.
+    """
+    devices = [circuit[n] for n in device_names]
+    base_offsets = {d.name: d.variation.delta_vt_v for d in devices}
+
+    def apply(shift: float) -> None:
+        for device in devices:
+            device.variation.delta_vt_v = base_offsets[device.name] + shift
+
+    return Knob(name, list(vt_shifts_v), apply, initial_index=initial_index)
+
+
+def frequency_monitor(fixture: CircuitFixture, node: str, threshold_v: float,
+                      t_stop_s: float, dt_s: float,
+                      quantization_hz: float = 0.0,
+                      name: str = "freq") -> Monitor:
+    """A ring-oscillator frequency readout (counter-style monitor)."""
+
+    def measure() -> float:
+        result = transient(fixture.circuit, t_stop=t_stop_s, dt=dt_s)
+        return oscillation_frequency(result.voltage(node), threshold_v)
+
+    return Monitor(name, measure, quantization=quantization_hz)
+
+
+def dc_monitor(circuit: Circuit, node: str, quantization_v: float = 0.0,
+               name: Optional[str] = None) -> Monitor:
+    """A DC node-voltage probe (sense amplifier / ADC readout)."""
+
+    def measure() -> float:
+        return dc_operating_point(circuit).voltage(node)
+
+    return Monitor(name if name else f"v({node})", measure,
+                   quantization=quantization_v)
+
+
+def source_current_monitor(circuit: Circuit, source_name: str,
+                           quantization_a: float = 0.0,
+                           name: Optional[str] = None) -> Monitor:
+    """A branch-current probe through a voltage source (current sense)."""
+    element = circuit[source_name]
+    if not isinstance(element, VoltageSource):
+        raise TypeError(f"{source_name!r} is not a voltage source")
+
+    def measure() -> float:
+        return dc_operating_point(circuit).source_current(source_name)
+
+    return Monitor(name if name else f"i({source_name})", measure,
+                   quantization=quantization_a)
+
+
+def aging_sensor_monitor(fixture: CircuitFixture, stressed_device: str,
+                         reference_device: str,
+                         quantization_v: float = 0.0,
+                         name: str = "delta_vt_sensor") -> Monitor:
+    """An on-chip ΔV_T odometer: stressed replica vs protected reference.
+
+    Real silicon odometers compare a stressed device against a twin that
+    is only powered during measurement; the readout is the accumulated
+    |ΔV_T| difference.  Here the monitor reads the degradation state
+    difference of the two named devices — the same observable, without
+    re-simulating.
+    """
+    stressed = fixture.circuit[stressed_device]
+    reference = fixture.circuit[reference_device]
+
+    def measure() -> float:
+        return (stressed.degradation.delta_vt_v
+                - reference.degradation.delta_vt_v)
+
+    return Monitor(name, measure, quantization=quantization_v)

@@ -1,0 +1,220 @@
+"""Knobs-and-monitors adaptive framework (paper §5.2, Fig 6).
+
+Dierickx's concept (refs [3], [4]): a self-adaptive system with three
+parts —
+
+* **Monitors** measure the actual performance with simple circuits
+  (here: a metric function with optional quantization, since a real
+  monitor has finite resolution);
+* **Knobs** are tunable circuit parts that move the operating point
+  (here: a discrete set of settings applied through a callback, e.g.
+  a supply level or a bias-current trim code);
+* a **Control Algorithm** picks the knob configuration that keeps every
+  spec satisfied at minimum cost (greedy coordinate descent — a digital
+  controller's worth of logic, as the paper promises).
+
+The payoff the paper claims (and E10 regenerates): the closed loop
+compensates variability AND lifetime degradation, so over-design is not
+needed — the adaptive system meets spec over the mission at lower
+average power than a worst-case-sized fixed design.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class Monitor:
+    """A performance monitor: a measurement with finite resolution."""
+
+    def __init__(self, name: str, measure: Callable[[], float],
+                 quantization: float = 0.0):
+        if quantization < 0.0:
+            raise ValueError("quantization must be non-negative")
+        self.name = name
+        self._measure = measure
+        self.quantization = quantization
+
+    def read(self) -> float:
+        """One (possibly quantized) reading."""
+        value = float(self._measure())
+        if self.quantization > 0.0:
+            value = round(value / self.quantization) * self.quantization
+        return value
+
+
+class Knob:
+    """A tunable circuit part with a discrete setting ladder."""
+
+    def __init__(self, name: str, settings: Sequence[float],
+                 apply: Callable[[float], None], initial_index: int = 0):
+        if len(settings) < 2:
+            raise ValueError("a knob needs at least two settings")
+        if not 0 <= initial_index < len(settings):
+            raise ValueError("initial index out of range")
+        self.name = name
+        self.settings = list(settings)
+        self._apply = apply
+        self.index = initial_index
+        self._apply(self.settings[self.index])
+
+    @property
+    def value(self) -> float:
+        """Currently applied setting."""
+        return self.settings[self.index]
+
+    def set_index(self, index: int) -> None:
+        """Move the knob and apply the new setting to the circuit."""
+        if not 0 <= index < len(self.settings):
+            raise ValueError(f"{self.name}: index {index} out of range")
+        self.index = index
+        self._apply(self.settings[index])
+
+
+@dataclass(frozen=True)
+class SpecTarget:
+    """An acceptance window on one monitor."""
+
+    monitor_name: str
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+
+    def margin(self, reading: float) -> float:
+        """Signed spec margin (negative = violated); the controller
+        maximizes the worst margin before minimizing cost."""
+        margins = []
+        if self.lower is not None:
+            margins.append(reading - self.lower)
+        if self.upper is not None:
+            margins.append(self.upper - reading)
+        if not margins:
+            raise ValueError("spec target with no bounds")
+        return min(margins)
+
+    def satisfied(self, reading: float) -> bool:
+        """Whether the reading meets the spec."""
+        return self.margin(reading) >= 0.0
+
+
+@dataclass
+class RegulationRecord:
+    """What one regulation step saw and decided."""
+
+    readings_before: Dict[str, float]
+    readings_after: Dict[str, float]
+    knob_indices: Dict[str, int]
+    cost: float
+    in_spec: bool
+    evaluations: int = 0
+
+
+class ControlAlgorithm:
+    """Greedy coordinate-descent knob search.
+
+    Objective: first satisfy every spec (maximize the worst violated
+    margin), then minimize ``cost_fn`` among satisfying configurations.
+    Coordinate descent over knobs converges in a handful of sweeps for
+    the monotone knob laws typical of supply/bias trims, and needs only
+    O(sweeps · Σ settings) monitor evaluations — cheap enough for a
+    runtime digital controller.
+    """
+
+    def __init__(self, max_sweeps: int = 4):
+        if max_sweeps < 1:
+            raise ValueError("need at least one sweep")
+        self.max_sweeps = max_sweeps
+
+    def optimize(self, knobs: Sequence[Knob], monitors: Sequence[Monitor],
+                 specs: Sequence[SpecTarget],
+                 cost_fn: Callable[[], float]) -> Tuple[int, float]:
+        """Tune ``knobs`` in place; returns (evaluations, final_cost)."""
+        monitor_by_name = {m.name: m for m in monitors}
+
+        def objective() -> Tuple[float, float]:
+            readings = {m.name: m.read() for m in monitors}
+            worst = min(spec.margin(readings[spec.monitor_name])
+                        for spec in specs) if specs else 0.0
+            return worst, cost_fn()
+
+        evaluations = 0
+        for _ in range(self.max_sweeps):
+            moved = False
+            for knob in knobs:
+                best_index = knob.index
+                best_worst, best_cost = objective()
+                evaluations += 1
+                for candidate in range(len(knob.settings)):
+                    if candidate == knob.index:
+                        continue
+                    knob.set_index(candidate)
+                    worst, cost = objective()
+                    evaluations += 1
+                    better = ((best_worst < 0.0 and worst > best_worst)
+                              or (worst >= 0.0
+                                  and (best_worst < 0.0 or cost < best_cost)))
+                    if better:
+                        best_index, best_worst, best_cost = candidate, worst, cost
+                if best_index != knob.index:
+                    knob.set_index(best_index)
+                    moved = True
+                else:
+                    knob.set_index(knob.index)  # restore after probing
+            if not moved:
+                break
+        _, final_cost = objective()
+        return evaluations, final_cost
+
+
+class AdaptiveSystem:
+    """Fig 6: monitors + knobs + control algorithm around a circuit."""
+
+    def __init__(self, monitors: Sequence[Monitor], knobs: Sequence[Knob],
+                 specs: Sequence[SpecTarget],
+                 cost_fn: Callable[[], float],
+                 controller: Optional[ControlAlgorithm] = None):
+        if not monitors or not knobs:
+            raise ValueError("need at least one monitor and one knob")
+        names = {m.name for m in monitors}
+        for spec in specs:
+            if spec.monitor_name not in names:
+                raise ValueError(f"spec references unknown monitor "
+                                 f"{spec.monitor_name!r}")
+        self.monitors = list(monitors)
+        self.knobs = list(knobs)
+        self.specs = list(specs)
+        self.cost_fn = cost_fn
+        self.controller = controller if controller is not None else ControlAlgorithm()
+        self.history: List[RegulationRecord] = []
+
+    def readings(self) -> Dict[str, float]:
+        """Current monitor readings."""
+        return {m.name: m.read() for m in self.monitors}
+
+    def in_spec(self, readings: Optional[Dict[str, float]] = None) -> bool:
+        """Whether every spec is currently met."""
+        r = readings if readings is not None else self.readings()
+        return all(spec.satisfied(r[spec.monitor_name]) for spec in self.specs)
+
+    def regulate(self) -> RegulationRecord:
+        """One control-loop invocation: re-tune all knobs.
+
+        Call after every aging epoch (or whenever a monitor drifts) —
+        this is the "runtime countermeasures" loop of §5.2.
+        """
+        before = self.readings()
+        evaluations, cost = self.controller.optimize(
+            self.knobs, self.monitors, self.specs, self.cost_fn)
+        after = self.readings()
+        record = RegulationRecord(
+            readings_before=before,
+            readings_after=after,
+            knob_indices={k.name: k.index for k in self.knobs},
+            cost=cost,
+            in_spec=self.in_spec(after),
+            evaluations=evaluations,
+        )
+        self.history.append(record)
+        return record

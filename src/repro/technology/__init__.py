@@ -1,0 +1,45 @@
+"""Synthetic technology-node library (paper §2 substrate).
+
+Public API:
+
+* :class:`TechnologyNode` and its parameter groups
+  (:class:`MismatchCoefficients`, :class:`AgingCoefficients`,
+  :class:`InterconnectParameters`);
+* :func:`get_node` / :data:`NODES` / :func:`node_names` /
+  :func:`scaling_trend` to access the predefined 350 nm → 32 nm nodes;
+* :func:`tuinhout_benchmark_avt` / :func:`modeled_avt` — the Fig 1 curves.
+"""
+
+from repro.technology.library import (
+    AVT_FLOOR_MV_UM,
+    NODES,
+    TUINHOUT_SLOPE_MV_UM_PER_NM,
+    get_node,
+    modeled_avt,
+    node_names,
+    scaling_trend,
+    tuinhout_benchmark_avt,
+)
+from repro.technology.scaling import interpolated_node
+from repro.technology.node import (
+    AgingCoefficients,
+    InterconnectParameters,
+    MismatchCoefficients,
+    TechnologyNode,
+)
+
+__all__ = [
+    "AVT_FLOOR_MV_UM",
+    "AgingCoefficients",
+    "InterconnectParameters",
+    "MismatchCoefficients",
+    "NODES",
+    "TUINHOUT_SLOPE_MV_UM_PER_NM",
+    "TechnologyNode",
+    "get_node",
+    "interpolated_node",
+    "modeled_avt",
+    "node_names",
+    "scaling_trend",
+    "tuinhout_benchmark_avt",
+]

@@ -1,0 +1,313 @@
+"""Technology-node description.
+
+A :class:`TechnologyNode` bundles every process-dependent constant the
+rest of the library needs: nominal device parameters for the compact
+MOSFET model, matching coefficients for the variability models (Eq 1 of
+the paper), and the acceleration constants of the four degradation
+mechanisms of Section 3 (TDDB, HCI, NBTI, EM).
+
+The numbers shipped in :mod:`repro.technology.library` are synthetic but
+ITRS-flavoured: they follow the published scaling trends (oxide thickness,
+supply voltage, A_VT per Tuinhout's 1 mV·µm/nm benchmark with the sub-10 nm
+saturation shown in Fig 1 of the paper) rather than any single foundry's
+PDK, which is proprietary.  See DESIGN.md §3 for the substitution note.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class MismatchCoefficients:
+    """Pelgrom-style matching coefficients (paper Eq 1 plus extensions).
+
+    ``sigma^2(dVT) = A_VT^2/(W·L) + S_VT^2·D^2`` with W, L in µm and the
+    device separation D in µm; A_VT in mV·µm, S_VT in mV/µm.  The
+    short/narrow-channel extension coefficients model the extra variance
+    observed at minimum geometry (paper §2, refs [5], [41]).
+    """
+
+    a_vt_mv_um: float
+    """Area coefficient of V_T mismatch [mV·µm]."""
+
+    s_vt_mv_per_um: float
+    """Distance coefficient of V_T mismatch [mV/µm]."""
+
+    a_beta_pct_um: float
+    """Area coefficient of relative current-factor mismatch [%·µm]."""
+
+    s_beta_pct_per_um: float
+    """Distance coefficient of current-factor mismatch [%/µm]."""
+
+    a_gamma_mv_um: float
+    """Area coefficient of body-factor mismatch [mV^0.5·µm·1000]."""
+
+    short_channel_l_um: float = 0.0
+    """Short-channel variance length scale L* [µm]: the V_T mismatch
+    variance is multiplied by ``(1 + L*/L)`` so that minimum-length
+    devices show the extra variability reported for short channels
+    (paper §2, refs [5], [41])."""
+
+    narrow_channel_w_um: float = 0.0
+    """Narrow-channel variance width scale W* [µm]: multiplies variance
+    by ``(1 + W*/W)``."""
+
+
+@dataclass(frozen=True)
+class AgingCoefficients:
+    """Acceleration constants for the §3 degradation mechanisms.
+
+    All energies in eV, fields in V/m unless noted.  These calibrate the
+    closed-form laws Eq 2 (HCI), Eq 3 (NBTI), Eq 4 (EM) and the Weibull
+    TDDB statistics of §3.1.
+    """
+
+    # --- NBTI (Eq 3) -----------------------------------------------------
+    nbti_prefactor_v: float = 8.0e-3
+    """ΔV_T magnitude scale [V] at reference stress (1 s, E_ox = E0, T→∞)."""
+
+    nbti_e0_v_per_m: float = 8.0e8
+    """Oxide-field acceleration constant E_0 [V/m]."""
+
+    nbti_ea_ev: float = 0.08
+    """Thermal activation energy E_a [eV]."""
+
+    nbti_time_exponent: float = 0.16
+    """Power-law time exponent n (typically 0.1–0.25)."""
+
+    nbti_permanent_fraction: float = 0.4
+    """Fraction of NBTI damage that does not recover (lock-in component)."""
+
+    nbti_relax_tau0_s: float = 1.0e-6
+    """Earliest relaxation timescale (µs, per Reisinger et al.)."""
+
+    nbti_relax_tau1_s: float = 1.0e5
+    """Latest relaxation timescale (~days)."""
+
+    # --- HCI (Eq 2) -------------------------------------------------------
+    hci_prefactor_v: float = 3.0e-6
+    """ΔV_T after 1 s of stress at the REFERENCE stress condition
+    (v_GS = v_DS = VDD on a minimum-length device) [V].  Eq 2 is applied
+    in normalized-acceleration form around this anchor, which keeps the
+    brutally steep lucky-electron exponential calibratable."""
+
+    hci_vov_ref_v: float = 0.8
+    """Gate overdrive at the reference stress [V] (Q_i anchor)."""
+
+    hci_eox_ref_v_per_m: float = 6.9e8
+    """Vertical oxide field at the reference stress [V/m]."""
+
+    hci_em_ref_v_per_m: float = 3.4e7
+    """Peak lateral field E_m at the reference stress [V/m]."""
+
+    hci_e0_v_per_m: float = 1.0e9
+    """Vertical-oxide-field acceleration constant E_o [V/m]."""
+
+    hci_phi_it_ev: float = 3.7
+    """Interface-trap generation energy φ_it [eV]."""
+
+    hci_lambda_m: float = 7.0e-9
+    """Hot-electron mean free path λ [m]."""
+
+    hci_time_exponent: float = 0.45
+    """Power-law time exponent n (typically 0.4–0.5)."""
+
+    # --- TDDB (§3.1) -------------------------------------------------------
+    tddb_weibull_shape: float = 1.4
+    """Weibull shape β of the time-to-breakdown distribution (thin oxides
+    have β close to 1; thicker oxides are steeper)."""
+
+    tddb_eta_prefactor_s: float = 3.0e-7
+    """Scale prefactor of the Weibull characteristic life η [s]."""
+
+    tddb_field_gamma_m_per_v: float = 3.2e-8
+    """Exponential field-acceleration factor γ [m/V] in η ∝ exp(-γE_ox)...
+    expressed so that η = prefactor·exp(gamma_decades·(E_bd-E_ox))."""
+
+    tddb_gamma_decades_per_mv_cm: float = 3.0
+    """Field acceleration in decades of lifetime per MV/cm of oxide field."""
+
+    tddb_ref_field_mv_cm: float = 12.0
+    """Reference oxide field [MV/cm] where η equals the prefactor."""
+
+    tddb_area_scale_um2: float = 1.0
+    """Reference gate area [µm²] for Poisson area scaling of BD statistics."""
+
+    # --- Electromigration (Eq 4) -------------------------------------------
+    em_ea_ev: float = 0.85
+    """EM activation energy E_a [eV] (Cu interconnect ~0.8–0.9 eV)."""
+
+    em_current_exponent: float = 2.0
+    """Black's current-density exponent n (classic value 2)."""
+
+    em_a_const: float = 1.0e5
+    """Black prefactor A' such that MTTF = A'·J^-n·exp(Ea/kT − Ea/kT_ref)
+    with J in MA/cm² gives MTTF in hours at the EM reference temperature
+    (105 °C, the usual sign-off corner): ≈11.4 years at 1 MA/cm²."""
+
+    em_ref_temperature_k: float = 378.15
+    """Reference junction temperature of the Black prefactor [K]."""
+
+    em_blech_product_a_per_m: float = 2.0e5
+    """Blech threshold (J·L)_crit [A/m] — wires with J·L below this are
+    immune to EM (paper ref [7]).  2e5 A/m = 2000 A/cm, the classic
+    experimental range (1000–4000 A/cm)."""
+
+    em_bamboo_width_m: float = 0.18e-6
+    """Wire width below which the bamboo grain structure improves EM."""
+
+    em_bamboo_bonus: float = 3.0
+    """MTTF multiplier for bamboo wires (paper ref [25])."""
+
+    em_via_penalty: float = 0.5
+    """MTTF multiplier for segments terminated by a via without reservoir."""
+
+    em_reservoir_bonus: float = 1.6
+    """MTTF multiplier when the via has a reservoir extension (ref [30])."""
+
+
+@dataclass(frozen=True)
+class InterconnectParameters:
+    """Back-end-of-line wire constants used by the EM analysis."""
+
+    resistivity_ohm_m: float = 2.2e-8
+    """Effective metal resistivity [Ω·m] (Cu + barrier)."""
+
+    thickness_m: float = 0.25e-6
+    """Metal thickness [m] (fixed per layer in a standard process)."""
+
+    min_width_m: float = 0.1e-6
+    """Minimum drawable wire width [m]."""
+
+    j_max_a_per_m2: float = 2.0e10
+    """Design-rule maximum DC current density [A/m²] (2 MA/cm²)."""
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A complete synthetic process description for one CMOS node."""
+
+    name: str
+    """Human-readable node name, e.g. ``"65nm"``."""
+
+    lmin_m: float
+    """Minimum drawn channel length [m]."""
+
+    wmin_m: float
+    """Minimum channel width [m]."""
+
+    tox_nm: float
+    """Electrical gate-oxide thickness [nm]."""
+
+    vdd: float
+    """Nominal supply voltage [V]."""
+
+    vt0_n: float
+    """Nominal NMOS zero-bias threshold voltage [V]."""
+
+    vt0_p: float
+    """Nominal PMOS zero-bias threshold voltage [V] (negative)."""
+
+    u0_n_m2_per_vs: float
+    """Low-field electron mobility [m²/V·s]."""
+
+    u0_p_m2_per_vs: float
+    """Low-field hole mobility [m²/V·s]."""
+
+    lambda_per_v_um: float
+    """Channel-length-modulation coefficient for a 1 µm device [1/V];
+    scaled by 1/L(µm) in the compact model."""
+
+    gamma_body_sqrt_v: float
+    """Body-effect coefficient γ [√V]."""
+
+    phi_surface_v: float
+    """Surface potential 2φ_F [V]."""
+
+    vsat_m_per_s: float
+    """Carrier saturation velocity [m/s]."""
+
+    theta_mobility_per_v: float
+    """Vertical-field mobility-degradation coefficient θ [1/V]."""
+
+    subthreshold_slope_factor: float
+    """Ideality factor n of the subthreshold exponential (S = n·kT/q·ln10)."""
+
+    mismatch: MismatchCoefficients = field(default_factory=lambda: MismatchCoefficients(
+        a_vt_mv_um=5.0, s_vt_mv_per_um=0.02, a_beta_pct_um=1.0,
+        s_beta_pct_per_um=0.005, a_gamma_mv_um=2.0))
+    """Matching coefficients for Eq 1."""
+
+    aging: AgingCoefficients = field(default_factory=AgingCoefficients)
+    """Degradation-law constants for §3."""
+
+    interconnect: InterconnectParameters = field(default_factory=InterconnectParameters)
+    """BEOL constants for the EM analysis."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def tox_m(self) -> float:
+        """Gate-oxide thickness [m]."""
+        return self.tox_nm * units.NANO
+
+    @property
+    def cox_f_per_m2(self) -> float:
+        """Oxide capacitance per area [F/m²]."""
+        return units.oxide_capacitance_per_area(self.tox_m)
+
+    @property
+    def kp_n(self) -> float:
+        """NMOS process transconductance ``µ0·Cox`` [A/V²]."""
+        return self.u0_n_m2_per_vs * self.cox_f_per_m2
+
+    @property
+    def kp_p(self) -> float:
+        """PMOS process transconductance ``µ0·Cox`` [A/V²]."""
+        return self.u0_p_m2_per_vs * self.cox_f_per_m2
+
+    @property
+    def lmin_um(self) -> float:
+        """Minimum length in µm."""
+        return self.lmin_m / units.MICRO
+
+    @property
+    def wmin_um(self) -> float:
+        """Minimum width in µm."""
+        return self.wmin_m / units.MICRO
+
+    def nominal_oxide_field(self) -> float:
+        """Oxide field at V_G = VDD [V/m] — the stress the §3 laws see."""
+        return units.oxide_field(self.vdd, self.tox_m)
+
+    def scaled(self, **overrides) -> "TechnologyNode":
+        """Return a copy with selected fields replaced (what-if studies)."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any parameter is physically nonsensical."""
+        checks: Dict[str, float] = {
+            "lmin_m": self.lmin_m,
+            "wmin_m": self.wmin_m,
+            "tox_nm": self.tox_nm,
+            "vdd": self.vdd,
+            "vt0_n": self.vt0_n,
+            "u0_n_m2_per_vs": self.u0_n_m2_per_vs,
+            "u0_p_m2_per_vs": self.u0_p_m2_per_vs,
+            "vsat_m_per_s": self.vsat_m_per_s,
+        }
+        for field_name, value in checks.items():
+            if value <= 0.0:
+                raise ValueError(f"{self.name}: {field_name} must be positive, got {value}")
+        if self.vt0_p >= 0.0:
+            raise ValueError(f"{self.name}: PMOS vt0_p must be negative, got {self.vt0_p}")
+        if self.vt0_n >= self.vdd:
+            raise ValueError(f"{self.name}: vt0_n={self.vt0_n} does not leave headroom under vdd={self.vdd}")
+        if not math.isfinite(self.nominal_oxide_field()):
+            raise ValueError(f"{self.name}: non-finite nominal oxide field")

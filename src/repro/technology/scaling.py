@@ -1,0 +1,78 @@
+"""Custom-node synthesis by interpolation of the shipped library.
+
+"What does a 75 nm process look like?" — projects any feature size
+inside the library range by log-log interpolation of the primary
+parameters between the two bracketing shipped nodes, then rebuilding
+the derived coefficient sets (mismatch, aging, interconnect) with the
+same calibration functions the library itself uses.  Useful for
+trend studies at arbitrary granularity (e.g. plotting E1/E13 curves
+with 20 points instead of 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.technology.library import (
+    NODES,
+    _aging_for,
+    _interconnect_for,
+    _mismatch_for,
+)
+from repro.technology.node import TechnologyNode
+
+
+def _loglog_interp(x: float, xs, ys) -> float:
+    """Log-x linear-y interpolation (parameters vs feature size)."""
+    return float(np.interp(math.log(x), [math.log(v) for v in xs], ys))
+
+
+def interpolated_node(feature_nm: float) -> TechnologyNode:
+    """Synthesize a node at an arbitrary feature size [nm].
+
+    The size must lie inside the shipped library range (32–350 nm).
+    Primary parameters (t_ox, VDD, V_T0, mobilities) interpolate between
+    the bracketing nodes; every derived coefficient set is rebuilt from
+    the library's own calibration functions, so the synthetic node obeys
+    the same trends (Tuinhout A_VT, aging severity, TDDB/EM anchors) as
+    its neighbours.
+    """
+    nodes = sorted(NODES.values(), key=lambda n: n.lmin_m)
+    sizes_nm = [n.lmin_m * 1e9 for n in nodes]
+    if not sizes_nm[0] <= feature_nm <= sizes_nm[-1]:
+        raise ValueError(
+            f"feature size {feature_nm} nm outside library range "
+            f"[{sizes_nm[0]:.0f}, {sizes_nm[-1]:.0f}] nm")
+
+    def interp(attr) -> float:
+        return _loglog_interp(feature_nm, sizes_nm,
+                              [getattr(n, attr) for n in nodes])
+
+    tox_nm = interp("tox_nm")
+    vdd = interp("vdd")
+    vt0_n = interp("vt0_n")
+    lmin_um = feature_nm * 1e-3
+    node = TechnologyNode(
+        name=f"{feature_nm:g}nm(interp)",
+        lmin_m=feature_nm * 1e-9,
+        wmin_m=1.4 * feature_nm * 1e-9,
+        tox_nm=tox_nm,
+        vdd=vdd,
+        vt0_n=vt0_n,
+        vt0_p=-vt0_n,
+        u0_n_m2_per_vs=interp("u0_n_m2_per_vs"),
+        u0_p_m2_per_vs=interp("u0_p_m2_per_vs"),
+        lambda_per_v_um=interp("lambda_per_v_um"),
+        gamma_body_sqrt_v=interp("gamma_body_sqrt_v"),
+        phi_surface_v=interp("phi_surface_v"),
+        vsat_m_per_s=interp("vsat_m_per_s"),
+        theta_mobility_per_v=0.25 + 0.9 / tox_nm,
+        subthreshold_slope_factor=interp("subthreshold_slope_factor"),
+        mismatch=_mismatch_for(tox_nm, lmin_um),
+        aging=_aging_for(feature_nm, tox_nm, vdd, vt0_n),
+        interconnect=_interconnect_for(feature_nm),
+    )
+    node.validate()
+    return node

@@ -1,0 +1,153 @@
+"""Physical constants and unit helpers used throughout :mod:`repro`.
+
+All internal quantities are SI unless a name says otherwise.  The few
+deliberate exceptions follow long-standing CMOS-modelling conventions and
+are always spelled out in the symbol name:
+
+* gate-oxide thickness helpers accept/return nanometres where the name
+  contains ``_nm``;
+* mismatch coefficients ``A_VT`` are in the customary mV·µm (so that
+  ``sigma = A_VT / sqrt(W_um * L_um)`` yields millivolts);
+* current densities for electromigration are in A/cm^2 where noted.
+
+The tiny conversion helpers below keep those conventions explicit at the
+call sites instead of burying magic factors inside models.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Fundamental constants (CODATA, SI) ---------------------------------
+
+#: Elementary charge [C].
+Q_ELECTRON = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Boltzmann constant [eV/K] — activation energies are quoted in eV.
+K_BOLTZMANN_EV = 8.617333262e-5
+
+#: Vacuum permittivity [F/m].
+EPS_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPS_R_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPS_R_SI = 11.7
+
+#: Permittivity of SiO2 [F/m].
+EPS_SIO2 = EPS_R_SIO2 * EPS_0
+
+#: Permittivity of silicon [F/m].
+EPS_SI = EPS_R_SI * EPS_0
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+NI_SILICON = 1.45e16
+
+#: Standard simulation temperature [K].
+T_ROOM = 300.0
+
+#: Zero Celsius in Kelvin.
+T_CELSIUS_0 = 273.15
+
+# --- Convenient scale factors -------------------------------------------
+
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def thermal_voltage(temperature: float = T_ROOM) -> float:
+    """Return the thermal voltage ``kT/q`` [V] at ``temperature`` [K].
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return K_BOLTZMANN * temperature / Q_ELECTRON
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    kelvin = temp_c + T_CELSIUS_0
+    if kelvin < 0.0:
+        raise ValueError(f"{temp_c} degC is below absolute zero")
+    return kelvin
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    if temp_k < 0.0:
+        raise ValueError(f"negative absolute temperature: {temp_k}")
+    return temp_k - T_CELSIUS_0
+
+
+def oxide_capacitance_per_area(tox_m: float) -> float:
+    """Gate-oxide capacitance per unit area ``C_ox = eps_SiO2 / t_ox`` [F/m^2].
+
+    ``tox_m`` is the (electrical) oxide thickness in metres.
+    """
+    if tox_m <= 0.0:
+        raise ValueError(f"oxide thickness must be positive, got {tox_m}")
+    return EPS_SIO2 / tox_m
+
+
+def oxide_field(v_gate: float, tox_m: float) -> float:
+    """Vertical oxide field magnitude ``|V| / t_ox`` [V/m]."""
+    if tox_m <= 0.0:
+        raise ValueError(f"oxide thickness must be positive, got {tox_m}")
+    return abs(v_gate) / tox_m
+
+
+def nm(value_nm: float) -> float:
+    """Convert nanometres to metres (readability helper)."""
+    return value_nm * NANO
+
+
+def um(value_um: float) -> float:
+    """Convert micrometres to metres (readability helper)."""
+    return value_um * MICRO
+
+
+def to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m / NANO
+
+
+def to_um(value_m: float) -> float:
+    """Convert metres to micrometres."""
+    return value_m / MICRO
+
+
+def db(ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20·log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels back to an amplitude ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def seconds_per_year() -> float:
+    """Length of a Julian year in seconds (lifetime conventions)."""
+    return 365.25 * 24.0 * 3600.0
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert years to seconds."""
+    return years * seconds_per_year()
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert seconds to years."""
+    return seconds / seconds_per_year()

@@ -1,0 +1,40 @@
+"""Time-zero variability models and Monte-Carlo sampling (paper §2).
+
+* :class:`PelgromModel` — Eq 1 mismatch law with short/narrow extensions;
+* :class:`LerModel` — line-edge-roughness σ(V_T) (ref [11]);
+* :class:`MismatchSampler` — draws :class:`repro.circuit.DeviceVariation`
+  offsets for whole circuits, with layout :class:`Placement` support for
+  the distance term;
+* :class:`ProcessCorner` / :func:`standard_corners` — inter-die
+  systematic corners (TT/FF/SS/FS/SF).
+"""
+
+from repro.variability.decomposition import (
+    AvtDecomposition,
+    decompose_avt,
+    ler_component_mv_um,
+    oxide_component_mv_um,
+    rdf_component_mv_um,
+)
+from repro.variability.ler import LerModel
+from repro.variability.pelgrom import PelgromModel
+from repro.variability.sampler import (
+    MismatchSampler,
+    Placement,
+    ProcessCorner,
+    standard_corners,
+)
+
+__all__ = [
+    "AvtDecomposition",
+    "LerModel",
+    "decompose_avt",
+    "ler_component_mv_um",
+    "oxide_component_mv_um",
+    "rdf_component_mv_um",
+    "MismatchSampler",
+    "PelgromModel",
+    "Placement",
+    "ProcessCorner",
+    "standard_corners",
+]

@@ -1,0 +1,101 @@
+"""Line-edge-roughness (LER) variability model (paper §2, ref [11]).
+
+The gate edge produced by lithography/etch is rough: its deviation from
+the drawn line is a random process with an RMS amplitude Δ (≈ 1–2 nm)
+and a correlation length Λ (≈ 20–40 nm).  Along the width W, a device
+averages over roughly ``N = max(1, W/Λ)`` independent gate-length
+samples, so the effective channel length fluctuates with
+
+    σ(L_eff) = Δ_rms / sqrt(max(1, W / Λ))
+
+and the resulting threshold fluctuation is that length noise times the
+V_T roll-off sensitivity ``|dV_T/dL|`` — which grows steeply at short
+channels because of short-channel effects:
+
+    |dV_T/dL|(L) = S0 · exp(−(L − L_min)/L_roll)
+
+LER therefore becomes "a serious yield-threatening problem" (the paper's
+words) exactly when L shrinks toward Λ: it adds variance on top of the
+Pelgrom area law and does NOT average away with larger L at fixed W.
+Experiment E11 regenerates this divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class LerModel:
+    """Synthetic LER → σ(V_T) model."""
+
+    rms_amplitude_m: float = 1.5e-9
+    """RMS edge deviation Δ [m] (≈1.5 nm, roughly constant over nodes)."""
+
+    correlation_length_m: float = 30e-9
+    """Edge autocorrelation length Λ [m]."""
+
+    sensitivity_mv_per_nm: float = 2.0
+    """|dV_T/dL| at the technology's minimum length S0 [mV/nm]."""
+
+    rolloff_length_m: float = 40e-9
+    """Decay length L_roll of the V_T roll-off sensitivity [m]."""
+
+    lmin_m: float = 65e-9
+    """Reference minimum channel length of the technology [m]."""
+
+    def __post_init__(self) -> None:
+        for name in ("rms_amplitude_m", "correlation_length_m",
+                     "sensitivity_mv_per_nm", "rolloff_length_m", "lmin_m"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+    @staticmethod
+    def for_technology(tech: TechnologyNode) -> "LerModel":
+        """Build an LER model scaled to a technology node.
+
+        The roll-off sensitivity at L_min grows for smaller nodes (halo/
+        pocket implants steepen V_T(L)); the roughness amplitude itself
+        barely improves with scaling — which is why LER's *relative*
+        impact explodes (ref [11]).  The ~7 mV/nm anchor at 90 nm is in
+        the range reported for halo-implanted V_T roll-off slopes.
+        """
+        lmin = tech.lmin_m
+        sensitivity = 7.0 * (90e-9 / lmin)
+        return LerModel(
+            rms_amplitude_m=1.5e-9,
+            correlation_length_m=30e-9,
+            sensitivity_mv_per_nm=sensitivity,
+            rolloff_length_m=0.6 * lmin,
+            lmin_m=lmin,
+        )
+
+    # ------------------------------------------------------------------
+    def independent_segments(self, w_m: float) -> float:
+        """Number of statistically independent edge segments along W."""
+        if w_m <= 0.0:
+            raise ValueError(f"W must be positive, got {w_m}")
+        return max(1.0, w_m / self.correlation_length_m)
+
+    def sigma_leff_m(self, w_m: float) -> float:
+        """σ of the width-averaged effective channel length [m]."""
+        return self.rms_amplitude_m / math.sqrt(self.independent_segments(w_m))
+
+    def dvt_dl_v_per_m(self, l_m: float) -> float:
+        """V_T roll-off sensitivity |dV_T/dL| at channel length L [V/m]."""
+        if l_m <= 0.0:
+            raise ValueError(f"L must be positive, got {l_m}")
+        s0_v_per_m = self.sensitivity_mv_per_nm * units.MILLI / units.NANO
+        return s0_v_per_m * math.exp(-(l_m - self.lmin_m) / self.rolloff_length_m)
+
+    def sigma_vt_v(self, w_m: float, l_m: float) -> float:
+        """LER-induced σ(V_T) of a single device [V]."""
+        return self.dvt_dl_v_per_m(l_m) * self.sigma_leff_m(w_m)
+
+    def sigma_delta_vt_v(self, w_m: float, l_m: float) -> float:
+        """LER contribution to the PAIR mismatch σ(ΔV_T) [V] (×√2)."""
+        return math.sqrt(2.0) * self.sigma_vt_v(w_m, l_m)

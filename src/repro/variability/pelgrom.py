@@ -1,0 +1,136 @@
+"""Pelgrom-law mismatch model (paper §2, Eq 1).
+
+The paper's Eq 1 for the threshold-voltage mismatch of two identically
+drawn transistors at mutual distance D::
+
+    σ²(ΔV_T) = A_VT² / (W·L)  +  S_VT² · D²
+
+with the widely used extension for short/narrow channels (refs [5],
+[41]) implemented as multiplicative variance corrections ``(1 + L*/L)``
+and ``(1 + W*/W)``.  The same functional form, with its own
+coefficients, applies to the current factor β and body factor γ
+(refs [23], [31]).
+
+Conventions: W, L, D in µm inside the formulas (matching how A_VT is
+quoted in mV·µm); the public API takes SI metres and returns SI volts /
+fractions, doing the conversion internally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.technology.node import MismatchCoefficients, TechnologyNode
+
+
+@dataclass(frozen=True)
+class PelgromModel:
+    """Evaluates Eq 1 (and its β/γ analogues) for one technology."""
+
+    coefficients: MismatchCoefficients
+
+    @staticmethod
+    def for_technology(tech: TechnologyNode) -> "PelgromModel":
+        """Build the model from a technology node's coefficient set."""
+        return PelgromModel(tech.mismatch)
+
+    # ------------------------------------------------------------------
+    # Geometry handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _geometry_um(w_m: float, l_m: float) -> tuple:
+        if w_m <= 0.0 or l_m <= 0.0:
+            raise ValueError(f"W and L must be positive, got W={w_m}, L={l_m}")
+        return w_m / units.MICRO, l_m / units.MICRO
+
+    def _geometry_correction(self, w_um: float, l_um: float) -> float:
+        """Short/narrow-channel variance multiplier (≥ 1)."""
+        c = self.coefficients
+        return 1.0 + c.short_channel_l_um / l_um + c.narrow_channel_w_um / w_um
+
+    # ------------------------------------------------------------------
+    # Pair mismatch sigmas (Eq 1 — difference between two devices)
+    # ------------------------------------------------------------------
+    def sigma_delta_vt_v(self, w_m: float, l_m: float,
+                         distance_m: float = 0.0) -> float:
+        """σ(ΔV_T) of a device pair [V] — Eq 1 with extensions."""
+        if distance_m < 0.0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        w_um, l_um = self._geometry_um(w_m, l_m)
+        d_um = distance_m / units.MICRO
+        c = self.coefficients
+        area_var_mv2 = (c.a_vt_mv_um ** 2 / (w_um * l_um)
+                        * self._geometry_correction(w_um, l_um))
+        dist_var_mv2 = (c.s_vt_mv_per_um * d_um) ** 2
+        return math.sqrt(area_var_mv2 + dist_var_mv2) * units.MILLI
+
+    def sigma_delta_beta_fraction(self, w_m: float, l_m: float,
+                                  distance_m: float = 0.0) -> float:
+        """σ(Δβ/β) of a device pair [fraction, e.g. 0.01 = 1 %]."""
+        if distance_m < 0.0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        w_um, l_um = self._geometry_um(w_m, l_m)
+        d_um = distance_m / units.MICRO
+        c = self.coefficients
+        area_var_pct2 = c.a_beta_pct_um ** 2 / (w_um * l_um)
+        dist_var_pct2 = (c.s_beta_pct_per_um * d_um) ** 2
+        return math.sqrt(area_var_pct2 + dist_var_pct2) / 100.0
+
+    def sigma_delta_gamma_v(self, w_m: float, l_m: float) -> float:
+        """σ(Δγ) of a device pair, expressed as an equivalent V_T
+        contribution at nominal back bias [V]."""
+        w_um, l_um = self._geometry_um(w_m, l_m)
+        return (self.coefficients.a_gamma_mv_um / math.sqrt(w_um * l_um)
+                * units.MILLI)
+
+    # ------------------------------------------------------------------
+    # Single-device sigmas (deviation from the wafer mean)
+    # ------------------------------------------------------------------
+    def sigma_single_vt_v(self, w_m: float, l_m: float) -> float:
+        """σ of ONE device's V_T deviation [V].
+
+        A pair difference of two iid deviations has √2 larger sigma, so
+        the single-device value is the Eq 1 area term divided by √2.
+        """
+        return self.sigma_delta_vt_v(w_m, l_m) / math.sqrt(2.0)
+
+    def sigma_single_beta_fraction(self, w_m: float, l_m: float) -> float:
+        """σ of ONE device's relative β deviation [fraction]."""
+        return self.sigma_delta_beta_fraction(w_m, l_m) / math.sqrt(2.0)
+
+    # ------------------------------------------------------------------
+    # Design helpers
+    # ------------------------------------------------------------------
+    def area_for_sigma_vt(self, target_sigma_v: float,
+                          aspect_ratio: float = 1.0) -> tuple:
+        """Smallest (W, L) [m] with pair σ(ΔV_T) ≤ ``target_sigma_v``.
+
+        ``aspect_ratio`` is W/L.  Ignores the distance term (D = 0) but
+        includes the short/narrow correction, solved by bisection.  This
+        is the sizing rule behind "intrinsic accuracy costs area"
+        (paper §5.1).
+        """
+        if target_sigma_v <= 0.0:
+            raise ValueError("target sigma must be positive")
+        if aspect_ratio <= 0.0:
+            raise ValueError("aspect ratio must be positive")
+
+        def sigma_for_length(l_um: float) -> float:
+            w_um = aspect_ratio * l_um
+            return self.sigma_delta_vt_v(w_um * units.MICRO, l_um * units.MICRO)
+
+        lo, hi = 1e-3, 1.0
+        while sigma_for_length(hi) > target_sigma_v:
+            hi *= 2.0
+            if hi > 1e5:
+                raise ValueError("target sigma unreachable within sane area")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if sigma_for_length(mid) > target_sigma_v:
+                lo = mid
+            else:
+                hi = mid
+        l_um = hi
+        return aspect_ratio * l_um * units.MICRO, l_um * units.MICRO

@@ -1,0 +1,183 @@
+"""Monte-Carlo sampling of device variations (paper §2).
+
+The sampler turns the analytic mismatch laws of
+:mod:`repro.variability.pelgrom` (and optionally
+:mod:`repro.variability.ler`) into concrete :class:`DeviceVariation`
+offsets attached to the MOSFETs of a circuit:
+
+* every device receives an independent *local* deviation with the
+  single-device sigma (Eq 1 area term / √2, including the short/narrow
+  extension and, if enabled, the LER contribution);
+* a wafer-level random *gradient* reproduces the distance term
+  ``S_VT·D``: devices placed with :class:`Placement` coordinates pick up
+  a systematic offset ``g · position`` where the gradient components are
+  drawn once per sample with σ = S_VT (so a pair separated by D differs
+  by σ = S_VT·D in any direction).
+
+The sampler is deterministic given its ``numpy.random.Generator`` —
+the Monte-Carlo yield engine (:mod:`repro.core.yield_analysis`) seeds it
+per trial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.circuit.mosfet import DeviceVariation, Mosfet
+from repro.circuit.netlist import Circuit
+from repro.technology.node import TechnologyNode
+from repro.variability.ler import LerModel
+from repro.variability.pelgrom import PelgromModel
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Layout position of a device [m] (for the distance term of Eq 1)."""
+
+    x_m: float
+    y_m: float
+
+    def distance_to(self, other: "Placement") -> float:
+        """Euclidean distance to another placement [m]."""
+        return math.hypot(self.x_m - other.x_m, self.y_m - other.y_m)
+
+
+class MismatchSampler:
+    """Draws :class:`DeviceVariation` offsets for whole circuits."""
+
+    def __init__(self, tech: TechnologyNode,
+                 rng: Optional[np.random.Generator] = None,
+                 include_ler: bool = False,
+                 ler_model: Optional[LerModel] = None):
+        self.tech = tech
+        self.pelgrom = PelgromModel.for_technology(tech)
+        self.include_ler = include_ler
+        self.ler = ler_model if ler_model is not None else LerModel.for_technology(tech)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Per-device sigmas
+    # ------------------------------------------------------------------
+    def sigma_single_vt_v(self, w_m: float, l_m: float) -> float:
+        """Single-device σ(V_T) [V] including LER when enabled."""
+        pelgrom = self.pelgrom.sigma_single_vt_v(w_m, l_m)
+        if not self.include_ler:
+            return pelgrom
+        return math.hypot(pelgrom, self.ler.sigma_vt_v(w_m, l_m))
+
+    def sigma_single_beta_fraction(self, w_m: float, l_m: float) -> float:
+        """Single-device σ(β)/β [fraction]."""
+        return self.pelgrom.sigma_single_beta_fraction(w_m, l_m)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_gradient_v_per_m(self) -> Tuple[float, float]:
+        """Draw the wafer V_T gradient (gx, gy) [V/m] for one MC sample."""
+        s_vt_v_per_m = (self.tech.mismatch.s_vt_mv_per_um
+                        * units.MILLI / units.MICRO)
+        gx, gy = self.rng.normal(0.0, s_vt_v_per_m, size=2)
+        return float(gx), float(gy)
+
+    def sample_device(self, w_m: float, l_m: float,
+                      placement: Optional[Placement] = None,
+                      gradient_v_per_m: Tuple[float, float] = (0.0, 0.0),
+                      ) -> DeviceVariation:
+        """Draw one device's random offsets."""
+        sigma_vt = self.sigma_single_vt_v(w_m, l_m)
+        sigma_beta = self.sigma_single_beta_fraction(w_m, l_m)
+        sigma_gamma_v = self.pelgrom.sigma_delta_gamma_v(w_m, l_m) / math.sqrt(2.0)
+        delta_vt = float(self.rng.normal(0.0, sigma_vt))
+        if placement is not None:
+            gx, gy = gradient_v_per_m
+            delta_vt += gx * placement.x_m + gy * placement.y_m
+        beta_factor = float(1.0 + self.rng.normal(0.0, sigma_beta))
+        beta_factor = max(beta_factor, 0.05)
+        gamma_rel_sigma = sigma_gamma_v / max(self.tech.gamma_body_sqrt_v, 1e-9)
+        gamma_factor = float(1.0 + self.rng.normal(0.0, gamma_rel_sigma))
+        gamma_factor = max(gamma_factor, 0.05)
+        return DeviceVariation(delta_vt_v=delta_vt, beta_factor=beta_factor,
+                               gamma_factor=gamma_factor)
+
+    def assign(self, circuit: Circuit,
+               placements: Optional[Dict[str, Placement]] = None) -> None:
+        """Draw and attach fresh variations to every MOSFET in ``circuit``.
+
+        ``placements`` maps device names to layout positions; devices
+        without a placement see only the local (area-law) component.
+        One gradient is drawn per call — i.e. per Monte-Carlo sample.
+        """
+        gradient = self.sample_gradient_v_per_m() if placements else (0.0, 0.0)
+        for device in circuit.mosfets:
+            placement = placements.get(device.name) if placements else None
+            device.variation = self.sample_device(
+                device.params.w_m, device.params.l_m, placement, gradient)
+
+    def clear(self, circuit: Circuit) -> None:
+        """Reset every MOSFET in ``circuit`` to nominal (no variation)."""
+        for device in circuit.mosfets:
+            device.variation = DeviceVariation()
+
+    # ------------------------------------------------------------------
+    # Matched pairs (the measurement the Eq 1 literature quotes)
+    # ------------------------------------------------------------------
+    def sample_pair_delta_vt_v(self, w_m: float, l_m: float,
+                               distance_m: float = 0.0) -> float:
+        """Draw ΔV_T of one matched pair [V] (local + distance terms).
+
+        Used by the tests and E2 to verify the sampled statistics
+        reproduce Eq 1.
+        """
+        local = self.pelgrom.sigma_single_vt_v(w_m, l_m)
+        if self.include_ler:
+            local = math.hypot(local, self.ler.sigma_vt_v(w_m, l_m))
+        d1 = self.rng.normal(0.0, local)
+        d2 = self.rng.normal(0.0, local)
+        gx, _ = self.sample_gradient_v_per_m()
+        return float((d1 - d2) + gx * distance_m)
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A global (inter-die) process corner: systematic shifts applied to
+    every device of a die.  Complements the intra-die mismatch above —
+    the paper's "systematic errors" bucket."""
+
+    name: str
+    vt_shift_n_v: float
+    vt_shift_p_v: float
+    beta_factor_n: float
+    beta_factor_p: float
+
+    def apply(self, circuit: Circuit) -> None:
+        """Overwrite every device's variation with this corner's shift."""
+        for device in circuit.mosfets:
+            is_n = device.params.polarity == "n"
+            device.variation = DeviceVariation(
+                delta_vt_v=self.vt_shift_n_v if is_n else self.vt_shift_p_v,
+                beta_factor=self.beta_factor_n if is_n else self.beta_factor_p,
+            )
+
+
+def standard_corners(tech: TechnologyNode,
+                     vt_sigma_v: float = 0.03,
+                     beta_sigma: float = 0.05) -> Dict[str, ProcessCorner]:
+    """The five classic corners (TT/FF/SS/FS/SF) at ±3σ global spread.
+
+    "F" (fast) = lower |V_T| and higher β; first letter NMOS, second PMOS.
+    """
+    dv = 3.0 * vt_sigma_v
+    db = 3.0 * beta_sigma
+    corners = {
+        "TT": ProcessCorner("TT", 0.0, 0.0, 1.0, 1.0),
+        "FF": ProcessCorner("FF", -dv, -dv, 1.0 + db, 1.0 + db),
+        "SS": ProcessCorner("SS", dv, dv, 1.0 - db, 1.0 - db),
+        "FS": ProcessCorner("FS", -dv, dv, 1.0 + db, 1.0 - db),
+        "SF": ProcessCorner("SF", dv, -dv, 1.0 - db, 1.0 + db),
+    }
+    return corners

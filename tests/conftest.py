@@ -1,0 +1,30 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    """The 90 nm node — the default testbench technology."""
+    return get_node("90nm")
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    """The 65 nm node."""
+    return get_node("65nm")
+
+
+@pytest.fixture(scope="session")
+def tech350():
+    """The 350 nm node (old, thick-oxide reference point)."""
+    return get_node("350nm")
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)

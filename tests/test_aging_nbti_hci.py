@@ -1,0 +1,271 @@
+"""Unit tests for the NBTI (Eq 3) and HCI (Eq 2) engines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.aging import DeviceStress, HciModel, NbtiModel, RelaxationParams
+from repro.aging.base import MechanismState, power_law_advance
+from repro.circuit import Mosfet, Waveform
+
+
+def make_device(tech, polarity="p", w=1e-6, l=None):
+    return Mosfet.from_technology("m1", "d", "g", "s", "b", tech, polarity,
+                                  w_m=w, l_m=l if l else tech.lmin_m)
+
+
+class TestPowerLawAdvance:
+    def test_constant_stress_reduces_to_power_law(self):
+        k, n = 1e-3, 0.2
+        delta = 0.0
+        for _ in range(10):
+            delta = power_law_advance(delta, k, n, 100.0)
+        assert delta == pytest.approx(k * 1000.0 ** n, rel=1e-9)
+
+    def test_zero_stress_freezes_damage(self):
+        assert power_law_advance(0.05, 0.0, 0.2, 1e6) == 0.05
+
+    def test_zero_dt_is_identity(self):
+        assert power_law_advance(0.05, 1e-3, 0.2, 0.0) == 0.05
+
+    def test_higher_stress_continues_from_equivalent_time(self):
+        # After damage D at stress k1, switching to k2 > k1 must continue
+        # from the time at which k2 WOULD have produced D — i.e. damage
+        # stays continuous and grows faster afterwards.
+        d1 = power_law_advance(0.0, 1e-3, 0.5, 100.0)
+        d2 = power_law_advance(d1, 2e-3, 0.5, 100.0)
+        assert d2 > power_law_advance(d1, 1e-3, 0.5, 100.0)
+        assert d2 < 2e-3 * (200.0) ** 0.5  # less than pure-k2 history
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            power_law_advance(0.0, 1e-3, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            power_law_advance(-0.1, 1e-3, 0.2, 1.0)
+        with pytest.raises(ValueError):
+            power_law_advance(0.0, 1e-3, 0.2, -1.0)
+
+
+class TestNbtiLaw:
+    def test_power_law_exponent(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        eox = tech90.nominal_oxide_field()
+        d1 = nbti.delta_vt_v(eox, 398.0, 1e4)
+        d2 = nbti.delta_vt_v(eox, 398.0, 1e6)
+        measured_n = math.log(d2 / d1) / math.log(100.0)
+        assert measured_n == pytest.approx(tech90.aging.nbti_time_exponent,
+                                           rel=1e-6)
+
+    def test_field_acceleration(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        low = nbti.delta_vt_v(4e8, 398.0, 1e6)
+        high = nbti.delta_vt_v(8e8, 398.0, 1e6)
+        assert high / low == pytest.approx(
+            math.exp(4e8 / tech90.aging.nbti_e0_v_per_m), rel=1e-6)
+
+    def test_temperature_acceleration(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        eox = tech90.nominal_oxide_field()
+        assert nbti.delta_vt_v(eox, 423.0, 1e6) > nbti.delta_vt_v(eox, 300.0, 1e6)
+
+    def test_ten_year_magnitude_sensible(self, tech90):
+        # Tens of mV at hot temperature over a 10-year life.
+        nbti = NbtiModel(tech90.aging)
+        d = nbti.delta_vt_v(tech90.nominal_oxide_field(), 398.0,
+                            units.years_to_seconds(10.0))
+        assert 0.01 < d < 0.2
+
+    def test_ac_duty_scaling(self, tech90):
+        # ΔV_T(duty) = ΔV_T(DC)·duty^n for periodic stress.
+        nbti = NbtiModel(tech90.aging)
+        eox = tech90.nominal_oxide_field()
+        full = nbti.delta_vt_v(eox, 398.0, 1e6, duty=1.0)
+        half = nbti.delta_vt_v(eox, 398.0, 1e6, duty=0.5)
+        n = tech90.aging.nbti_time_exponent
+        assert half / full == pytest.approx(0.5 ** n, rel=1e-6)
+
+    def test_rejects_bad_inputs(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        with pytest.raises(ValueError):
+            nbti.delta_vt_v(1e8, 300.0, 1e3, duty=1.5)
+        with pytest.raises(ValueError):
+            nbti.delta_vt_v(-1e8, 300.0, 1e3)
+        with pytest.raises(ValueError):
+            nbti.prefactor(1e8, -300.0)
+
+
+class TestNbtiRelaxation:
+    def test_universal_recovery_monotone(self):
+        relax = RelaxationParams()
+        fracs = [relax.remaining_fraction(t, 1e3)
+                 for t in [0.0, 1.0, 1e2, 1e4, 1e6]]
+        assert fracs[0] == 1.0
+        assert all(b < a for a, b in zip(fracs, fracs[1:]))
+
+    def test_recovery_spans_microseconds_to_days(self):
+        # Observable relaxation from µs to days (refs [29], [34]).
+        relax = RelaxationParams()
+        early = relax.remaining_fraction(1e-6, 1e3)
+        late = relax.remaining_fraction(1e5, 1e3)
+        assert early > 0.9
+        assert late < 0.65
+
+    def test_permanent_component_survives(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        total = 0.05
+        after_long_relax = nbti.relaxed_delta_vt_v(total, 1e3, 1e12)
+        p = tech90.aging.nbti_permanent_fraction
+        assert after_long_relax >= p * total
+        assert after_long_relax < total
+
+    def test_no_recovery_mode(self, tech90):
+        nbti = NbtiModel(tech90.aging, model_recovery=False)
+        assert nbti.relaxed_delta_vt_v(0.05, 1e3, 1e12) == pytest.approx(0.05)
+
+    def test_split_adds_up(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        perm, rec = nbti.split(0.04)
+        assert perm + rec == pytest.approx(0.04)
+        assert perm == pytest.approx(
+            tech90.aging.nbti_permanent_fraction * 0.04)
+
+
+class TestNbtiMechanismInterface:
+    def test_affects_pmos_only(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        assert nbti.affects(make_device(tech90, "p"))
+        assert not nbti.affects(make_device(tech90, "n"))
+
+    def test_dc_stress_accumulates(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        dev = make_device(tech90, "p")
+        state = MechanismState()
+        stress = DeviceStress.static(-tech90.vdd, 0.0, 398.0)
+        nbti.advance(dev, stress, state, 1e6)
+        assert state.delta_vt_v > 0.0
+        assert state.stress_time_s == 1e6
+
+    def test_positive_gate_bias_is_no_stress(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        dev = make_device(tech90, "p")
+        state = MechanismState()
+        stress = DeviceStress.static(+0.5, 0.0, 398.0)
+        nbti.advance(dev, stress, state, 1e6)
+        assert state.delta_vt_v == 0.0
+
+    def test_waveform_duty_extraction(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        dev = make_device(tech90, "p")
+        t = np.linspace(0.0, 1e-6, 1001)
+        # Square-ish wave: stressed half the time at -vdd.
+        vgs = np.where((t * 4e6).astype(int) % 2 == 0, -tech90.vdd, 0.0)
+        stress = DeviceStress.from_waveforms(
+            Waveform(t, vgs), Waveform(t, np.zeros_like(t)),
+            temperature_k=398.0)
+        eox, duty = nbti.stress_measures(dev, stress)
+        assert duty == pytest.approx(0.5, abs=0.05)
+        assert eox == pytest.approx(dev.oxide_field(tech90.vdd), rel=0.01)
+
+    def test_contribute_writes_degradation(self, tech90):
+        nbti = NbtiModel(tech90.aging)
+        dev = make_device(tech90, "p")
+        state = MechanismState(delta_vt_v=0.03, stress_time_s=1e6)
+        nbti.contribute(dev, state)
+        assert dev.degradation.delta_vt_v == pytest.approx(0.03)
+        assert dev.degradation.beta_factor < 1.0
+
+
+class TestHciLaw:
+    def test_power_law_exponent(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        d1 = hci.delta_vt_v(dev, 0.6, 1.2, 300.0, 1e4)
+        d2 = hci.delta_vt_v(dev, 0.6, 1.2, 300.0, 1e6)
+        n = math.log(d2 / d1) / math.log(100.0)
+        assert n == pytest.approx(tech90.aging.hci_time_exponent, rel=1e-6)
+
+    def test_needs_conduction(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        assert hci.delta_vt_v(dev, 0.0, 1.2, 300.0, 1e6) == 0.0
+
+    def test_needs_pinchoff_field(self, tech90):
+        # Deep triode: no velocity-saturated region, no hot carriers.
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        assert hci.delta_vt_v(dev, 1.2, 0.05, 300.0, 1e6) == 0.0
+
+    def test_vds_acceleration_is_exponential(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        d_low = hci.delta_vt_v(dev, 0.6, 1.0, 300.0, 1e4)
+        d_high = hci.delta_vt_v(dev, 0.6, 1.4, 300.0, 1e4)
+        assert d_high / d_low > 3.0
+
+    def test_worst_case_near_half_vdd_gate(self, tech90):
+        # The substrate-current peak: vgs ≈ vdd/2 beats vgs = vdd.
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        mid = hci.delta_vt_v(dev, 0.6, 1.2, 300.0, 1e6)
+        full = hci.delta_vt_v(dev, 1.2, 1.2, 300.0, 1e6)
+        assert mid > full
+
+    def test_nmos_worse_than_pmos(self, tech90):
+        hci = HciModel(tech90.aging)
+        dn = make_device(tech90, "n")
+        dp = make_device(tech90, "p")
+        d_n = hci.delta_vt_v(dn, 0.6, 1.2, 300.0, 1e6)
+        d_p = hci.delta_vt_v(dp, 0.6, 1.2, 300.0, 1e6)
+        assert d_n > 5.0 * d_p
+
+    def test_long_channel_immune(self, tech90):
+        hci = HciModel(tech90.aging)
+        short = make_device(tech90, "n", l=tech90.lmin_m)
+        long_ = make_device(tech90, "n", l=10e-6)
+        d_short = hci.delta_vt_v(short, 0.6, 1.2, 300.0, 1e6)
+        d_long = hci.delta_vt_v(long_, 0.6, 1.2, 300.0, 1e6)
+        assert d_long < 1e-3 * d_short
+
+
+class TestHciMechanismInterface:
+    def test_affects_both_polarities(self, tech90):
+        hci = HciModel(tech90.aging)
+        assert hci.affects(make_device(tech90, "n"))
+        assert hci.affects(make_device(tech90, "p"))
+
+    def test_waveform_averaged_prefactor(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        t = np.linspace(0.0, 1e-6, 1001)
+        # Half the time at worst-case stress, half off.
+        on = ((t * 4e6).astype(int) % 2 == 0)
+        vgs = np.where(on, 0.6, 0.0)
+        vds = np.where(on, 1.2, 0.0)
+        stress = DeviceStress.from_waveforms(Waveform(t, vgs),
+                                             Waveform(t, vds))
+        k_wave = hci.effective_prefactor(dev, stress)
+        k_dc = hci.prefactor(dev, 0.6, 1.2, units.T_ROOM)
+        assert k_wave == pytest.approx(0.5 * k_dc, rel=0.05)
+
+    def test_contribute_degrades_beta_and_ro(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        state = MechanismState(delta_vt_v=0.04)
+        hci.contribute(dev, state)
+        assert dev.degradation.delta_vt_v == pytest.approx(0.04)
+        assert dev.degradation.beta_factor < 1.0
+        assert dev.degradation.lambda_factor > 1.0
+
+    def test_advance_accumulates(self, tech90):
+        hci = HciModel(tech90.aging)
+        dev = make_device(tech90, "n")
+        state = MechanismState()
+        stress = DeviceStress.static(0.6, 1.2, 378.0)
+        hci.advance(dev, stress, state, 1e5)
+        d1 = state.delta_vt_v
+        hci.advance(dev, stress, state, 1e5)
+        assert state.delta_vt_v > d1
+        # Sub-linear accumulation (n < 1).
+        assert state.delta_vt_v < 2.0 * d1

@@ -1,0 +1,346 @@
+"""Unit tests for TDDB (§3.1) and electromigration (§3.4, Eq 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.aging import (
+    BreakdownMode,
+    ElectromigrationModel,
+    InterconnectNetwork,
+    TddbModel,
+    WireSegment,
+    weibit,
+    weibull_cdf,
+    weibull_quantile,
+)
+from repro.circuit import Mosfet
+
+
+class TestWeibullHelpers:
+    def test_cdf_at_eta(self):
+        assert weibull_cdf(1e3, 1e3, 2.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_cdf_zero_time(self):
+        assert weibull_cdf(0.0, 1e3, 2.0) == 0.0
+
+    def test_quantile_roundtrip(self):
+        t = weibull_quantile(0.1, 1e3, 1.4)
+        assert weibull_cdf(t, 1e3, 1.4) == pytest.approx(0.1)
+
+    def test_weibit_transform(self):
+        # At F = 1-1/e the weibit is 0.
+        assert weibit(1 - math.exp(-1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            weibull_cdf(1.0, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            weibull_quantile(1.5, 1e3, 2.0)
+        with pytest.raises(ValueError):
+            weibit(0.0)
+
+
+class TestTddbStatistics:
+    def test_field_acceleration(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        eta_low = tddb.characteristic_life_s(5e8, 1.0)
+        eta_high = tddb.characteristic_life_s(7e8, 1.0)
+        assert eta_low > 100.0 * eta_high
+
+    def test_area_scaling_poisson(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        beta = tech90.aging.tddb_weibull_shape
+        eta1 = tddb.characteristic_life_s(6e8, 1.0)
+        eta100 = tddb.characteristic_life_s(6e8, 100.0)
+        assert eta1 / eta100 == pytest.approx(100.0 ** (1.0 / beta), rel=1e-6)
+
+    def test_temperature_acceleration(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        assert (tddb.characteristic_life_s(6e8, 1.0, 398.0)
+                < tddb.characteristic_life_s(6e8, 1.0, 300.0))
+
+    def test_nominal_life_after_scaling_storyline(self, tech350, tech65):
+        # η at nominal field: centuries at 350 nm, ~decades at 65 nm.
+        eta_old = TddbModel(tech350.aging).characteristic_life_s(
+            tech350.nominal_oxide_field(), 1.0)
+        eta_new = TddbModel(tech65.aging).characteristic_life_s(
+            tech65.nominal_oxide_field(), 1.0)
+        assert units.seconds_to_years(eta_old) > 300.0
+        assert 2.0 < units.seconds_to_years(eta_new) < 100.0
+
+    def test_failure_probability_monotone(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        eox = tech90.nominal_oxide_field()
+        probs = [tddb.failure_probability(t, eox, 1.0)
+                 for t in [1e3, 1e6, 1e9]]
+        assert all(b > a for a, b in zip(probs, probs[1:]))
+
+    def test_time_to_fraction_inverse(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        eox = tech90.nominal_oxide_field()
+        t1 = tddb.time_to_fraction_s(0.01, eox, 1.0)
+        assert tddb.failure_probability(t1, eox, 1.0) == pytest.approx(0.01)
+
+    def test_sampled_times_follow_weibull(self, tech90, rng):
+        tddb = TddbModel(tech90.aging)
+        eox = 8e8  # accelerated
+        events = [tddb.sample_breakdown(rng, tech90.tox_nm, eox, 1.0)
+                  for _ in range(2000)]
+        times = np.array([e.t_first_bd_s for e in events])
+        eta = tddb.characteristic_life_s(eox, 1.0)
+        # At t = η the empirical CDF should be 1 − 1/e.
+        frac = float(np.mean(times <= eta))
+        assert frac == pytest.approx(1 - math.exp(-1), abs=0.03)
+
+
+class TestBreakdownModes:
+    def test_mode_sequences_by_thickness(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        assert tddb.mode_sequence(7.5) == [BreakdownMode.HARD]
+        assert tddb.mode_sequence(4.0) == [BreakdownMode.SOFT,
+                                           BreakdownMode.HARD]
+        assert tddb.mode_sequence(2.0) == [BreakdownMode.SOFT,
+                                           BreakdownMode.PROGRESSIVE,
+                                           BreakdownMode.HARD]
+
+    def test_event_mode_at(self, tech90, rng):
+        tddb = TddbModel(tech90.aging)
+        event = tddb.sample_breakdown(rng, 2.0, 8e8, 1.0)
+        assert event.mode_at(0.0) is None
+        assert event.mode_at(event.t_first_bd_s) is BreakdownMode.PROGRESSIVE
+        assert event.mode_at(event.t_hard_bd_s) is BreakdownMode.HARD
+        assert event.t_hard_bd_s > event.t_first_bd_s
+
+    def test_progressive_leak_grows_to_hbd(self, tech90):
+        from repro.aging.tddb import HBD_LEAK_S, SBD_LEAK_S
+
+        tddb = TddbModel(tech90.aging)
+        g0 = tddb.progressive_leak_s(0.0, 1e7)
+        g_mid = tddb.progressive_leak_s(1e6, 1e7)
+        g_end = tddb.progressive_leak_s(1e9, 1e7)
+        assert g0 == pytest.approx(SBD_LEAK_S)
+        assert g0 < g_mid < g_end
+        assert g_end == pytest.approx(HBD_LEAK_S)
+
+    def test_channel_impact_hard_worse_than_soft(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        soft = tddb.channel_impact_factor(BreakdownMode.SOFT, 0.5, 1e-6)
+        hard = tddb.channel_impact_factor(BreakdownMode.HARD, 0.5, 1e-6)
+        assert hard < soft <= 1.0
+
+    def test_channel_impact_mid_channel_worst(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        mid = tddb.channel_impact_factor(BreakdownMode.HARD, 0.5, 1e-6)
+        edge = tddb.channel_impact_factor(BreakdownMode.HARD, 0.0, 1e-6)
+        assert mid < edge
+
+    def test_narrow_devices_hit_harder(self, tech90):
+        tddb = TddbModel(tech90.aging)
+        narrow = tddb.channel_impact_factor(BreakdownMode.HARD, 0.5, 0.2e-6)
+        wide = tddb.channel_impact_factor(BreakdownMode.HARD, 0.5, 5e-6)
+        assert narrow < wide
+
+    def test_apply_breakdown_sets_device(self, tech90):
+        from repro.aging.tddb import HBD_LEAK_S
+
+        tddb = TddbModel(tech90.aging)
+        dev = Mosfet.from_technology("m", "d", "g", "s", "b", tech90, "n",
+                                     w_m=1e-6, l_m=0.09e-6)
+        tddb.apply_breakdown(dev, BreakdownMode.HARD, spot_position=0.8)
+        assert dev.degradation.gate_leak_s == pytest.approx(HBD_LEAK_S)
+        assert dev.degradation.bd_spot_position == pytest.approx(0.8)
+        assert dev.degradation.beta_factor < 1.0
+
+
+class TestBlackEquation:
+    def test_current_exponent(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        m1 = em.black_mttf_s(1e10)
+        m2 = em.black_mttf_s(2e10)
+        assert m1 / m2 == pytest.approx(4.0, rel=1e-6)
+
+    def test_temperature_acceleration(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        assert em.black_mttf_s(1e10, 378.0) < em.black_mttf_s(1e10, 300.0)
+
+    def test_zero_current_immortal(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        assert em.black_mttf_s(0.0) == math.inf
+
+    def test_magnitude_at_design_jmax(self, tech65):
+        # Years-scale life at the design-rule current density at the
+        # 105 C sign-off corner; centuries at room temperature.
+        em = ElectromigrationModel(tech65.aging)
+        hot = units.seconds_to_years(
+            em.black_mttf_s(1e10, units.celsius_to_kelvin(105.0)))
+        cold = units.seconds_to_years(em.black_mttf_s(1e10))
+        assert 1.0 < hot < 100.0
+        assert cold > 100.0 * hot
+
+
+class TestWireSegment:
+    def seg(self, **kw):
+        defaults = dict(name="w", node_a="a", node_b="b", width_m=0.2e-6,
+                        length_m=50e-6, thickness_m=0.2e-6)
+        defaults.update(kw)
+        return WireSegment(**defaults)
+
+    def test_resistance(self):
+        s = self.seg(width_m=1e-6, length_m=100e-6, thickness_m=0.5e-6,
+                     resistivity_ohm_m=2.2e-8)
+        assert s.resistance_ohm == pytest.approx(2.2e-8 * 100e-6 / 0.5e-12)
+
+    def test_current_density(self):
+        s = self.seg(width_m=1e-6, thickness_m=1e-6)
+        assert s.current_density(1e-3) == pytest.approx(1e9)
+
+    def test_widened(self):
+        s = self.seg()
+        w2 = s.widened(2.0)
+        assert w2.width_m == pytest.approx(2 * s.width_m)
+        assert s.width_m == pytest.approx(0.2e-6)  # original untouched
+
+    def test_reservoir_requires_via(self):
+        with pytest.raises(ValueError, match="reservoir"):
+            self.seg(has_via=False, has_reservoir=True)
+
+
+class TestEmCorrections:
+    def seg(self, **kw):
+        defaults = dict(name="w", node_a="a", node_b="b", width_m=0.2e-6,
+                        length_m=100e-6, thickness_m=0.2e-6)
+        defaults.update(kw)
+        return WireSegment(**defaults)
+
+    def test_blech_immunity(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        short = self.seg(length_m=1e-6)
+        # J·L = I/(w·t)·L: pick I so J·L is below 3e3 A/m.
+        i_small = 0.5 * tech65.aging.em_blech_product_a_per_m * (
+            short.cross_section_m2 / short.length_m)
+        assert em.is_blech_immune(short, i_small)
+        assert em.segment_mttf_s(short, i_small) == math.inf
+
+    def test_long_wire_not_immune(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        long_ = self.seg(length_m=1e-3)
+        assert not em.is_blech_immune(long_, 1e-3)
+        assert em.segment_mttf_s(long_, 1e-3) < math.inf
+
+    def test_bamboo_bonus(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        narrow = self.seg(width_m=0.5 * tech65.aging.em_bamboo_width_m)
+        wide = self.seg(width_m=4.0 * tech65.aging.em_bamboo_width_m)
+        # Same current DENSITY: scale current with cross-section.
+        i_n = 1e10 * narrow.cross_section_m2
+        i_w = 1e10 * wide.cross_section_m2
+        assert (em.segment_mttf_s(narrow, i_n)
+                == pytest.approx(tech65.aging.em_bamboo_bonus
+                                 * em.segment_mttf_s(wide, i_w), rel=1e-6))
+
+    def test_via_penalty_and_reservoir(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        plain = self.seg()
+        via = self.seg(has_via=True)
+        res = self.seg(has_via=True, has_reservoir=True)
+        i = 1e-3
+        assert em.segment_mttf_s(via, i) < em.segment_mttf_s(plain, i)
+        assert (em.segment_mttf_s(via, i)
+                < em.segment_mttf_s(res, i)
+                < em.segment_mttf_s(plain, i))
+
+    def test_required_width_meets_target(self, tech65):
+        em = ElectromigrationModel(tech65.aging)
+        seg = self.seg(width_m=0.1e-6)
+        target = units.years_to_seconds(10.0)
+        i = 2e-3
+        hot = units.celsius_to_kelvin(105.0)
+        w_req = em.required_width_m(seg, i, target, temperature_k=hot)
+        assert w_req > seg.width_m
+        widened = seg.widened(w_req / seg.width_m)
+        assert em.segment_mttf_s(widened, i, hot) >= target * 0.99
+
+
+class TestInterconnectNetwork:
+    def build_net(self, tech65):
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("trunk", "src", "mid", width_m=0.3e-6, length_m=200e-6,
+                 has_via=True)
+        net.wire("branch_a", "mid", "gnd", width_m=0.2e-6, length_m=100e-6)
+        net.wire("branch_b", "mid", "gnd", width_m=0.6e-6, length_m=100e-6)
+        net.inject("src", 3e-3)
+        net.inject("gnd", -3e-3)
+        net.set_ground("gnd")
+        return net
+
+    def test_current_conservation(self, tech65):
+        net = self.build_net(tech65)
+        currents = net.solve_currents()
+        assert currents["trunk"] == pytest.approx(3e-3, rel=1e-9)
+        assert (currents["branch_a"] + currents["branch_b"]
+                == pytest.approx(3e-3, rel=1e-9))
+
+    def test_current_divides_by_conductance(self, tech65):
+        net = self.build_net(tech65)
+        currents = net.solve_currents()
+        # branch_b is 3× wider → 3× the conductance → 3× the current.
+        assert (currents["branch_b"] / currents["branch_a"]
+                == pytest.approx(3.0, rel=1e-9))
+
+    def test_analysis_ranks_weakest_first(self, tech65):
+        net = self.build_net(tech65)
+        reports = net.analyze(ElectromigrationModel(tech65.aging))
+        mttfs = [r.mttf_s for r in reports]
+        assert mttfs == sorted(mttfs)
+        assert reports[0].segment.name == "trunk"  # all current + via
+
+    def test_system_mttf_is_weakest(self, tech65):
+        net = self.build_net(tech65)
+        em = ElectromigrationModel(tech65.aging)
+        assert net.system_mttf_s(em) == net.analyze(em)[0].mttf_s
+
+    def test_jmax_violation_flag(self, tech65):
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("hot", "a", "gnd", width_m=0.1e-6, length_m=100e-6)
+        net.inject("a", 10e-3)
+        net.inject("gnd", -10e-3)
+        net.set_ground("gnd")
+        reports = net.analyze(ElectromigrationModel(tech65.aging))
+        assert reports[0].violates_jmax
+
+    def test_fix_em_violations_widens(self, tech65):
+        net = self.build_net(tech65)
+        em = ElectromigrationModel(tech65.aging)
+        target = units.years_to_seconds(10.0)
+        hot = units.celsius_to_kelvin(105.0)
+        before = net.system_mttf_s(em, hot)
+        assert before < target  # the grid starts in violation at 105 C
+        widened = net.fix_em_violations(em, target, temperature_k=hot)
+        assert net.system_mttf_s(em, hot) >= target * 0.95
+        assert widened  # something had to change
+
+    def test_requires_ground(self, tech65):
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("w", "a", "b", width_m=0.2e-6, length_m=10e-6)
+        with pytest.raises(ValueError, match="set_ground"):
+            net.solve_currents()
+
+    def test_duplicate_segment_rejected(self, tech65):
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("w", "a", "b", width_m=0.2e-6, length_m=10e-6)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.wire("w", "b", "c", width_m=0.2e-6, length_m=10e-6)
+        # Parallel segments between the same nodes are fine (real layouts
+        # strap wires in parallel); only names must be unique.
+        net.wire("w2", "a", "b", width_m=0.2e-6, length_m=10e-6)
+
+    def test_unknown_injection_node(self, tech65):
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("w", "a", "gnd", width_m=0.2e-6, length_m=10e-6)
+        net.inject("zz", 1e-3)
+        net.set_ground("gnd")
+        with pytest.raises(ValueError, match="unknown node"):
+            net.solve_currents()

@@ -1,0 +1,140 @@
+"""Unit tests for hierarchical circuit composition."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    DeviceVariation,
+    Mosfet,
+    clone_element,
+    dc_operating_point,
+    flatten_instance_names,
+    instantiate,
+)
+
+
+def inverter_template(tech):
+    """A standalone inverter: ports in, out, vdd (+ ground)."""
+    ckt = Circuit("inv template")
+    ckt.mosfet(Mosfet.from_technology(
+        "mn", "out", "in", "0", "0", tech, "n",
+        w_m=4 * tech.wmin_m, l_m=tech.lmin_m))
+    ckt.mosfet(Mosfet.from_technology(
+        "mp", "out", "in", "vdd", "vdd", tech, "p",
+        w_m=10 * tech.wmin_m, l_m=tech.lmin_m))
+    return ckt
+
+
+def divider_template():
+    ckt = Circuit("divider template")
+    ckt.resistor("rt", "top", "mid", 1e3)
+    ckt.resistor("rb", "mid", "0", 1e3)
+    return ckt
+
+
+class TestCloneElement:
+    def test_renames_and_remaps(self):
+        template = divider_template()
+        original = template["rt"]
+        clone = clone_element(original, "x1.rt", {"top": "a", "mid": "b"})
+        assert clone.name == "x1.rt"
+        assert clone.node_names == ("a", "b")
+        assert clone.resistance == original.resistance
+        assert original.name == "rt"  # untouched
+
+    def test_mosfet_state_deep_copied(self, tech90):
+        template = inverter_template(tech90)
+        original = template["mn"]
+        clone = clone_element(original, "x1.mn", {})
+        clone.variation.delta_vt_v = 0.05
+        clone.degradation.delta_vt_v = 0.02
+        assert original.variation.delta_vt_v == 0.0
+        assert original.degradation.delta_vt_v == 0.0
+
+
+class TestInstantiate:
+    def test_buffer_chain_works(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("buffer")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        top.voltage_source("vin", "a", "0", 0.0)
+        instantiate(top, template, "x1",
+                    {"in": "a", "out": "b", "vdd": "vdd"})
+        instantiate(top, template, "x2",
+                    {"in": "b", "out": "c", "vdd": "vdd"})
+        op = dc_operating_point(top)
+        # Two inversions: logic value restored.
+        assert op.voltage("b") > 0.9 * tech90.vdd
+        assert op.voltage("c") < 0.1 * tech90.vdd
+
+    def test_internal_nodes_prefixed(self):
+        template = divider_template()
+        top = Circuit("top")
+        top.voltage_source("v1", "rail", "0", 2.0)
+        instantiate(top, template, "u1", {"top": "rail"})
+        op = dc_operating_point(top)
+        # 'mid' was internal → became u1.mid.
+        assert op.voltage("u1.mid") == pytest.approx(1.0)
+        assert "u1.rt" in top
+
+    def test_instances_independent(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("pair")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        top.voltage_source("vin", "a", "0", tech90.vdd / 2)
+        instantiate(top, template, "x1",
+                    {"in": "a", "out": "y1", "vdd": "vdd"})
+        instantiate(top, template, "x2",
+                    {"in": "a", "out": "y2", "vdd": "vdd"})
+        top["x1.mn"].variation = DeviceVariation(delta_vt_v=0.1)
+        op = dc_operating_point(top)
+        # Skewed instance trips at a different point than the nominal one.
+        assert op.voltage("y1") != pytest.approx(op.voltage("y2"), abs=1e-3)
+
+    def test_ground_passes_through(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("g")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        top.voltage_source("vin", "a", "0", tech90.vdd)
+        elements = instantiate(top, template, "x1",
+                               {"in": "a", "out": "y", "vdd": "vdd"})
+        nmos = elements[0]
+        assert "0" in nmos.node_names
+
+    def test_unknown_port_rejected(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("bad")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        with pytest.raises(ValueError, match="does not exist"):
+            instantiate(top, template, "x1", {"nope": "a"})
+
+    def test_ground_remap_rejected(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("bad")
+        with pytest.raises(ValueError, match="ground"):
+            instantiate(top, template, "x1", {"0": "a"})
+
+    def test_empty_prefix_rejected(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("bad")
+        with pytest.raises(ValueError, match="prefix"):
+            instantiate(top, template, "", {})
+
+    def test_duplicate_instance_rejected(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("dup")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        instantiate(top, template, "x1",
+                    {"in": "a", "out": "b", "vdd": "vdd"})
+        with pytest.raises(ValueError, match="duplicate"):
+            instantiate(top, template, "x1",
+                        {"in": "b", "out": "c", "vdd": "vdd"})
+
+    def test_flatten_instance_names(self, tech90):
+        template = inverter_template(tech90)
+        top = Circuit("names")
+        top.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        instantiate(top, template, "x1",
+                    {"in": "a", "out": "b", "vdd": "vdd"})
+        assert flatten_instance_names(top, "x1") == ["x1.mn", "x1.mp"]
+        assert flatten_instance_names(top, "x9") == []

@@ -1,0 +1,102 @@
+"""Unit tests for the MNA stamper and solvers."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import SingularCircuitError, Stamper
+
+
+class TestStamperPrimitives:
+    def test_ground_entries_ignored(self):
+        st = Stamper(2)
+        st.matrix(-1, 0, 5.0)
+        st.matrix(0, -1, 5.0)
+        st.rhs(-1, 1.0)
+        assert np.all(st.a == 0.0)
+        assert np.all(st.b == 0.0)
+
+    def test_conductance_stamp_pattern(self):
+        st = Stamper(2)
+        st.conductance(0, 1, 2.0)
+        assert st.a[0, 0] == pytest.approx(2.0)
+        assert st.a[1, 1] == pytest.approx(2.0)
+        assert st.a[0, 1] == pytest.approx(-2.0)
+        assert st.a[1, 0] == pytest.approx(-2.0)
+
+    def test_conductance_to_ground(self):
+        st = Stamper(2)
+        st.conductance(0, -1, 3.0)
+        assert st.a[0, 0] == pytest.approx(3.0)
+        assert st.a[1, 1] == pytest.approx(0.0)
+
+    def test_current_injection_sign(self):
+        st = Stamper(1)
+        st.current(0, 1e-3)
+        assert st.b[0] == pytest.approx(1e-3)
+
+    def test_clear(self):
+        st = Stamper(2)
+        st.conductance(0, 1, 1.0)
+        st.current(0, 1.0)
+        st.clear()
+        assert np.all(st.a == 0.0)
+        assert np.all(st.b == 0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Stamper(0)
+
+
+class TestSolve:
+    def test_voltage_divider(self):
+        # 1 V source via branch eq, two 1 kΩ resistors: mid node at 0.5 V.
+        st = Stamper(3)  # nodes: top(0), mid(1); branch: 2
+        st.conductance(0, 1, 1e-3)
+        st.conductance(1, -1, 1e-3)
+        st.branch_voltage(0, -1, 2, rhs=1.0)
+        x = st.solve()
+        assert x[0] == pytest.approx(1.0)
+        assert x[1] == pytest.approx(0.5)
+        assert x[2] == pytest.approx(-0.5e-3)  # current out of + terminal
+
+    def test_current_source_into_resistor(self):
+        st = Stamper(1)
+        st.conductance(0, -1, 1e-3)
+        st.current(0, 1e-3)
+        x = st.solve()
+        assert x[0] == pytest.approx(1.0)
+
+    def test_transconductance_stamp(self):
+        # VCCS driven by a fixed node voltage: i = gm·v_c into load.
+        st = Stamper(3)
+        st.branch_voltage(0, -1, 2, rhs=0.5)   # v(0) = 0.5 V
+        st.conductance(1, -1, 1e-3)            # 1 kΩ load at node 1
+        st.transconductance(-1, 1, 0, -1, 2e-3)  # 2 mS into node 1
+        x = st.solve()
+        # i = gm*v = 1 mA into node 1 → 1 V across 1 kΩ.
+        assert x[1] == pytest.approx(1.0)
+
+    def test_singular_matrix_raises(self):
+        st = Stamper(2)
+        st.conductance(0, 1, 1.0)  # both nodes floating wrt ground
+        with pytest.raises(SingularCircuitError):
+            st.solve()
+
+    def test_gmin_fixes_floating_node(self):
+        st = Stamper(2)
+        st.conductance(0, 1, 1.0)
+        st.add_gmin(2, 1e-12)
+        x = st.solve()
+        assert np.allclose(x, 0.0)
+
+    def test_gmin_rejects_negative(self):
+        st = Stamper(2)
+        with pytest.raises(ValueError):
+            st.add_gmin(2, -1.0)
+
+    def test_complex_solve(self):
+        st = Stamper(1, dtype=complex)
+        st.conductance(0, -1, 1e-3 + 1e-3j)
+        st.current(0, 1e-3)
+        x = st.solve()
+        assert x[0] == pytest.approx(1.0 / (1.0 + 1.0j))

@@ -1,0 +1,214 @@
+"""Unit tests for the Circuit container and DC analyses."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    ConvergenceError,
+    Mosfet,
+    NewtonOptions,
+    dc_operating_point,
+    dc_sweep,
+    is_ground,
+    newton_solve,
+)
+
+
+class TestGroundNames:
+    def test_recognized_spellings(self):
+        assert is_ground("0")
+        assert is_ground("gnd")
+        assert is_ground("GND")
+        assert not is_ground("vdd")
+
+
+class TestCircuitContainer:
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit("dup")
+        ckt.resistor("r1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.resistor("r1", "b", "0", 1.0)
+
+    def test_getitem_and_contains(self):
+        ckt = Circuit("x")
+        r = ckt.resistor("r1", "a", "0", 1.0)
+        assert ckt["r1"] is r
+        assert "r1" in ckt
+        assert "r2" not in ckt
+        with pytest.raises(KeyError):
+            ckt["nope"]
+
+    def test_len_and_iter(self):
+        ckt = Circuit("x")
+        ckt.resistor("r1", "a", "0", 1.0)
+        ckt.resistor("r2", "a", "b", 1.0)
+        assert len(ckt) == 2
+        assert [e.name for e in ckt] == ["r1", "r2"]
+
+    def test_empty_circuit_cannot_compile(self):
+        with pytest.raises(ValueError, match="empty"):
+            Circuit("e").compile()
+
+    def test_node_indices_stable(self):
+        ckt = Circuit("x")
+        ckt.resistor("r1", "a", "b", 1.0)
+        ckt.resistor("r2", "b", "0", 1.0)
+        assert ckt.node("a") == 0
+        assert ckt.node("b") == 1
+        assert ckt.node("0") == -1
+        assert ckt.n_nodes == 2
+
+    def test_unknown_node_raises(self):
+        ckt = Circuit("x")
+        ckt.resistor("r1", "a", "0", 1.0)
+        with pytest.raises(KeyError, match="unknown node"):
+            ckt.node("zz")
+
+    def test_n_unknowns_counts_branches(self):
+        ckt = Circuit("x")
+        ckt.voltage_source("v1", "a", "0", 1.0)
+        ckt.resistor("r1", "a", "0", 1.0)
+        assert ckt.n_unknowns == 2  # one node + one branch
+
+    def test_mosfets_listing(self, tech90):
+        ckt = Circuit("x")
+        ckt.voltage_source("v1", "d", "0", 1.0)
+        ckt.mosfet(Mosfet.from_technology("m1", "d", "d", "0", "0", tech90,
+                                          "n", w_m=1e-6, l_m=1e-6))
+        assert [m.name for m in ckt.mosfets] == ["m1"]
+
+    def test_shared_elements_rebind_between_circuits(self, tech90):
+        """An element used in two circuits binds to whichever circuit is
+        compiled last — and each analysis re-compiles first."""
+        base = Circuit("base")
+        base.voltage_source("v1", "x", "0", 1.0)
+        r = base.resistor("r1", "x", "0", 1e3)
+        wrapper = Circuit("wrapper")
+        wrapper.resistor("extra", "pre", "x", 1e3)
+        wrapper.voltage_source("v1", "pre", "0", 1.0)
+        wrapper.add(r)
+        op_wrap = dc_operating_point(wrapper)
+        assert op_wrap.voltage("x") == pytest.approx(0.5)
+        op_base = dc_operating_point(base)
+        assert op_base.voltage("x") == pytest.approx(1.0)
+
+
+class TestDcOperatingPoint:
+    def test_nonlinear_diode_connected(self, tech90):
+        ckt = Circuit("dc")
+        ckt.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        ckt.resistor("rb", "vdd", "d", 10e3)
+        ckt.mosfet(Mosfet.from_technology("m1", "d", "d", "0", "0", tech90,
+                                          "n", w_m=1e-6, l_m=0.09e-6))
+        op = dc_operating_point(ckt)
+        vd = op.voltage("d")
+        assert tech90.vt0_n < vd < tech90.vdd
+        # KCL at the drain node.
+        i_r = (tech90.vdd - vd) / 10e3
+        assert op.device_op("m1").ids_a == pytest.approx(i_r, rel=1e-4)
+
+    def test_voltages_helper(self, tech90):
+        ckt = Circuit("v")
+        ckt.voltage_source("v1", "a", "0", 1.0)
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.resistor("r2", "b", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.voltages(["a", "b", "0"]) == pytest.approx([1.0, 0.5, 0.0])
+
+    def test_device_op_type_check(self, tech90):
+        ckt = Circuit("t")
+        ckt.voltage_source("v1", "a", "0", 1.0)
+        ckt.resistor("r1", "a", "0", 1e3)
+        op = dc_operating_point(ckt)
+        with pytest.raises(TypeError):
+            op.device_op("r1")
+        with pytest.raises(TypeError):
+            op.source_current("r1")
+
+    def test_all_device_ops(self, tech90):
+        ckt = Circuit("all")
+        ckt.voltage_source("vdd", "vdd", "0", tech90.vdd)
+        ckt.resistor("rb", "vdd", "d", 10e3)
+        ckt.mosfet(Mosfet.from_technology("m1", "d", "d", "0", "0", tech90,
+                                          "n", w_m=1e-6, l_m=0.09e-6))
+        ops = dc_operating_point(ckt).all_device_ops()
+        assert set(ops) == {"m1"}
+
+
+class TestNewtonSolver:
+    def test_linear_system_one_iteration(self):
+        def stamp(st, x):
+            st.conductance(0, -1, 1e-3)
+            st.current(0, 1e-3)
+
+        x = newton_solve(stamp, size=1, n_nodes=1)
+        assert x[0] == pytest.approx(1.0)
+
+    def test_nonconvergent_raises(self):
+        # A pathological oscillating "device".
+        state = {"n": 0}
+
+        def stamp(st, x):
+            state["n"] += 1
+            st.conductance(0, -1, 1e-3)
+            st.current(0, 1e-3 if state["n"] % 2 else -1e-3)
+
+        with pytest.raises(ConvergenceError):
+            newton_solve(stamp, size=1, n_nodes=1,
+                         options=NewtonOptions(max_iterations=20))
+
+    def test_damping_limits_step(self):
+        seen = []
+
+        def stamp(st, x):
+            seen.append(float(x[0]))
+            st.conductance(0, -1, 1e-3)
+            st.current(0, 10e-3)  # wants to jump to 10 V
+
+        newton_solve(stamp, size=1, n_nodes=1,
+                     options=NewtonOptions(damping_v=0.5))
+        # First update must be clamped to 0.5 V.
+        assert seen[1] == pytest.approx(0.5)
+
+    def test_bad_x0_shape_rejected(self):
+        def stamp(st, x):
+            st.conductance(0, -1, 1.0)
+
+        with pytest.raises(ValueError):
+            newton_solve(stamp, size=1, n_nodes=1, x0=np.zeros(3))
+
+
+class TestDcSweep:
+    def test_sweep_restores_spec(self, tech90):
+        ckt = Circuit("s")
+        vs = ckt.voltage_source("v1", "a", "0", 0.7)
+        ckt.resistor("r1", "a", "0", 1e3)
+        original = vs.spec
+        dc_sweep(ckt, "v1", [0.0, 0.5, 1.0])
+        assert vs.spec is original
+
+    def test_sweep_values_tracked(self, tech90):
+        ckt = Circuit("s")
+        ckt.voltage_source("v1", "a", "0", 0.0)
+        ckt.resistor("r1", "a", "0", 1e3)
+        sols = dc_sweep(ckt, "v1", [0.0, 0.5, 1.0])
+        assert [s.voltage("a") for s in sols] == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_sweep_mosfet_iv_monotone(self, tech90):
+        ckt = Circuit("iv")
+        ckt.voltage_source("vg", "g", "0", 0.9)
+        ckt.voltage_source("vd", "d", "0", 0.0)
+        ckt.mosfet(Mosfet.from_technology("m1", "d", "g", "0", "0", tech90,
+                                          "n", w_m=1e-6, l_m=0.09e-6))
+        sols = dc_sweep(ckt, "vd", np.linspace(0.0, 1.2, 13))
+        ids = [-s.source_current("vd") for s in sols]
+        assert all(b >= a - 1e-12 for a, b in zip(ids, ids[1:]))
+        assert ids[-1] > 1e-5
+
+    def test_sweep_rejects_non_source(self, tech90):
+        ckt = Circuit("s")
+        ckt.voltage_source("v1", "a", "0", 1.0)
+        ckt.resistor("r1", "a", "0", 1e3)
+        with pytest.raises(TypeError):
+            dc_sweep(ckt, "r1", [1.0])

@@ -1,0 +1,323 @@
+"""Unit tests for the SPICE-flavoured netlist parser/writer."""
+
+import math
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    DcSpec,
+    Mosfet,
+    NetlistError,
+    PulseSpec,
+    PwlSpec,
+    SineSpec,
+    dc_operating_point,
+    format_value,
+    parse_netlist,
+    parse_value,
+    transient,
+    write_netlist,
+)
+
+
+class TestParseValue:
+    def test_plain_numbers(self):
+        assert parse_value("42") == 42.0
+        assert parse_value("-3.5") == -3.5
+        assert parse_value("1e-9") == 1e-9
+        assert parse_value(".5") == 0.5
+
+    def test_suffixes(self):
+        assert parse_value("10k") == pytest.approx(10e3)
+        assert parse_value("2.5u") == pytest.approx(2.5e-6)
+        assert parse_value("100meg") == pytest.approx(100e6)
+        assert parse_value("3n") == pytest.approx(3e-9)
+        assert parse_value("1p") == pytest.approx(1e-12)
+        assert parse_value("7f") == pytest.approx(7e-15)
+        assert parse_value("2g") == pytest.approx(2e9)
+        assert parse_value("1t") == pytest.approx(1e12)
+        assert parse_value("5m") == pytest.approx(5e-3)
+
+    def test_case_insensitive(self):
+        assert parse_value("10K") == 10e3
+        assert parse_value("100MEG") == 100e6
+
+    def test_rejects_garbage(self):
+        for bad in ("abc", "1x", "", "--1", "1..2"):
+            with pytest.raises(ValueError):
+                parse_value(bad)
+
+
+class TestFormatValue:
+    def test_roundtrip_suffixes(self):
+        for value in (10e3, 2.5e-6, 100e6, 3e-9, 0.0, 42.0, -1.5e-12):
+            assert parse_value(format_value(value)) == pytest.approx(value)
+
+
+class TestParseBasics:
+    def test_title_and_simple_divider(self):
+        ckt = parse_netlist("""my divider
+* a comment
+V1 in 0 2.0
+R1 in mid 1k   ; inline comment
+R2 mid 0 3k
+.end
+""")
+        assert ckt.title == "my divider"
+        assert len(ckt) == 3
+        op = dc_operating_point(ckt)
+        assert op.voltage("mid") == pytest.approx(1.5)
+
+    def test_continuation_lines(self):
+        ckt = parse_netlist("""t
+V1 in 0
++ sin(0.5 0.1
++ 1meg)
+R1 in 0 1k
+""")
+        spec = ckt["V1"].spec
+        assert isinstance(spec, SineSpec)
+        assert spec.frequency_hz == pytest.approx(1e6)
+
+    def test_all_source_specs(self):
+        ckt = parse_netlist("""sources
+V1 a 0 dc 1.5
+V2 b 0 sin(0 1 10k 1u 0.5)
+V3 c 0 pulse(0 1 0 1n 1n 5n 10n)
+V4 d 0 pwl(0 0 1u 1 2u 0.5)
+I1 e 0 2m
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+R5 e 0 1k
+""")
+        assert isinstance(ckt["V1"].spec, DcSpec)
+        assert isinstance(ckt["V2"].spec, SineSpec)
+        assert isinstance(ckt["V3"].spec, PulseSpec)
+        assert isinstance(ckt["V4"].spec, PwlSpec)
+        assert ckt["I1"].spec.level == pytest.approx(2e-3)
+
+    def test_ac_magnitude(self):
+        ckt = parse_netlist("""t
+V1 in 0 1.0 ac=1
+R1 in 0 1k
+""")
+        assert ckt["V1"].ac_mag == pytest.approx(1.0)
+
+    def test_capacitor_ic(self):
+        ckt = parse_netlist("""t
+C1 a 0 1n ic=0.5
+R1 a 0 1k
+""")
+        cap = ckt["C1"]
+        assert isinstance(cap, Capacitor)
+        assert cap.v_initial == pytest.approx(0.5)
+
+    def test_diode_and_controlled_sources(self):
+        ckt = parse_netlist("""t
+V1 in 0 5
+R1 in a 1k
+D1 a 0 is=1e-15 n=1.1
+Gxf 0 out a 0 2m
+Rload out 0 1k
+Ebuf buf 0 out 0 2
+Rb buf 0 1meg
+""")
+        assert ckt["D1"].ideality == pytest.approx(1.1)
+        assert ckt["Gxf"].gm == pytest.approx(2e-3)
+        assert ckt["Ebuf"].gain == pytest.approx(2.0)
+
+    def test_mosfet_needs_technology(self, tech90):
+        text = """t
+V1 d 0 1.0
+M1 d d 0 0 n w=1u l=0.09u
+"""
+        with pytest.raises(NetlistError, match="technology"):
+            parse_netlist(text)
+        ckt = parse_netlist(text, tech=tech90)
+        m = ckt["M1"]
+        assert isinstance(m, Mosfet)
+        assert m.params.w_um == pytest.approx(1.0)
+        assert m.params.polarity == "n"
+
+    def test_mosfet_polarity_words(self, tech90):
+        ckt = parse_netlist("""t
+V1 s 0 1.2
+M1 0 0 s s pmos w=2u l=0.09u
+""", tech=tech90)
+        assert ckt["M1"].params.polarity == "p"
+
+
+class TestParseErrors:
+    def test_unknown_element(self):
+        with pytest.raises(NetlistError, match="unknown element"):
+            parse_netlist("t\nQ1 a b c 1\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(NetlistError, match="expected 3 fields"):
+            parse_netlist("t\nR1 a 0\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(NetlistError, match="unsupported directive"):
+            parse_netlist("t\n.tran 1n 1u\n")
+
+    def test_bad_sin_args(self):
+        with pytest.raises(NetlistError, match="sin"):
+            parse_netlist("t\nV1 a 0 sin(1)\n")
+
+    def test_line_number_reported(self):
+        try:
+            parse_netlist("t\nR1 a 0 1k\nR2 a 0\n")
+        except NetlistError as err:
+            assert err.line_no == 3
+        else:
+            pytest.fail("expected NetlistError")
+
+    def test_continuation_without_card(self):
+        with pytest.raises(NetlistError, match="continuation"):
+            parse_netlist("t\n+ R1 a 0 1k\n".replace("t\n", "", 1))
+
+    def test_empty_netlist(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_netlist("\n* only a comment\n")
+
+
+class TestRoundTrip:
+    def test_rlc_roundtrip(self):
+        text = """rlc tank
+V1 in 0 sin(0 1 1meg 0 0)
+R1 in mid 50
+L1 mid out 1u
+C1 out 0 1n ic=0
+.end
+"""
+        ckt = parse_netlist(text)
+        text2 = write_netlist(ckt)
+        ckt2 = parse_netlist(text2)
+        assert len(ckt2) == len(ckt)
+        assert ckt2["L1"].inductance == pytest.approx(1e-6)
+        assert ckt2["C1"].v_initial == pytest.approx(0.0)
+
+    def test_mosfet_roundtrip_simulates_identically(self, tech90):
+        text = """mirror
+Vdd vdd 0 1.2
+Iref vdd din 100u
+M1 din din 0 0 n w=10u l=1u
+M2 out din 0 0 n w=10u l=1u
+Vout out 0 0.6
+"""
+        ckt = parse_netlist(text, tech=tech90)
+        i1 = -dc_operating_point(ckt).source_current("Vout")
+        ckt2 = parse_netlist(write_netlist(ckt), tech=tech90)
+        i2 = -dc_operating_point(ckt2).source_current("Vout")
+        assert i1 == pytest.approx(i2, rel=1e-9)
+        assert i1 == pytest.approx(100e-6, rel=0.05)
+
+    def test_written_netlist_is_parseable_transient(self):
+        text = """rc
+V1 in 0 pulse(0 1 0 1n 1n 100n 200n)
+R1 in out 1k
+C1 out 0 1n
+"""
+        ckt = parse_netlist(write_netlist(parse_netlist(text)))
+        res = transient(ckt, t_stop=5e-6, dt=5e-9)
+        # 50 % duty square through a slow RC settles around 0.5.
+        assert res.voltage("out").last_period(1e-6).mean() == pytest.approx(
+            0.5, abs=0.05)
+
+
+class TestSubcircuits:
+    INV_NETLIST = """buffer chain
+.subckt inv in out vdd
+Mn out in 0 0 n w=0.5u l=0.09u
+Mp out in vdd vdd p w=1.25u l=0.09u
+.ends
+Vdd vdd 0 1.2
+Vin a 0 0
+X1 a b vdd inv
+X2 b c vdd inv
+.end
+"""
+
+    def test_expansion_and_solve(self, tech90):
+        ckt = parse_netlist(self.INV_NETLIST, tech=tech90)
+        assert "X1.Mn" in ckt
+        assert "X2.Mp" in ckt
+        op = dc_operating_point(ckt)
+        assert op.voltage("b") > 1.1   # first inverter: 0 -> 1
+        assert op.voltage("c") < 0.1   # second inverter: 1 -> 0
+
+    def test_nested_usage(self, tech90):
+        text = """nested
+.subckt half a b
+R1 a b 1k
+.ends
+.subckt full x y
+Xh1 x m half
+Xh2 m y half
+.ends
+V1 in 0 2.0
+Xf in out full
+Rload out 0 2k
+"""
+        ckt = parse_netlist(text, tech=tech90)
+        op = dc_operating_point(ckt)
+        # 2k source resistance (two 1k halves) into 2k load: divider 1 V.
+        assert op.voltage("out") == pytest.approx(1.0)
+        assert "Xf.Xh1.R1" in ckt
+
+    def test_port_count_checked(self, tech90):
+        text = """bad
+.subckt inv in out vdd
+R1 in out 1k
+.ends
+X1 a b inv
+"""
+        with pytest.raises(NetlistError, match="ports"):
+            parse_netlist(text, tech=tech90)
+
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistError, match="unknown subcircuit"):
+            parse_netlist("t\nX1 a b nothere\n")
+
+    def test_unterminated_subckt(self):
+        with pytest.raises(NetlistError, match="unterminated"):
+            parse_netlist("t\n.subckt inv a b\nR1 a b 1k\n")
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(NetlistError, match="without"):
+            parse_netlist("t\n.ends\n")
+
+    def test_nested_definition_rejected(self):
+        text = "t\n.subckt a x\n.subckt b y\n.ends\n.ends\n"
+        with pytest.raises(NetlistError, match="nested"):
+            parse_netlist(text)
+
+
+class TestWaveformCsv:
+    def test_roundtrip(self):
+        import numpy as np
+
+        from repro.circuit import Waveform
+
+        w = Waveform(np.linspace(0, 1e-6, 11),
+                     np.sin(np.linspace(0, 6.28, 11)))
+        w2 = Waveform.from_csv(w.to_csv())
+        assert np.allclose(w2.times, w.times)
+        assert np.allclose(w2.values, w.values)
+
+    def test_header_row(self):
+        import numpy as np
+
+        from repro.circuit import Waveform
+
+        w = Waveform(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        assert w.to_csv(header="v(out)").splitlines()[0] == "time,v(out)"
+
+    def test_bad_csv_rejected(self):
+        from repro.circuit import Waveform
+
+        with pytest.raises(ValueError):
+            Waveform.from_csv("time,value\n0.0,1.0\n")

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.circuit.waveform`."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Waveform
+
+
+def sine(amplitude=1.0, offset=0.0, freq=1.0, n=2001, periods=4.0):
+    t = np.linspace(0.0, periods / freq, n)
+    return Waveform(t, offset + amplitude * np.sin(2 * np.pi * freq * t))
+
+
+class TestConstruction:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Waveform(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_rejects_non_monotonic_times(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="two samples"):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_constant_factory(self):
+        w = Waveform.constant(3.3, t_stop=1.0)
+        assert w.mean() == pytest.approx(3.3)
+        assert w.peak_to_peak() == pytest.approx(0.0)
+
+    def test_from_function(self):
+        w = Waveform.from_function(lambda t: 2.0 * t, t_stop=1.0)
+        assert w.sample(0.5) == pytest.approx(1.0)
+
+
+class TestReductions:
+    def test_sine_mean_is_offset(self):
+        w = sine(amplitude=2.0, offset=0.7)
+        assert w.mean() == pytest.approx(0.7, abs=1e-3)
+
+    def test_sine_rms(self):
+        w = sine(amplitude=1.0, offset=0.0)
+        assert w.rms() == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-3)
+
+    def test_peaks(self):
+        w = sine(amplitude=1.5, offset=0.5)
+        assert w.peak() == pytest.approx(2.0, abs=1e-3)
+        assert w.trough() == pytest.approx(-1.0, abs=1e-3)
+        assert w.peak_to_peak() == pytest.approx(3.0, abs=2e-3)
+
+    def test_duty_above_midline_is_half(self):
+        w = sine()
+        assert w.duty_above(0.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_duty_above_peak_is_zero(self):
+        w = sine()
+        assert w.duty_above(2.0) == pytest.approx(0.0)
+
+    def test_time_average_of_square(self):
+        w = sine(amplitude=1.0)
+        assert w.time_average_of(lambda v: v ** 2) == pytest.approx(0.5, rel=1e-2)
+
+    def test_duration(self):
+        w = sine(freq=2.0, periods=4.0)
+        assert w.duration == pytest.approx(2.0)
+
+
+class TestAlgebra:
+    def test_add_constant(self):
+        w = sine() + 1.0
+        assert w.mean() == pytest.approx(1.0, abs=1e-3)
+
+    def test_subtract_waveforms(self):
+        w = sine()
+        z = w - w
+        assert z.peak_to_peak() == pytest.approx(0.0)
+
+    def test_multiply(self):
+        w = sine(amplitude=1.0) * sine(amplitude=1.0)
+        # sin² has mean 1/2.
+        assert w.mean() == pytest.approx(0.5, rel=1e-2)
+
+    def test_neg(self):
+        w = -sine(offset=1.0)
+        assert w.mean() == pytest.approx(-1.0, abs=1e-3)
+
+    def test_abs(self):
+        w = sine().abs()
+        assert w.trough() >= 0.0
+
+    def test_clip(self):
+        w = sine(amplitude=2.0).clip(-1.0, 1.0)
+        assert w.peak() == pytest.approx(1.0)
+        assert w.trough() == pytest.approx(-1.0)
+
+    def test_clip_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            sine().clip(1.0, -1.0)
+
+    def test_add_resamples_other_timebase(self):
+        w1 = sine(n=2001)
+        w2 = sine(n=501)
+        s = w1 + w2
+        assert len(s) == len(w1)
+        assert s.peak() == pytest.approx(2.0, abs=0.01)
+
+
+class TestSampling:
+    def test_scalar_interpolation(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
+        assert w.sample(0.25) == pytest.approx(2.5)
+
+    def test_clamps_outside_range(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
+        assert w.sample(2.0) == pytest.approx(10.0)
+        assert w.sample(-1.0) == pytest.approx(0.0)
+
+    def test_vector_sampling(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
+        out = w.sample(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 5.0, 10.0])
+
+
+class TestLastPeriod:
+    def test_restricts_to_tail(self):
+        w = sine(freq=1.0, periods=4.0)
+        tail = w.last_period(1.0)
+        assert tail.duration == pytest.approx(1.0, rel=0.01)
+        assert tail.times[-1] == w.times[-1]
+
+    def test_longer_than_span_returns_self(self):
+        w = sine(periods=2.0)
+        assert w.last_period(100.0) is w
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            sine().last_period(0.0)
+
+    def test_tail_mean_of_decaying_signal(self):
+        t = np.linspace(0.0, 10.0, 1001)
+        w = Waveform(t, np.exp(-t))
+        assert w.last_period(1.0).mean() < 0.01 * w.mean()

@@ -1,0 +1,127 @@
+"""Tests for the two-stage opamp, logic gates and comparator."""
+
+import numpy as np
+import pytest
+
+from repro.aging import BreakdownMode, TddbModel
+from repro.circuit import DeviceVariation, dc_operating_point
+from repro.circuits import (
+    comparator,
+    comparator_threshold_v,
+    gate_is_functional,
+    gate_truth_table,
+    input_referred_offset_v,
+    nand2,
+    nor2,
+    open_loop_gain,
+    phase_margin_deg,
+    two_stage_opamp,
+    unity_gain_frequency_hz,
+)
+
+
+class TestTwoStageOpamp:
+    def test_gain_exceeds_single_stage(self, tech90):
+        from repro.circuits import dc_gain, five_transistor_ota
+
+        two = two_stage_opamp(tech90)
+        one = five_transistor_ota(tech90)
+        assert open_loop_gain(two) > 2.0 * dc_gain(one)
+
+    def test_compensated_phase_margin(self, tech90):
+        fx = two_stage_opamp(tech90)
+        pm = phase_margin_deg(fx)
+        assert 45.0 < pm < 120.0
+
+    def test_smaller_miller_cap_raises_ugf(self, tech90):
+        slow = two_stage_opamp(tech90, c_miller_f=2e-12)
+        fast = two_stage_opamp(tech90, c_miller_f=0.5e-12)
+        assert (unity_gain_frequency_hz(fast)
+                > 1.5 * unity_gain_frequency_hz(slow))
+
+    def test_nominal_offset_near_zero(self, tech90):
+        fx = two_stage_opamp(tech90)
+        offset = input_referred_offset_v(fx, search_range_v=0.2)
+        assert abs(offset) < 5e-3
+
+    def test_pair_mismatch_appears_at_input(self, tech90):
+        fx = two_stage_opamp(tech90)
+        fx.circuit["m1"].variation = DeviceVariation(delta_vt_v=5e-3)
+        offset = input_referred_offset_v(fx, search_range_v=0.2)
+        assert abs(offset) == pytest.approx(5e-3, rel=0.4)
+
+    def test_second_stage_device_biased(self, tech90):
+        fx = two_stage_opamp(tech90)
+        op = dc_operating_point(fx.circuit)
+        assert op.device_op("m5").region == "saturation"
+
+    def test_validation(self, tech90):
+        with pytest.raises(ValueError):
+            two_stage_opamp(tech90, c_miller_f=0.0)
+
+
+class TestGates:
+    def test_nand_truth_table(self, tech90):
+        fx = nand2(tech90)
+        table = {(a, b): y for a, b, y in gate_truth_table(fx)}
+        assert table == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+        assert gate_is_functional(fx)
+
+    def test_nor_truth_table(self, tech90):
+        fx = nor2(tech90)
+        table = {(a, b): y for a, b, y in gate_truth_table(fx)}
+        assert table == {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}
+        assert gate_is_functional(fx)
+
+    def test_hard_breakdown_can_break_gate(self, tech90):
+        # §3.1 on logic: inject a HBD into the NAND pull-down stack.
+        fx = nand2(tech90)
+        tddb = TddbModel(tech90.aging)
+        tddb.apply_breakdown(fx.circuit["mna"], BreakdownMode.HARD,
+                             spot_position=0.5)
+        assert not gate_is_functional(fx)
+
+    def test_soft_breakdown_often_survivable(self, tech90):
+        fx = nand2(tech90)
+        tddb = TddbModel(tech90.aging)
+        tddb.apply_breakdown(fx.circuit["mpa"], BreakdownMode.SOFT,
+                             spot_position=0.2)
+        assert gate_is_functional(fx)
+
+    def test_severe_vt_shift_breaks_gate(self, tech90):
+        # Depletion-shifted pull-downs conduct at V_GS = 0: the NAND
+        # fights its own pull-up and the logic-1 outputs collapse.
+        fx = nand2(tech90)
+        for name in ("mna", "mnb"):
+            fx.circuit[name].variation = DeviceVariation(delta_vt_v=-0.9)
+        assert not gate_is_functional(fx)
+
+
+class TestComparator:
+    def test_output_rails(self, tech90):
+        from repro.circuit import DcSpec
+
+        fx = comparator(tech90)
+        ckt = fx.circuit
+        vcm = fx.meta["vcm_v"]
+        ckt["vinp"].spec = DcSpec(vcm + 0.1)
+        assert dc_operating_point(ckt).voltage("dout") > 0.9 * tech90.vdd
+        ckt["vinp"].spec = DcSpec(vcm - 0.1)
+        assert dc_operating_point(ckt).voltage("dout") < 0.1 * tech90.vdd
+
+    def test_threshold_near_zero(self, tech90):
+        fx = comparator(tech90)
+        threshold = comparator_threshold_v(fx)
+        assert abs(threshold) < 0.02
+
+    def test_mismatch_moves_threshold(self, tech90):
+        fx = comparator(tech90)
+        t0 = comparator_threshold_v(fx)
+        fx.circuit["m1"].variation = DeviceVariation(delta_vt_v=8e-3)
+        t1 = comparator_threshold_v(fx)
+        assert (t1 - t0) == pytest.approx(8e-3, rel=0.4)
+
+    def test_never_flipping_raises(self, tech90):
+        fx = comparator(tech90)
+        with pytest.raises(ValueError, match="never flips"):
+            comparator_threshold_v(fx, search_range_v=1e-5, n_points=5)

@@ -1,0 +1,303 @@
+"""Unit tests for the aging simulator and lifetime estimation (§3/§5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.aging import HciModel, NbtiModel, TddbModel
+from repro.circuit import dc_operating_point, transient
+from repro.circuits import (
+    five_transistor_ota,
+    oscillation_frequency,
+    ring_oscillator,
+    simple_current_mirror,
+)
+from repro.core import (
+    MissionProfile,
+    ReliabilitySimulator,
+    mission_survival_probability,
+    tddb_survival_fn,
+    time_to_spec_violation,
+)
+
+
+class TestMissionProfile:
+    def test_epoch_times_log_spaced(self):
+        profile = MissionProfile(duration_s=1e8, n_epochs=6,
+                                 t_first_epoch_s=1e3)
+        times = profile.epoch_times_s()
+        assert len(times) == 6
+        assert times[0] == pytest.approx(1e3)
+        assert times[-1] == pytest.approx(1e8)
+        ratios = times[1:] / times[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_single_epoch(self):
+        profile = MissionProfile(duration_s=1e6, n_epochs=1)
+        assert profile.epoch_times_s() == pytest.approx([1e6])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissionProfile(duration_s=-1.0)
+        with pytest.raises(ValueError):
+            MissionProfile(n_epochs=0)
+        with pytest.raises(ValueError):
+            MissionProfile(stress_mode="fancy")
+        with pytest.raises(ValueError):
+            MissionProfile(duration_s=100.0, t_first_epoch_s=200.0)
+        # equality is allowed (single-epoch missions)
+        MissionProfile(duration_s=100.0, n_epochs=1, t_first_epoch_s=100.0)
+
+
+def iout_metric(fixture):
+    return -dc_operating_point(fixture.circuit).source_current("vout")
+
+
+class TestReliabilitySimulatorDc:
+    def test_monotone_degradation(self, tech65):
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging),
+                                        HciModel(tech65.aging)])
+        report = sim.run(MissionProfile(n_epochs=6),
+                         metrics={"iout": iout_metric})
+        dvt = report.device_delta_vt_v["m2"]
+        assert np.all(np.diff(dvt) >= -1e-15)
+        assert dvt[0] == 0.0
+
+    def test_metrics_recorded_at_every_epoch(self, tech65):
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [HciModel(tech65.aging)])
+        report = sim.run(MissionProfile(n_epochs=5),
+                         metrics={"iout": iout_metric})
+        assert len(report.times_s) == 6  # fresh + 5 epochs
+        assert len(report.metric("iout")) == 6
+
+    def test_nmos_only_circuit_skips_nbti(self, tech65):
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+        report = sim.run(MissionProfile(n_epochs=4),
+                         metrics={"iout": iout_metric})
+        assert report.metric("iout")[-1] == pytest.approx(
+            report.metric("iout")[0], rel=1e-9)
+
+    def test_ota_pmos_devices_age_under_nbti(self, tech65):
+        fx = five_transistor_ota(tech65, l_m=2 * tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+        report = sim.run(MissionProfile(n_epochs=6))
+        assert report.device_delta_vt_v["m3"][-1] > 1e-3
+        assert report.device_delta_vt_v["m1"][-1] == 0.0  # NMOS untouched
+
+    def test_reset_restores_fresh(self, tech65):
+        fx = five_transistor_ota(tech65, l_m=2 * tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+        sim.run(MissionProfile(n_epochs=4))
+        assert not fx.circuit["m3"].degradation.is_fresh()
+        sim.reset()
+        assert fx.circuit["m3"].degradation.is_fresh()
+        assert sim.total_delta_vt("m3") == 0.0
+
+    def test_requires_mechanisms(self, tech65):
+        fx = simple_current_mirror(tech65)
+        with pytest.raises(ValueError):
+            ReliabilitySimulator(fx, [])
+
+    def test_drift_helper(self, tech65):
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        sim = ReliabilitySimulator(fx, [HciModel(tech65.aging)])
+        report = sim.run(MissionProfile(n_epochs=5),
+                         metrics={"iout": iout_metric})
+        drift = report.drift("iout")
+        expected = (report.metric("iout")[-1] - report.metric("iout")[0]) \
+            / report.metric("iout")[0]
+        assert drift == pytest.approx(expected)
+
+
+class TestReliabilitySimulatorTransient:
+    def test_ring_oscillator_slows_down(self, tech65):
+        fx = ring_oscillator(tech65, n_stages=3)
+
+        def freq(fixture):
+            res = transient(fixture.circuit, t_stop=2.5e-9, dt=5e-12)
+            return oscillation_frequency(res.voltage("s0"), tech65.vdd / 2)
+
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging),
+                                        HciModel(tech65.aging)])
+        profile = MissionProfile(n_epochs=4, stress_mode="transient",
+                                 transient_t_stop_s=1.2e-9,
+                                 transient_dt_s=3e-12)
+        report = sim.run(profile, metrics={"freq": freq})
+        # Digital circuits get SLOWER with age (paper §3.2/§3.3).
+        assert report.drift("freq") < -0.002
+        assert report.drift("freq") > -0.5  # but not absurdly so
+
+    def test_pmos_nbti_dominates_in_ring(self, tech65):
+        fx = ring_oscillator(tech65, n_stages=3)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging),
+                                        HciModel(tech65.aging)])
+        profile = MissionProfile(n_epochs=4, stress_mode="transient",
+                                 transient_t_stop_s=1.2e-9,
+                                 transient_dt_s=3e-12)
+        report = sim.run(profile)
+        assert (report.device_delta_vt_v["mp_0"][-1]
+                > report.device_delta_vt_v["mn_0"][-1])
+
+
+class TestTimeToSpecViolation:
+    def test_inf_when_always_in_spec(self):
+        times = np.array([0.0, 1e3, 1e6])
+        values = np.array([1.0, 1.01, 1.02])
+        assert time_to_spec_violation(times, values, lower=0.5) == math.inf
+
+    def test_zero_when_starts_violated(self):
+        times = np.array([0.0, 1e3])
+        values = np.array([0.1, 0.2])
+        assert time_to_spec_violation(times, values, lower=0.5) == 0.0
+
+    def test_log_interpolated_crossing(self):
+        times = np.array([0.0, 1e2, 1e4])
+        values = np.array([1.0, 0.9, 0.7])
+        t_fail = time_to_spec_violation(times, values, lower=0.8)
+        assert 1e2 < t_fail < 1e4
+        # Halfway in value → halfway in log time.
+        assert t_fail == pytest.approx(1e3, rel=0.05)
+
+    def test_upper_bound_crossing(self):
+        times = np.array([0.0, 1e2, 1e4])
+        values = np.array([1.0, 1.5, 3.0])
+        t_fail = time_to_spec_violation(times, values, upper=2.0)
+        assert 1e2 < t_fail < 1e4
+
+    def test_nan_counts_as_violation(self):
+        times = np.array([0.0, 1e2, 1e4])
+        values = np.array([1.0, float("nan"), 1.0])
+        assert time_to_spec_violation(times, values, lower=0.5) <= 1e2
+
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            time_to_spec_violation(np.array([0.0, 1.0]),
+                                   np.array([0.0, 1.0]))
+
+
+class TestTddbSurvival:
+    def test_survival_decreasing(self, tech65):
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        op = dc_operating_point(fx.circuit)
+        vgs = {m.name: m.operating_point(op.x).vgs_v
+               for m in fx.circuit.mosfets}
+        survival = tddb_survival_fn(fx.circuit.mosfets,
+                                    TddbModel(tech65.aging), vgs)
+        s = [survival(t) for t in [0.0, 1e6, 1e8, 1e10]]
+        assert s[0] == 1.0
+        assert all(b <= a for a, b in zip(s, s[1:]))
+
+    def test_more_devices_lower_survival(self, tech65):
+        tddb = TddbModel(tech65.aging)
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+        op = dc_operating_point(fx.circuit)
+        vgs = {m.name: m.operating_point(op.x).vgs_v
+               for m in fx.circuit.mosfets}
+        both = tddb_survival_fn(fx.circuit.mosfets, tddb, vgs)
+        one = tddb_survival_fn(fx.circuit.mosfets[:1], tddb, vgs)
+        t = units.years_to_seconds(10.0)
+        assert both(t) <= one(t)
+
+    def test_mission_survival_combines_risks(self, tech65):
+        survival = lambda t: 0.9
+        # Parametric wall before the mission end → zero survival.
+        assert mission_survival_probability(1e3, survival) == 0.0
+        # Wall far beyond → TDDB only.
+        assert mission_survival_probability(1e12, survival) == pytest.approx(0.9)
+
+
+class TestReliabilityYield:
+    def test_generous_spec_full_yield(self, tech65):
+        from repro.core import reliability_yield
+
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m)
+
+        def iout(fixture):
+            return -dc_operating_point(fixture.circuit).source_current("vout")
+
+        profile = MissionProfile(n_epochs=3)
+        result = reliability_yield(
+            fx, [HciModel(tech65.aging)], tech65, iout, profile,
+            n_samples=4, lower=10e-6, seed=1)
+        assert result == 1.0
+
+    def test_wearout_kills_yield(self, tech65):
+        from repro.core import reliability_yield
+
+        # The over-driven mirror loses >20% of its output over the
+        # mission (HCI on the output device) — zero end-of-life yield
+        # against a tight lower bound.
+        fx = simple_current_mirror(tech65, w_m=2e-6, l_m=tech65.lmin_m,
+                                   v_out_v=1.5 * tech65.vdd)
+
+        def iout(fixture):
+            return -dc_operating_point(fixture.circuit).source_current("vout")
+
+        nominal = iout(fx)
+        profile = MissionProfile(n_epochs=4)
+        result = reliability_yield(
+            fx, [HciModel(tech65.aging)], tech65, iout, profile,
+            n_samples=4, lower=0.9 * nominal, seed=1)
+        assert result == 0.0
+
+
+class TestMissionPhases:
+    def make_profile(self, phases):
+        from repro.core import MissionPhase
+
+        return MissionProfile(n_epochs=4, phases=phases)
+
+    def test_phase_validation(self):
+        from repro.core import MissionPhase
+
+        with pytest.raises(ValueError):
+            MissionPhase(0.0, 300.0)
+        with pytest.raises(ValueError):
+            MissionPhase(0.5, -1.0)
+        # Fractions must sum to 1.
+        with pytest.raises(ValueError, match="sum to 1"):
+            self.make_profile((MissionPhase(0.5, 300.0),))
+        # At least one powered phase.
+        with pytest.raises(ValueError, match="powered"):
+            self.make_profile((MissionPhase(1.0, 300.0, powered=False),))
+
+    def test_duty_cycling_reduces_nbti(self, tech65):
+        from repro.core import MissionPhase
+
+        def eol_dvt(phases):
+            fx = five_transistor_ota(tech65, l_m=2 * tech65.lmin_m)
+            sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+            report = sim.run(MissionProfile(n_epochs=4, phases=phases))
+            return report.device_delta_vt_v["m3"][-1]
+
+        continuous = eol_dvt(None)
+        hot = units.celsius_to_kelvin(105.0)
+        cold = units.celsius_to_kelvin(40.0)
+        duty = eol_dvt((MissionPhase(0.25, hot, True),
+                        MissionPhase(0.75, cold, False)))
+        n = tech65.aging.nbti_time_exponent
+        # Effective-time scaling: damage ≈ continuous · duty^n, further
+        # trimmed by the relaxation of the recoverable component.
+        assert duty < continuous
+        assert duty == pytest.approx(continuous * 0.25 ** n, rel=0.15)
+
+    def test_full_duty_matches_continuous(self, tech65):
+        from repro.core import MissionPhase
+
+        hot = units.celsius_to_kelvin(105.0)
+
+        def eol_dvt(phases):
+            fx = five_transistor_ota(tech65, l_m=2 * tech65.lmin_m)
+            sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+            report = sim.run(MissionProfile(n_epochs=3, phases=phases,
+                                            temperature_k=hot))
+            return report.device_delta_vt_v["m3"][-1]
+
+        continuous = eol_dvt(None)
+        single_phase = eol_dvt((MissionPhase(1.0, hot, True),))
+        assert single_phase == pytest.approx(continuous, rel=1e-6)

@@ -1,0 +1,124 @@
+"""Unit tests for the EMC susceptibility analyzer (paper §4, Figs 3–4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import filtered_current_reference, resistor_divider_bias
+from repro.core import EmcAnalyzer
+from repro.emc import add_dpi_injection
+
+
+def make_analyzer(tech, filtered=True, coupling_c_f=500e-15, **kwargs):
+    """Fig 3 victim with a WEAK coupling cap.
+
+    The rectification regime of the paper requires the injected EMI
+    current to stay comparable to I_REF; a full-strength 6.8 nF DPI path
+    would slew the mirror instead.
+    """
+    fx = filtered_current_reference(tech, filtered=filtered)
+    injection = add_dpi_injection(fx.circuit, fx.nodes["diode"],
+                                  coupling_c_f=coupling_c_f)
+
+    def observable(result):
+        return -result.source_current("vout")
+
+    defaults = dict(n_periods=20.0, samples_per_period=32, settle_periods=6.0)
+    defaults.update(kwargs)
+    return EmcAnalyzer(fx.circuit, injection, observable, **defaults), fx
+
+
+class TestNominal:
+    def test_nominal_matches_reference(self, tech90):
+        analyzer, fx = make_analyzer(tech90)
+        nominal = analyzer.nominal_value()
+        assert nominal == pytest.approx(fx.meta["i_ref_a"], rel=0.05)
+
+    def test_construction_validation(self, tech90):
+        with pytest.raises(ValueError):
+            make_analyzer(tech90, n_periods=5.0, settle_periods=6.0)
+        with pytest.raises(ValueError):
+            make_analyzer(tech90, samples_per_period=4)
+
+
+class TestMeasurePoint:
+    def test_rectification_pumps_output_down(self, tech90):
+        # The Fig 4 signature: mean output current pumped LOWER.
+        analyzer, _ = make_analyzer(tech90)
+        nominal = analyzer.nominal_value()
+        point = analyzer.measure_point(0.3, 100e6, nominal)
+        assert point.shift < 0.0
+        assert abs(point.relative_shift) > 0.005
+
+    def test_shift_grows_with_amplitude(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        nominal = analyzer.nominal_value()
+        small = analyzer.measure_point(0.1, 100e6, nominal)
+        large = analyzer.measure_point(0.4, 100e6, nominal)
+        assert abs(large.shift) > 2.0 * abs(small.shift)
+
+    def test_filtered_worse_than_unfiltered(self, tech90):
+        # The paper's headline: filtering HARMS the EMC behaviour.
+        filt, _ = make_analyzer(tech90, filtered=True)
+        plain, _ = make_analyzer(tech90, filtered=False)
+        shift_f = filt.measure_point(0.3, 100e6, filt.nominal_value())
+        shift_p = plain.measure_point(0.3, 100e6, plain.nominal_value())
+        assert abs(shift_f.shift) > abs(shift_p.shift)
+
+    def test_linear_victim_immune(self, tech90):
+        fx = resistor_divider_bias(tech90)
+        injection = add_dpi_injection(fx.circuit, "mid")
+        analyzer = EmcAnalyzer(fx.circuit, injection,
+                               lambda r: r.voltage("mid"),
+                               n_periods=20, samples_per_period=32,
+                               settle_periods=6)
+        nominal = analyzer.nominal_value()
+        point = analyzer.measure_point(0.3, 100e6, nominal)
+        assert abs(point.relative_shift) < 1e-3
+        assert point.ripple_peak_to_peak > 0.01
+
+    def test_rejects_bad_frequency(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        with pytest.raises(ValueError):
+            analyzer.measure_point(0.1, -1.0, 1.0)
+
+
+class TestScan:
+    def test_scan_shape_and_monotonicity(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        amplitudes = [0.1, 0.3]
+        frequencies = [50e6, 200e6]
+        smap = analyzer.scan(amplitudes, frequencies)
+        assert smap.shift.shape == (2, 2)
+        assert np.all(np.isfinite(smap.shift))
+        # Larger amplitude → larger |shift| at every frequency.
+        assert np.all(np.abs(smap.shift[1]) > np.abs(smap.shift[0]))
+
+    def test_relative_shift_and_worst_case(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        smap = analyzer.scan([0.1, 0.4], [100e6])
+        amp, freq, shift = smap.worst_case()
+        assert amp == pytest.approx(0.4)
+        assert freq == pytest.approx(100e6)
+        assert shift == smap.shift[1, 0]
+
+    def test_immunity_amplitude(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        smap = analyzer.scan([0.05, 0.2, 0.4], [100e6])
+        thr = smap.immunity_amplitude_v(0, tolerance_fraction=0.01)
+        assert thr in (0.05, 0.2, 0.4)
+        # A hopeless tolerance is never violated.
+        assert smap.immunity_amplitude_v(0, tolerance_fraction=10.0) == math.inf
+
+    def test_empty_grid_rejected(self, tech90):
+        analyzer, _ = make_analyzer(tech90)
+        with pytest.raises(ValueError):
+            analyzer.scan([], [1e6])
+
+    def test_injection_silenced_after_scan(self, tech90):
+        from repro.circuit import DcSpec
+
+        analyzer, fx = make_analyzer(tech90)
+        analyzer.scan([0.1], [100e6])
+        assert isinstance(fx.circuit["emi_v"].spec, DcSpec)

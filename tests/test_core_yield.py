@@ -1,0 +1,156 @@
+"""Unit tests for the Monte-Carlo yield engine (paper §2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import dc_operating_point
+from repro.circuits import (
+    differential_pair,
+    input_referred_offset_v,
+    simple_current_mirror,
+)
+from repro.core import MonteCarloYield, Specification, wilson_interval
+from repro.variability import MismatchSampler, PelgromModel
+
+
+class TestSpecification:
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError, match="no bounds"):
+            Specification("s", lambda f: 0.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Specification("s", lambda f: 0.0, lower=1.0, upper=0.0)
+
+    def test_pass_logic(self):
+        spec = Specification("s", lambda f: 0.0, lower=-1.0, upper=1.0)
+        assert spec.passes(0.0)
+        assert spec.passes(-1.0)
+        assert not spec.passes(-1.1)
+        assert not spec.passes(2.0)
+        assert not spec.passes(float("nan"))
+        assert not spec.passes(float("inf"))
+
+    def test_one_sided(self):
+        spec = Specification("s", lambda f: 0.0, upper=10.0)
+        assert spec.passes(-1e9)
+        assert not spec.passes(11.0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(90, 100)
+        assert lo < 0.9 < hi
+
+    def test_narrows_with_samples(self):
+        lo1, hi1 = wilson_interval(9, 10)
+        lo2, hi2 = wilson_interval(900, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_bounds_clamped(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+def offset_spec(limit_v):
+    return Specification(
+        "offset", lambda fx: input_referred_offset_v(fx),
+        lower=-limit_v, upper=limit_v)
+
+
+class TestMonteCarloYield:
+    def test_generous_spec_full_yield(self, tech90):
+        fx = differential_pair(tech90, w_m=20e-6, l_m=2e-6)
+        mc = MonteCarloYield(fx, [offset_spec(0.1)], tech90)
+        result = mc.run(n_samples=25, seed=0)
+        assert result.yield_fraction == 1.0
+
+    def test_tight_spec_partial_yield(self, tech90):
+        fx = differential_pair(tech90, w_m=2e-6, l_m=0.2e-6)
+        pm = PelgromModel.for_technology(tech90)
+        sigma_off = pm.sigma_delta_vt_v(2e-6, 0.2e-6)
+        # A ±0.5σ window should reject a large fraction.
+        mc = MonteCarloYield(fx, [offset_spec(0.5 * sigma_off)], tech90)
+        result = mc.run(n_samples=60, seed=1)
+        assert 0.1 < result.yield_fraction < 0.8
+
+    def test_sigma_matches_pelgrom_prediction(self, tech90):
+        # The MC offset sigma of a diff pair should track the Eq 1 pair
+        # sigma of the input devices.
+        w, l = 4e-6, 0.4e-6
+        fx = differential_pair(tech90, w_m=w, l_m=l)
+        mc = MonteCarloYield(fx, [offset_spec(1.0)], tech90)
+        result = mc.run(n_samples=150, seed=2)
+        pm = PelgromModel.for_technology(tech90)
+        expected = pm.sigma_delta_vt_v(w, l)
+        assert result.sigma("offset") == pytest.approx(expected, rel=0.25)
+
+    def test_bigger_devices_yield_better(self, tech90):
+        small = differential_pair(tech90, w_m=2e-6, l_m=0.2e-6)
+        big = differential_pair(tech90, w_m=20e-6, l_m=2e-6)
+        spec = offset_spec(4e-3)
+        y_small = MonteCarloYield(small, [spec], tech90).run(50, seed=3)
+        y_big = MonteCarloYield(big, [spec], tech90).run(50, seed=3)
+        assert y_big.yield_fraction > y_small.yield_fraction
+
+    def test_variations_cleared_after_run(self, tech90):
+        fx = differential_pair(tech90)
+        mc = MonteCarloYield(fx, [offset_spec(0.1)], tech90)
+        mc.run(n_samples=5, seed=0)
+        assert all(m.variation.delta_vt_v == 0.0 for m in fx.circuit.mosfets)
+
+    def test_reproducible_with_seed(self, tech90):
+        fx = differential_pair(tech90, w_m=2e-6, l_m=0.2e-6)
+        mc = MonteCarloYield(fx, [offset_spec(5e-3)], tech90)
+        r1 = mc.run(n_samples=30, seed=42)
+        r2 = mc.run(n_samples=30, seed=42)
+        assert np.array_equal(r1.values["offset"], r2.values["offset"])
+
+    def test_failed_evaluation_counts_as_fail(self, tech90):
+        fx = differential_pair(tech90)
+
+        def explosive(fixture):
+            raise ValueError("synthetic evaluation failure")
+
+        spec = Specification("boom", explosive, lower=0.0)
+        mc = MonteCarloYield(fx, [spec], tech90)
+        result = mc.run(n_samples=5, seed=0)
+        assert result.yield_fraction == 0.0
+        assert np.all(np.isnan(result.values["boom"]))
+
+    def test_multiple_specs_all_must_pass(self, tech90):
+        fx = simple_current_mirror(tech90, w_m=2e-6, l_m=0.2e-6)
+
+        def iout(fixture):
+            return -dc_operating_point(fixture.circuit).source_current("vout")
+
+        gen = Specification("iout_loose", iout, lower=50e-6, upper=200e-6)
+        tight = Specification("iout_tight", iout, lower=99.9e-6, upper=100.1e-6)
+        mc = MonteCarloYield(fx, [gen, tight], tech90)
+        result = mc.run(n_samples=40, seed=5)
+        assert result.spec_yield("iout_loose") >= result.spec_yield("iout_tight")
+        assert result.yield_fraction <= result.spec_yield("iout_loose")
+
+    def test_duplicate_spec_names_rejected(self, tech90):
+        fx = differential_pair(tech90)
+        with pytest.raises(ValueError, match="duplicate"):
+            MonteCarloYield(fx, [offset_spec(1.0), offset_spec(2.0)], tech90)
+
+    def test_requires_specs(self, tech90):
+        fx = differential_pair(tech90)
+        with pytest.raises(ValueError):
+            MonteCarloYield(fx, [], tech90)
+
+    def test_rejects_bad_sample_count(self, tech90):
+        fx = differential_pair(tech90)
+        mc = MonteCarloYield(fx, [offset_spec(1.0)], tech90)
+        with pytest.raises(ValueError):
+            mc.run(n_samples=0)

@@ -1,0 +1,175 @@
+"""Unit tests for the EMC package (paper §4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, DcSpec, SineSpec, Waveform, dc_operating_point, transient
+from repro.emc import (
+    DPI_IMPEDANCE_OHM,
+    IEC_FREQ_MAX_HZ,
+    IEC_FREQ_MIN_HZ,
+    add_dpi_injection,
+    amplitude_v_to_dbm,
+    dbm_to_amplitude_v,
+    iec_frequency_range,
+    immunity_test_frequencies,
+    in_regulated_band,
+    measure_dc_shift,
+    superimpose_on_source,
+)
+
+
+class TestStandards:
+    def test_band_edges(self):
+        lo, hi = iec_frequency_range()
+        assert lo == pytest.approx(150e3)
+        assert hi == pytest.approx(1e9)
+
+    def test_in_band_check(self):
+        assert in_regulated_band(1e6)
+        assert not in_regulated_band(1e3)
+        assert not in_regulated_band(10e9)
+        with pytest.raises(ValueError):
+            in_regulated_band(0.0)
+
+    def test_test_grid_spans_band(self):
+        freqs = immunity_test_frequencies(points_per_decade=4)
+        assert freqs[0] == pytest.approx(IEC_FREQ_MIN_HZ)
+        assert freqs[-1] == pytest.approx(IEC_FREQ_MAX_HZ)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_dbm_conversion_roundtrip(self):
+        amp = dbm_to_amplitude_v(10.0)
+        assert amplitude_v_to_dbm(amp) == pytest.approx(10.0)
+
+    def test_0dbm_amplitude(self):
+        # 0 dBm into 50 Ω: V_peak = sqrt(2·50·1 mW) ≈ 0.316 V.
+        assert dbm_to_amplitude_v(0.0) == pytest.approx(0.3162, rel=1e-3)
+
+    def test_conversion_input_validation(self):
+        with pytest.raises(ValueError):
+            dbm_to_amplitude_v(0.0, impedance_ohm=0.0)
+        with pytest.raises(ValueError):
+            amplitude_v_to_dbm(-1.0)
+
+
+def divider_circuit():
+    ckt = Circuit("divider")
+    ckt.voltage_source("vdd", "vdd", "0", 1.2)
+    ckt.resistor("r1", "vdd", "mid", 50e3)
+    ckt.resistor("r2", "mid", "0", 50e3)
+    return ckt
+
+
+class TestDpiInjection:
+    def test_network_elements_added(self):
+        ckt = divider_circuit()
+        add_dpi_injection(ckt, "mid")
+        assert "emi_v" in ckt
+        assert "emi_r" in ckt
+        assert "emi_c" in ckt
+        assert ckt["emi_r"].resistance == pytest.approx(DPI_IMPEDANCE_OHM)
+
+    def test_silent_injection_does_not_move_bias(self):
+        ckt = divider_circuit()
+        nominal = dc_operating_point(ckt).voltage("mid")
+        inj = add_dpi_injection(ckt, "mid")
+        inj.silence()
+        assert dc_operating_point(ckt).voltage("mid") == pytest.approx(
+            nominal, abs=1e-6)
+
+    def test_tone_reaches_victim_at_high_frequency(self):
+        ckt = divider_circuit()
+        inj = add_dpi_injection(ckt, "mid")
+        inj.set_tone(0.5, 10e6)
+        res = transient(ckt, t_stop=1e-6, dt=1e-9)
+        ripple = res.voltage("mid").last_period(0.3e-6).peak_to_peak()
+        assert ripple > 0.3  # most of the 1 Vpp arrives
+
+    def test_blocking_cap_protects_low_frequency(self):
+        ckt = divider_circuit()
+        inj = add_dpi_injection(ckt, "mid", coupling_c_f=1e-12)
+        inj.set_tone(0.5, 100e3)
+        res = transient(ckt, t_stop=40e-6, dt=50e-9)
+        ripple = res.voltage("mid").last_period(10e-6).peak_to_peak()
+        assert ripple < 0.05
+
+    def test_set_tone_zero_amplitude_silences(self):
+        ckt = divider_circuit()
+        inj = add_dpi_injection(ckt, "mid")
+        inj.set_tone(0.0, 1e6)
+        assert isinstance(ckt["emi_v"].spec, DcSpec)
+
+    def test_rejects_negative_amplitude(self):
+        ckt = divider_circuit()
+        inj = add_dpi_injection(ckt, "mid")
+        with pytest.raises(ValueError):
+            inj.set_tone(-0.1, 1e6)
+
+    def test_context_manager_silences(self):
+        ckt = divider_circuit()
+        with add_dpi_injection(ckt, "mid") as inj:
+            inj.set_tone(0.5, 1e6)
+        assert isinstance(ckt["emi_v"].spec, DcSpec)
+
+
+class TestSuperimpose:
+    def test_rides_on_dc_value(self):
+        ckt = divider_circuit()
+        inj = superimpose_on_source(ckt, "vdd")
+        inj.set_tone(0.2, 1e6)
+        spec = ckt["vdd"].spec
+        assert isinstance(spec, SineSpec)
+        assert spec.offset == pytest.approx(1.2)
+        assert spec.amplitude == pytest.approx(0.2)
+
+    def test_remove_restores_original(self):
+        ckt = divider_circuit()
+        original = ckt["vdd"].spec
+        with superimpose_on_source(ckt, "vdd") as inj:
+            inj.set_tone(0.2, 1e6)
+        assert ckt["vdd"].spec is original
+
+    def test_type_check(self):
+        ckt = divider_circuit()
+        with pytest.raises(TypeError):
+            superimpose_on_source(ckt, "r1")
+
+
+class TestDcShift:
+    def test_linear_circuit_no_rectification(self):
+        # A resistive divider must show ripple but ~zero DC shift.
+        ckt = divider_circuit()
+        inj = add_dpi_injection(ckt, "mid")
+        nominal = dc_operating_point(ckt).voltage("mid")
+        inj.set_tone(0.3, 10e6)
+        res = transient(ckt, t_stop=3e-6, dt=2e-9)
+        shift = measure_dc_shift(res.voltage("mid"), nominal,
+                                 settle_periods=10, tone_period_s=1e-7)
+        assert shift.ripple_peak_to_peak > 0.1
+        assert abs(shift.shift) < 0.01 * shift.ripple_peak_to_peak
+
+    def test_shift_properties(self):
+        w = Waveform(np.linspace(0, 1, 101), np.full(101, 0.9))
+        shift = measure_dc_shift(w, nominal=1.0, settle_periods=2,
+                                 tone_period_s=0.1)
+        assert shift.shift == pytest.approx(-0.1)
+        assert shift.relative_shift == pytest.approx(-0.1)
+        assert shift.exceeds(0.05)
+        assert not shift.exceeds(0.2)
+
+    def test_zero_nominal_guard(self):
+        w = Waveform(np.linspace(0, 1, 11), np.full(11, 0.5))
+        shift = measure_dc_shift(w, nominal=0.0, settle_periods=1,
+                                 tone_period_s=0.1)
+        with pytest.raises(ZeroDivisionError):
+            _ = shift.relative_shift
+
+    def test_input_validation(self):
+        w = Waveform(np.linspace(0, 1, 11), np.zeros(11))
+        with pytest.raises(ValueError):
+            measure_dc_shift(w, 0.0, settle_periods=0.0, tone_period_s=0.1)
+        with pytest.raises(ValueError):
+            measure_dc_shift(w, 0.0, settle_periods=1.0, tone_period_s=-0.1)

@@ -1,0 +1,254 @@
+"""Cross-module integration tests: the paper's storylines end to end."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.aging import (
+    BreakdownMode,
+    ElectromigrationModel,
+    HciModel,
+    InterconnectNetwork,
+    NbtiModel,
+    TddbModel,
+)
+from repro.circuit import dc_operating_point, transient
+from repro.circuits import (
+    differential_pair,
+    filtered_current_reference,
+    five_transistor_ota,
+    input_referred_offset_v,
+    is_bistable,
+    oscillation_frequency,
+    ring_oscillator,
+    sram_cell,
+)
+from repro.core import (
+    EmcAnalyzer,
+    MissionProfile,
+    MonteCarloYield,
+    ReliabilitySimulator,
+    Specification,
+    tddb_survival_fn,
+    time_to_spec_violation,
+)
+from repro.emc import add_dpi_injection
+from repro.solutions import (
+    AdaptiveSystem,
+    Knob,
+    Monitor,
+    SpecTarget,
+)
+from repro.variability import MismatchSampler
+
+
+class TestYieldAcrossNodes:
+    def test_fixed_area_offset_worsens_with_scaling(self):
+        """§2: at fixed device AREA, scaled nodes match slightly better
+        (A_VT tracks t_ox down) — but at each node's MINIMUM geometry,
+        offsets explode.  Check the minimum-geometry trend."""
+        from repro.technology import get_node
+        from repro.variability import PelgromModel
+
+        sigmas = []
+        for name in ("350nm", "90nm", "32nm"):
+            tech = get_node(name)
+            pm = PelgromModel.for_technology(tech)
+            sigmas.append(pm.sigma_delta_vt_v(4 * tech.wmin_m, tech.lmin_m))
+        assert sigmas[0] < sigmas[1] < sigmas[2]
+
+
+class TestAgedSramStability:
+    def test_one_soft_breakdown_not_fatal(self, tech90):
+        """§3.1 / ref [20]: one SBD does not necessarily kill the cell."""
+        fx = sram_cell(tech90)
+        tddb = TddbModel(tech90.aging)
+        tddb.apply_breakdown(fx.circuit["mn_l"], BreakdownMode.SOFT,
+                             spot_position=0.3)
+        assert is_bistable(fx)
+
+    def test_hard_breakdown_on_pulldown_can_kill(self, tech90):
+        """A HARD breakdown shorting a pull-down gate is usually fatal."""
+        fx = sram_cell(tech90)
+        tddb = TddbModel(tech90.aging)
+        tddb.apply_breakdown(fx.circuit["mn_l"], BreakdownMode.HARD,
+                             spot_position=0.5)
+        assert not is_bistable(fx)
+
+
+class TestAgingPlusVariability:
+    def test_variability_and_aging_compose(self, tech65):
+        """Aged mismatch: total offset = time-zero + drift components."""
+        fx = five_transistor_ota(tech65, l_m=2 * tech65.lmin_m)
+        sampler = MismatchSampler(tech65, np.random.default_rng(11))
+        sampler.assign(fx.circuit)
+        offset_t0 = input_referred_offset_v(fx, search_range_v=0.3)
+        # Asymmetric NBTI stress: skew the inputs so one PMOS load works
+        # harder, then age.
+        fx.circuit["vinp"].spec = type(fx.circuit["vinp"].spec)(
+            fx.meta["vcm_v"] + 0.1)
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging)])
+        sim.run(MissionProfile(n_epochs=5))
+        fx.circuit["vinp"].spec = type(fx.circuit["vinp"].spec)(
+            fx.meta["vcm_v"])
+        offset_aged = input_referred_offset_v(fx, search_range_v=0.3)
+        assert offset_aged != pytest.approx(offset_t0, abs=1e-5)
+
+
+class TestDigitalLifetime:
+    def test_ring_oscillator_lifetime_pipeline(self, tech65):
+        """§5 intro: simulate aging, find when the frequency spec dies,
+        then combine with TDDB survival."""
+        fx = ring_oscillator(tech65, n_stages=3)
+
+        def freq(fixture):
+            res = transient(fixture.circuit, t_stop=2.5e-9, dt=5e-12)
+            return oscillation_frequency(res.voltage("s0"), tech65.vdd / 2)
+
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging),
+                                        HciModel(tech65.aging)])
+        profile = MissionProfile(n_epochs=5, stress_mode="transient",
+                                 transient_t_stop_s=1.2e-9,
+                                 transient_dt_s=3e-12)
+        report = sim.run(profile, metrics={"freq": freq})
+        f0 = report.metric("freq")[0]
+        # Spec: stay within 2 % of the fresh frequency.
+        t_param = time_to_spec_violation(report.times_s,
+                                         report.metric("freq"),
+                                         lower=0.98 * f0)
+        assert t_param > 0.0
+        op = dc_operating_point(fx.circuit)
+        vgs = {m.name: tech65.vdd for m in fx.circuit.mosfets}
+        survival = tddb_survival_fn(fx.circuit.mosfets,
+                                    TddbModel(tech65.aging), vgs)
+        p10 = survival(units.years_to_seconds(10.0))
+        assert 0.0 < p10 <= 1.0
+
+
+class TestEmcPipeline:
+    def test_fig3_fig4_pipeline(self, tech90):
+        """§4: the whole Fig 3 → Fig 4 flow, small grid."""
+        fx = filtered_current_reference(tech90)
+        inj = add_dpi_injection(fx.circuit, fx.nodes["diode"],
+                                coupling_c_f=500e-15)
+        analyzer = EmcAnalyzer(fx.circuit, inj,
+                               lambda r: -r.source_current("vout"),
+                               n_periods=20, samples_per_period=32,
+                               settle_periods=6)
+        smap = analyzer.scan([0.1, 0.4], [30e6, 300e6])
+        # Pumped DOWN everywhere, worse at higher amplitude.
+        assert np.all(smap.shift < 0.0)
+        assert np.all(np.abs(smap.shift[1]) > np.abs(smap.shift[0]))
+
+
+class TestEmDesignFlow:
+    def test_em_aware_flow_fixes_grid(self, tech65):
+        """§3.4 / ref [25]: analyze → widen → re-analyze to target."""
+        net = InterconnectNetwork(tech65.interconnect)
+        net.wire("spine", "pad", "n1", width_m=0.4e-6, length_m=400e-6,
+                 has_via=True)
+        net.wire("rib1", "n1", "load1", width_m=0.15e-6, length_m=150e-6)
+        net.wire("rib2", "n1", "load2", width_m=0.15e-6, length_m=150e-6)
+        net.wire("ret1", "load1", "gnd", width_m=0.3e-6, length_m=200e-6)
+        net.wire("ret2", "load2", "gnd", width_m=0.3e-6, length_m=200e-6)
+        net.inject("pad", 6e-3)
+        net.inject("gnd", -6e-3)
+        net.set_ground("gnd")
+        em = ElectromigrationModel(tech65.aging)
+        target = units.years_to_seconds(10.0)
+        hot = units.celsius_to_kelvin(105.0)
+        assert net.system_mttf_s(em, hot) < target  # starts failing
+        net.fix_em_violations(em, target, temperature_k=hot)
+        assert net.system_mttf_s(em, hot) >= 0.95 * target
+
+
+class TestKnobsAndMonitorsOnRealCircuit:
+    def test_supply_knob_holds_ro_frequency(self, tech65):
+        """§5.2 on a real circuit: a VDD knob compensates NBTI+HCI aging
+        of a ring oscillator; without the knob the spec is lost."""
+        fx = ring_oscillator(tech65, n_stages=3)
+        vdd_source = fx.circuit["vdd"]
+
+        def measure_freq():
+            res = transient(fx.circuit, t_stop=2.5e-9, dt=5e-12)
+            return oscillation_frequency(res.voltage("s0"),
+                                         vdd_source.spec.dc_value() / 2)
+
+        f_fresh = measure_freq()
+        spec_hz = 0.97 * f_fresh
+
+        def set_vdd(v):
+            from repro.circuit import DcSpec
+
+            vdd_source.spec = DcSpec(v)
+
+        monitor = Monitor("freq", measure_freq)
+        knob = Knob("vdd", [tech65.vdd, 1.05 * tech65.vdd,
+                            1.10 * tech65.vdd, 1.15 * tech65.vdd], set_vdd)
+        system = AdaptiveSystem([monitor], [knob],
+                                [SpecTarget("freq", lower=spec_hz)],
+                                cost_fn=lambda: vdd_source.spec.dc_value() ** 2)
+
+        sim = ReliabilitySimulator(fx, [NbtiModel(tech65.aging),
+                                        HciModel(tech65.aging)])
+        profile = MissionProfile(n_epochs=3, stress_mode="transient",
+                                 transient_t_stop_s=1.2e-9,
+                                 transient_dt_s=3e-12)
+        report = sim.run(profile, metrics={"freq": lambda f: measure_freq()})
+        # Open loop: frequency has sagged below spec by end of life.
+        assert report.metric("freq")[-1] < spec_hz
+        # Close the loop at end of life: the knob recovers the spec.
+        record = system.regulate()
+        assert record.in_spec
+        assert knob.index > 0
+
+
+class TestDelayVariability:
+    def test_delay_spread_grows_with_scaling(self):
+        """§2: 'digital circuits mostly suffer from a variable delay' —
+        the relative delay spread of a minimum-size inverter grows as
+        the technology scales (mismatch does not shrink as fast as
+        drive strength grows)."""
+        from repro.circuit import PulseSpec
+        from repro.circuits import inverter, propagation_delay
+        from repro.technology import get_node
+        from repro.variability import MismatchSampler
+
+        def delay_sigma_over_mean(tech, n=14):
+            fx = inverter(tech, load_c_f=10e-15)
+            fx.circuit["vin"].spec = PulseSpec(
+                v1=0.0, v2=tech.vdd, delay_s=0.2e-9, rise_s=20e-12,
+                fall_s=20e-12, width_s=5e-9, period_s=10e-9)
+            sampler = MismatchSampler(tech, np.random.default_rng(3))
+            delays = []
+            for _ in range(n):
+                sampler.assign(fx.circuit)
+                res = transient(fx.circuit, t_stop=1.5e-9, dt=2e-12)
+                delays.append(propagation_delay(
+                    res.voltage("in"), res.voltage("out"), tech.vdd))
+            sampler.clear(fx.circuit)
+            delays = np.array(delays)
+            return float(np.std(delays) / np.mean(delays))
+
+        from repro.technology import get_node
+
+        spread_old = delay_sigma_over_mean(get_node("180nm"))
+        spread_new = delay_sigma_over_mean(get_node("45nm"))
+        assert spread_new > spread_old
+
+
+class TestFrequencyMonitor:
+    def test_reads_ring_frequency(self, tech90):
+        from repro.circuits import oscillation_frequency, ring_oscillator
+        from repro.solutions import frequency_monitor
+
+        fx = ring_oscillator(tech90, n_stages=3)
+        monitor = frequency_monitor(fx, "s0", tech90.vdd / 2,
+                                    t_stop_s=2e-9, dt_s=4e-12,
+                                    quantization_hz=0.05e9)
+        reading = monitor.read()
+        res = transient(fx.circuit, t_stop=2e-9, dt=4e-12)
+        direct = oscillation_frequency(res.voltage("s0"), tech90.vdd / 2)
+        assert reading == pytest.approx(direct, rel=0.02)

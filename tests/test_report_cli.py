@@ -1,0 +1,116 @@
+"""Tests for the report renderer and the CLI."""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.report import (
+    format_cell,
+    render_key_values,
+    render_section,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_and_bool(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_floats(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.2345678) == "1.235"
+        assert format_cell(1.5e-7) == "1.500e-07"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("nan")) == "nan"
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderHelpers:
+    def test_section(self):
+        out = render_section("title", "body")
+        assert out.startswith("title\n=====\n")
+
+    def test_key_values_aligned(self):
+        out = render_key_values([("a", 1), ("long_key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_key_values_empty(self):
+        assert render_key_values([]) == ""
+
+
+class TestCli:
+    def test_nodes(self, capsys):
+        assert main(["nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "65nm" in out
+        assert "A_VT" in out
+
+    def test_node_detail(self, capsys):
+        assert main(["node", "90nm"]) == 0
+        out = capsys.readouterr().out
+        assert "mismatch (Eq 1)" in out
+        assert "degradation" in out
+
+    def test_unknown_node_is_error(self, capsys):
+        assert main(["node", "7nm"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_aging_outlook(self, capsys):
+        assert main(["aging", "65nm"]) == 0
+        out = capsys.readouterr().out
+        assert "NBTI" in out
+        assert "TDDB" in out
+
+    def test_op_on_netlist(self, tmp_path, capsys):
+        netlist = tmp_path / "div.cir"
+        netlist.write_text("divider\nV1 in 0 2.0\nR1 in mid 1k\n"
+                           "R2 mid 0 1k\n")
+        assert main(["op", str(netlist)]) == 0
+        out = capsys.readouterr().out
+        assert "mid" in out
+        assert "1" in out  # 1.0 V at mid
+
+    def test_op_with_mosfets_needs_tech(self, tmp_path, capsys):
+        netlist = tmp_path / "m.cir"
+        netlist.write_text("m\nVd d 0 1.0\nM1 d d 0 0 n w=1u l=0.09u\n")
+        assert main(["op", str(netlist)]) == 1
+        assert main(["op", str(netlist), "--tech", "90nm"]) == 0
+        out = capsys.readouterr().out
+        assert "M1" in out
+
+    def test_tran_on_netlist(self, tmp_path, capsys):
+        netlist = tmp_path / "rc.cir"
+        netlist.write_text("rc\nV1 in 0 sin(0.5 0.5 1meg)\n"
+                           "R1 in out 1k\nC1 out 0 1n\n")
+        assert main(["tran", str(netlist), "--tstop", "5e-6",
+                     "--dt", "1e-8", "--nodes", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "out" in out
+        assert "mean" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["op", "/nonexistent/file.cir"]) == 1
+        assert "error" in capsys.readouterr().err

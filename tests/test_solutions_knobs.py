@@ -1,0 +1,170 @@
+"""Unit tests for the knobs-and-monitors framework (§5.2, Fig 6)."""
+
+import pytest
+
+from repro.solutions import (
+    AdaptiveSystem,
+    ControlAlgorithm,
+    Knob,
+    Monitor,
+    SpecTarget,
+)
+
+
+class FakePlant:
+    """A toy system: performance = gain·knob − degradation; power ∝ knob²."""
+
+    def __init__(self, gain=10.0):
+        self.gain = gain
+        self.degradation = 0.0
+        self.knob_value = 1.0
+
+    def performance(self):
+        return self.gain * self.knob_value - self.degradation
+
+    def power(self):
+        return self.knob_value ** 2
+
+
+def build_system(plant, quantization=0.0, settings=(1.0, 1.1, 1.2, 1.3, 1.4),
+                 spec_lower=9.5):
+    monitor = Monitor("perf", plant.performance, quantization=quantization)
+    knob = Knob("bias", list(settings),
+                lambda v: setattr(plant, "knob_value", v))
+    spec = SpecTarget("perf", lower=spec_lower)
+    return AdaptiveSystem([monitor], [knob], [spec], plant.power)
+
+
+class TestMonitor:
+    def test_reads_measurement(self):
+        plant = FakePlant()
+        m = Monitor("perf", plant.performance)
+        assert m.read() == pytest.approx(10.0)
+
+    def test_quantization(self):
+        m = Monitor("x", lambda: 1.234, quantization=0.1)
+        assert m.read() == pytest.approx(1.2)
+
+    def test_rejects_negative_quantization(self):
+        with pytest.raises(ValueError):
+            Monitor("x", lambda: 0.0, quantization=-1.0)
+
+
+class TestKnob:
+    def test_applies_initial_setting(self):
+        plant = FakePlant()
+        Knob("k", [2.0, 3.0], lambda v: setattr(plant, "knob_value", v))
+        assert plant.knob_value == 2.0
+
+    def test_set_index(self):
+        plant = FakePlant()
+        k = Knob("k", [1.0, 2.0], lambda v: setattr(plant, "knob_value", v))
+        k.set_index(1)
+        assert plant.knob_value == 2.0
+        assert k.value == 2.0
+        with pytest.raises(ValueError):
+            k.set_index(5)
+
+    def test_needs_two_settings(self):
+        with pytest.raises(ValueError):
+            Knob("k", [1.0], lambda v: None)
+
+
+class TestSpecTarget:
+    def test_margin_signs(self):
+        spec = SpecTarget("m", lower=1.0, upper=2.0)
+        assert spec.margin(1.5) == pytest.approx(0.5)
+        assert spec.margin(0.5) == pytest.approx(-0.5)
+        assert spec.margin(2.5) == pytest.approx(-0.5)
+        assert spec.satisfied(1.5)
+        assert not spec.satisfied(0.5)
+
+    def test_one_sided(self):
+        spec = SpecTarget("m", lower=1.0)
+        assert spec.margin(100.0) == pytest.approx(99.0)
+
+
+class TestAdaptiveSystem:
+    def test_validation(self):
+        plant = FakePlant()
+        monitor = Monitor("perf", plant.performance)
+        knob = Knob("k", [1.0, 1.1], lambda v: None)
+        with pytest.raises(ValueError, match="unknown monitor"):
+            AdaptiveSystem([monitor], [knob],
+                           [SpecTarget("other", lower=0.0)], plant.power)
+        with pytest.raises(ValueError):
+            AdaptiveSystem([], [knob], [], plant.power)
+
+    def test_no_action_when_in_spec(self):
+        plant = FakePlant()
+        system = build_system(plant)
+        record = system.regulate()
+        assert record.in_spec
+        assert record.knob_indices["bias"] == 0  # cheapest setting kept
+
+    def test_compensates_degradation(self):
+        # Fig 6 in miniature: degradation accumulates, the loop holds spec.
+        plant = FakePlant()
+        system = build_system(plant)
+        for degradation in (1.0, 2.0, 3.0, 4.0):
+            plant.degradation = degradation
+            record = system.regulate()
+            assert record.in_spec, f"lost spec at degradation {degradation}"
+        # Knob must have moved up to compensate.
+        assert system.knobs[0].index > 0
+
+    def test_minimizes_cost_among_feasible(self):
+        plant = FakePlant()
+        system = build_system(plant)
+        plant.degradation = 1.0  # needs knob ≥ 1.1 hmm: 10·1.1−1 = 10 ≥ 9.5
+        record = system.regulate()
+        assert record.in_spec
+        # The CHEAPEST satisfying setting is 1.05? settings are 1.0
+        # (perf 9.0, fails) and 1.1 (perf 10.0, passes) → index 1.
+        assert record.knob_indices["bias"] == 1
+
+    def test_reports_violation_when_exhausted(self):
+        plant = FakePlant()
+        system = build_system(plant)
+        plant.degradation = 100.0  # unfixable
+        record = system.regulate()
+        assert not record.in_spec
+        # Controller should have pushed the knob to its maximum.
+        assert record.knob_indices["bias"] == len(system.knobs[0].settings) - 1
+
+    def test_quantized_monitor_still_regulates(self):
+        plant = FakePlant()
+        system = build_system(plant, quantization=0.5)
+        plant.degradation = 2.0
+        record = system.regulate()
+        assert record.in_spec
+
+    def test_history_recorded(self):
+        plant = FakePlant()
+        system = build_system(plant)
+        system.regulate()
+        plant.degradation = 2.0
+        system.regulate()
+        assert len(system.history) == 2
+        assert system.history[1].evaluations > 0
+
+    def test_two_knob_coordinate_descent(self):
+        # Performance needs BOTH knobs; cost prefers the second knob low.
+        state = {"a": 1.0, "b": 1.0, "deg": 3.0}
+
+        def perf():
+            return 5.0 * state["a"] + 5.0 * state["b"] - state["deg"]
+
+        def cost():
+            return state["a"] ** 2 + 3.0 * state["b"] ** 2
+
+        monitor = Monitor("perf", perf)
+        ka = Knob("a", [1.0, 1.2, 1.4], lambda v: state.update(a=v))
+        kb = Knob("b", [1.0, 1.2, 1.4], lambda v: state.update(b=v))
+        system = AdaptiveSystem([monitor], [ka, kb],
+                                [SpecTarget("perf", lower=9.0)], cost,
+                                ControlAlgorithm(max_sweeps=4))
+        record = system.regulate()
+        assert record.in_spec
+        # Cheaper to raise knob a than knob b.
+        assert ka.index >= kb.index

@@ -1,0 +1,194 @@
+"""Unit tests for the technology-node library (§2 substrate)."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.technology import (
+    AVT_FLOOR_MV_UM,
+    NODES,
+    TechnologyNode,
+    get_node,
+    modeled_avt,
+    node_names,
+    scaling_trend,
+    tuinhout_benchmark_avt,
+)
+
+
+class TestLibraryLookup:
+    def test_all_names_resolve(self):
+        for name in node_names():
+            assert isinstance(get_node(name), TechnologyNode)
+
+    def test_unknown_node_raises_with_hint(self):
+        with pytest.raises(KeyError, match="65nm"):
+            get_node("7nm")
+
+    def test_trend_ordering(self):
+        trend = scaling_trend()
+        lmins = [t.lmin_m for t in trend]
+        assert lmins == sorted(lmins, reverse=True)
+
+    def test_expected_node_count(self):
+        assert len(NODES) == 8
+
+
+class TestScalingTrends:
+    def test_tox_shrinks_with_node(self):
+        trend = scaling_trend()
+        toxes = [t.tox_nm for t in trend]
+        assert toxes == sorted(toxes, reverse=True)
+
+    def test_vdd_shrinks_with_node(self):
+        trend = scaling_trend()
+        vdds = [t.vdd for t in trend]
+        assert vdds == sorted(vdds, reverse=True)
+
+    def test_oxide_field_grows_with_scaling(self):
+        # The central storyline: fields go UP even as VDD goes down.
+        assert (get_node("32nm").nominal_oxide_field()
+                > get_node("350nm").nominal_oxide_field())
+
+    def test_cox_grows_with_scaling(self):
+        assert get_node("32nm").cox_f_per_m2 > get_node("180nm").cox_f_per_m2
+
+    def test_nbti_severity_grows(self):
+        assert (get_node("32nm").aging.nbti_prefactor_v
+                > get_node("350nm").aging.nbti_prefactor_v)
+
+    def test_weibull_shape_shrinks_for_thin_oxides(self):
+        # Thin oxides have shallower Weibull slopes (§3.1).
+        assert (get_node("32nm").aging.tddb_weibull_shape
+                < get_node("350nm").aging.tddb_weibull_shape)
+
+
+class TestTuinhoutBenchmark:
+    def test_slope_is_1mv_um_per_nm(self):
+        assert tuinhout_benchmark_avt(10.0) == pytest.approx(10.0)
+
+    def test_modeled_tracks_benchmark_for_thick_oxide(self):
+        # Above ~10 nm the benchmark dominates the floor.
+        assert modeled_avt(25.0) == pytest.approx(
+            tuinhout_benchmark_avt(25.0), rel=0.01)
+
+    def test_modeled_saturates_for_thin_oxide(self):
+        # Below ~10 nm the measured curve sits clearly ABOVE the line.
+        thin = 2.0
+        assert modeled_avt(thin) > 1.2 * tuinhout_benchmark_avt(thin)
+
+    def test_floor_bounds_thin_oxide_avt(self):
+        assert modeled_avt(0.5) == pytest.approx(AVT_FLOOR_MV_UM, rel=0.05)
+
+    def test_rejects_non_positive_tox(self):
+        with pytest.raises(ValueError):
+            tuinhout_benchmark_avt(0.0)
+
+
+class TestNodeProperties:
+    def test_kp_consistency(self, tech90):
+        assert tech90.kp_n == pytest.approx(
+            tech90.u0_n_m2_per_vs * tech90.cox_f_per_m2)
+
+    def test_pmos_slower_than_nmos(self, tech90):
+        assert tech90.kp_p < tech90.kp_n
+
+    def test_lmin_um_conversion(self, tech90):
+        assert tech90.lmin_um == pytest.approx(0.09)
+
+    def test_scaled_override(self, tech90):
+        hot = tech90.scaled(vdd=1.32)
+        assert hot.vdd == pytest.approx(1.32)
+        assert hot.tox_nm == tech90.tox_nm
+        assert tech90.vdd == pytest.approx(1.2)  # original untouched
+
+    def test_validate_catches_bad_vt(self, tech90):
+        bad = tech90.scaled(vt0_n=2.0)  # above VDD
+        with pytest.raises(ValueError, match="headroom"):
+            bad.validate()
+
+    def test_validate_catches_positive_pmos_vt(self, tech90):
+        bad = tech90.scaled(vt0_p=0.3)
+        with pytest.raises(ValueError, match="negative"):
+            bad.validate()
+
+    def test_all_shipped_nodes_validate(self):
+        for tech in scaling_trend():
+            tech.validate()
+
+
+class TestMismatchCoefficients:
+    def test_avt_matches_model(self):
+        for tech in scaling_trend():
+            assert tech.mismatch.a_vt_mv_um == pytest.approx(
+                modeled_avt(tech.tox_nm))
+
+    def test_short_channel_scale_positive(self, tech90):
+        assert tech90.mismatch.short_channel_l_um > 0.0
+        assert tech90.mismatch.narrow_channel_w_um > 0.0
+
+
+class TestHciAnchors:
+    def test_reference_overdrive_positive(self):
+        for tech in scaling_trend():
+            assert tech.aging.hci_vov_ref_v > 0.0
+
+    def test_reference_em_in_physical_range(self):
+        # Peak lateral fields live in the 1e7–1e9 V/m window.
+        for tech in scaling_trend():
+            assert 1e6 < tech.aging.hci_em_ref_v_per_m < 1e9
+
+
+class TestInterpolatedNode:
+    def test_matches_shipped_at_library_points(self):
+        from repro.technology import interpolated_node
+
+        for name, size in (("90nm", 90.0), ("180nm", 180.0)):
+            shipped = get_node(name)
+            synthetic = interpolated_node(size)
+            assert synthetic.tox_nm == pytest.approx(shipped.tox_nm, rel=1e-6)
+            assert synthetic.vdd == pytest.approx(shipped.vdd, rel=1e-6)
+            assert synthetic.mismatch.a_vt_mv_um == pytest.approx(
+                shipped.mismatch.a_vt_mv_um, rel=1e-6)
+
+    def test_intermediate_node_between_neighbours(self):
+        from repro.technology import interpolated_node
+
+        mid = interpolated_node(75.0)
+        lo, hi = get_node("65nm"), get_node("90nm")
+        assert lo.tox_nm < mid.tox_nm < hi.tox_nm
+        assert lo.vdd < mid.vdd < hi.vdd
+        assert (lo.mismatch.a_vt_mv_um < mid.mismatch.a_vt_mv_um
+                < hi.mismatch.a_vt_mv_um)
+        mid.validate()
+
+    def test_devices_buildable_on_synthetic_node(self):
+        from repro.circuit import Circuit, Mosfet, dc_operating_point
+        from repro.technology import interpolated_node
+
+        tech = interpolated_node(75.0)
+        ckt = Circuit("interp test")
+        ckt.voltage_source("vdd", "vdd", "0", tech.vdd)
+        ckt.resistor("rb", "vdd", "d", 10e3)
+        ckt.mosfet(Mosfet.from_technology("m1", "d", "d", "0", "0",
+                                          tech, "n", w_m=1e-6,
+                                          l_m=tech.lmin_m))
+        op = dc_operating_point(ckt)
+        assert 0.0 < op.voltage("d") < tech.vdd
+
+    def test_out_of_range_rejected(self):
+        from repro.technology import interpolated_node
+
+        with pytest.raises(ValueError, match="outside"):
+            interpolated_node(20.0)
+        with pytest.raises(ValueError, match="outside"):
+            interpolated_node(500.0)
+
+    def test_monotone_trend_on_fine_grid(self):
+        from repro.technology import interpolated_node
+
+        sizes = [340.0, 200.0, 120.0, 70.0, 40.0]
+        fields = [interpolated_node(s).nominal_oxide_field()
+                  for s in sizes]
+        assert all(b > a for a, b in zip(fields, fields[1:]))

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert units.thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0))
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-10.0)
+
+
+class TestTemperatureConversion:
+    def test_celsius_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(105.0)) == pytest.approx(105.0)
+
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-300.0)
+
+    def test_negative_kelvin_rejected(self):
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(-1.0)
+
+
+class TestOxide:
+    def test_capacitance_for_2nm(self):
+        # eps_SiO2 / 2 nm ≈ 1.73e-2 F/m².
+        cox = units.oxide_capacitance_per_area(2e-9)
+        assert cox == pytest.approx(3.9 * 8.854e-12 / 2e-9, rel=1e-3)
+
+    def test_capacitance_inverse_in_thickness(self):
+        assert units.oxide_capacitance_per_area(1e-9) == pytest.approx(
+            2.0 * units.oxide_capacitance_per_area(2e-9))
+
+    def test_field_is_v_over_t(self):
+        assert units.oxide_field(1.2, 2e-9) == pytest.approx(6e8)
+
+    def test_field_uses_magnitude(self):
+        assert units.oxide_field(-1.2, 2e-9) == pytest.approx(6e8)
+
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(ValueError):
+            units.oxide_capacitance_per_area(0.0)
+        with pytest.raises(ValueError):
+            units.oxide_field(1.0, 0.0)
+
+
+class TestLengthHelpers:
+    def test_nm_roundtrip(self):
+        assert units.to_nm(units.nm(65.0)) == pytest.approx(65.0)
+
+    def test_um_roundtrip(self):
+        assert units.to_um(units.um(1.5)) == pytest.approx(1.5)
+
+    def test_nm_value(self):
+        assert units.nm(1.0) == pytest.approx(1e-9)
+
+
+class TestDecibels:
+    def test_20db_is_factor_10(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_roundtrip(self):
+        assert units.from_db(units.db(3.7)) == pytest.approx(3.7)
+
+    def test_rejects_non_positive_ratio(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+
+class TestYears:
+    def test_ten_years_roundtrip(self):
+        assert units.seconds_to_years(units.years_to_seconds(10.0)) == pytest.approx(10.0)
+
+    def test_one_year_magnitude(self):
+        assert units.years_to_seconds(1.0) == pytest.approx(3.156e7, rel=1e-3)
