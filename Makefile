@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench check-regression perf
+
+## Tier-1: the full unit/integration suite (must stay green).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Record a new BENCH_<n>.json perf snapshot (see docs/performance.md).
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+## Tier-2: compare the two newest snapshots for perf regressions.
+check-regression:
+	$(PYTHON) scripts/check_regression.py
+
+## Record a snapshot AND verify the trajectory in one go.
+perf: bench check-regression

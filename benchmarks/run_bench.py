@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite and record a trajectory snapshot.
+
+Each invocation runs the simulator performance benchmarks (by default
+``benchmarks/test_bench_simulator_perf.py``), extracts the per-bench
+median/mean/rounds from pytest-benchmark's JSON output, and writes the
+next ``BENCH_<n>.json`` snapshot in the repository root:
+
+    python benchmarks/run_bench.py              # writes BENCH_<n+1>.json
+    python benchmarks/run_bench.py --all        # run every benchmark file
+    python benchmarks/run_bench.py --dry-run    # print, write nothing
+
+The snapshots form the performance trajectory of the repository; see
+``scripts/check_regression.py`` for the comparison step and
+``docs/performance.md`` for how to read the files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Schema version of the snapshot files (bump when the layout changes).
+SCHEMA = 1
+
+
+def existing_snapshots(directory: Path):
+    """Sorted ``[(index, path), ...]`` of BENCH_<n>.json files."""
+    found = []
+    for entry in directory.iterdir():
+        match = SNAPSHOT_PATTERN.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def next_snapshot_path(directory: Path) -> Path:
+    """Path of the next BENCH_<n>.json in the trajectory."""
+    snapshots = existing_snapshots(directory)
+    index = snapshots[-1][0] + 1 if snapshots else 0
+    return directory / f"BENCH_{index}.json"
+
+
+def run_pytest_benchmark(target: str, max_time_s: float,
+                         min_rounds: int) -> dict:
+    """Run pytest-benchmark on ``target`` and return its parsed JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        cmd = [
+            sys.executable, "-m", "pytest", target,
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            f"--benchmark-max-time={max_time_s}",
+            f"--benchmark-min-rounds={min_rounds}",
+            "-q", "-p", "no:cacheprovider",
+        ]
+        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(
+                f"pytest-benchmark run failed (exit {result.returncode})")
+        with open(json_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce pytest-benchmark JSON to ``{bench name: stats}``."""
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benches[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return benches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target", default="benchmarks/test_bench_simulator_perf.py",
+        help="pytest target to benchmark (default: the simulator perf suite)")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="benchmark the whole benchmarks/ directory instead")
+    parser.add_argument(
+        "--dir", type=Path, default=REPO_ROOT,
+        help="directory holding the BENCH_<n>.json trajectory")
+    parser.add_argument(
+        "--max-time", type=float, default=1.0,
+        help="pytest-benchmark --benchmark-max-time per bench [s]")
+    parser.add_argument(
+        "--min-rounds", type=int, default=5,
+        help="pytest-benchmark --benchmark-min-rounds per bench")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="run and print the summary without writing a snapshot")
+    args = parser.parse_args(argv)
+
+    target = "benchmarks" if args.all else args.target
+    raw = run_pytest_benchmark(target, args.max_time, args.min_rounds)
+    benches = summarize(raw)
+    if not benches:
+        raise SystemExit("no benchmarks collected — nothing to record")
+
+    snapshot = {
+        "schema": SCHEMA,
+        "target": target,
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", ""),
+        "benchmarks": benches,
+    }
+
+    width = max(len(name) for name in benches)
+    print(f"\n{'benchmark'.ljust(width)}  median [ms]  rounds")
+    for name, stats in sorted(benches.items()):
+        print(f"{name.ljust(width)}  {stats['median_s'] * 1e3:11.3f}  "
+              f"{stats['rounds']:6d}")
+
+    if args.dry_run:
+        return 0
+    out_path = next_snapshot_path(args.dir)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {out_path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Compare the two newest BENCH_<n>.json snapshots for perf regressions.
+
+Tier-2 check: after recording a new snapshot with
+``python benchmarks/run_bench.py``, run
+
+    python scripts/check_regression.py
+
+Every benchmark present in BOTH snapshots is compared by median; a
+benchmark whose median grew by more than ``--tolerance`` (default 25 %,
+generous because the suite runs on shared machines) fails the check.
+Benchmarks present in only one snapshot are reported but never fail —
+adding or retiring benches is a normal part of the trajectory.
+
+Specific speedup goals can be enforced with ``--require-speedup``:
+
+    python scripts/check_regression.py \
+        --require-speedup test_perf_mc_yield_sample=1.5
+
+Exit code 0 = trajectory healthy, 1 = regression (or missed goal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from run_bench import existing_snapshots  # noqa: E402
+
+
+def load_snapshot(path: Path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "benchmarks" not in data:
+        raise SystemExit(f"{path}: not a BENCH snapshot (no 'benchmarks')")
+    return data
+
+
+def parse_goals(pairs):
+    goals = {}
+    for pair in pairs:
+        name, _, factor = pair.partition("=")
+        if not factor:
+            raise SystemExit(
+                f"--require-speedup wants NAME=FACTOR, got {pair!r}")
+        goals[name] = float(factor)
+    return goals
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline snapshot (default: second-newest)")
+    parser.add_argument("--candidate", type=Path, default=None,
+                        help="candidate snapshot (default: newest)")
+    parser.add_argument("--dir", type=Path, default=REPO_ROOT,
+                        help="directory holding the BENCH_<n>.json files")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional median growth (default 0.25)")
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        metavar="NAME=FACTOR",
+                        help="fail unless NAME is at least FACTOR times "
+                             "faster than the baseline (repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.baseline is None or args.candidate is None:
+        snapshots = existing_snapshots(args.dir)
+        if len(snapshots) < 2:
+            print("fewer than two BENCH snapshots — nothing to compare "
+                  "(run benchmarks/run_bench.py twice)")
+            return 0
+        baseline_path = args.baseline or snapshots[-2][1]
+        candidate_path = args.candidate or snapshots[-1][1]
+    else:
+        baseline_path, candidate_path = args.baseline, args.candidate
+
+    base = load_snapshot(baseline_path)["benchmarks"]
+    cand = load_snapshot(candidate_path)["benchmarks"]
+    goals = parse_goals(args.require_speedup)
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    print(f"baseline:  {baseline_path}")
+    print(f"candidate: {candidate_path}")
+    width = max((len(n) for n in shared), default=9)
+    print(f"\n{'benchmark'.ljust(width)}  base [ms]  cand [ms]   ratio  verdict")
+    failures = []
+    for name in shared:
+        b = base[name]["median_s"]
+        c = cand[name]["median_s"]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: median grew {ratio:.2f}x "
+                            f"(tolerance {1.0 + args.tolerance:.2f}x)")
+        goal = goals.pop(name, None)
+        if goal is not None:
+            speedup = b / c if c > 0 else float("inf")
+            if speedup >= goal:
+                verdict = f"ok ({speedup:.2f}x >= {goal:g}x goal)"
+            else:
+                verdict = f"MISSED GOAL ({speedup:.2f}x < {goal:g}x)"
+                failures.append(f"{name}: speedup {speedup:.2f}x below "
+                                f"required {goal:g}x")
+        print(f"{name.ljust(width)}  {b * 1e3:9.3f}  {c * 1e3:9.3f}  "
+              f"{ratio:6.2f}  {verdict}")
+
+    for name in only_base:
+        print(f"{name.ljust(width)}  (retired — only in baseline)")
+    for name in only_cand:
+        print(f"{name.ljust(width)}  (new — only in candidate)")
+    for name in goals:
+        failures.append(f"{name}: --require-speedup target not found "
+                        "in both snapshots")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperformance trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

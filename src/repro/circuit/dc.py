@@ -14,6 +14,9 @@ mirrors, ring oscillators, OTAs) converge with at most gmin stepping.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Union
 
@@ -21,7 +24,7 @@ import numpy as np
 
 from repro.circuit.elements import CurrentSource, VoltageSource
 from repro.circuit.mna import ConvergenceError, Stamper
-from repro.circuit.mosfet import Mosfet, OperatingPoint
+from repro.circuit.mosfet import Mosfet, MosfetGroup, OperatingPoint
 from repro.circuit.netlist import Circuit
 
 #: Maximum per-iteration node-voltage update [V] (NR damping).
@@ -49,33 +52,80 @@ class NewtonOptions:
     """Shunt conductance from every node to ground [S]."""
 
 
+class NewtonWorkspace:
+    """Reusable stampers for repeated Newton solves of one system size.
+
+    Allocating the dense ``A``/``b`` pair once per *workspace* instead of
+    once per *solve* removes the ``np.zeros`` churn from sweeps, Monte-
+    Carlo sampling and transient stepping.  A workspace belongs to one
+    solver context at a time — it is NOT safe to share across threads
+    (parallel engines clone the circuit, which brings its own workspace).
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.st = Stamper(size)
+        self.base = Stamper(size)
+        # Scratch vectors for the Newton convergence bookkeeping.
+        self.abs_delta = np.empty(size)
+        self.scale = np.empty(size)
+
+
 def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
                  n_nodes: int, x0: Optional[np.ndarray] = None,
-                 options: Optional[NewtonOptions] = None) -> np.ndarray:
+                 options: Optional[NewtonOptions] = None, *,
+                 workspace: Optional[NewtonWorkspace] = None,
+                 stamp_base: Optional[Callable[[Stamper], None]] = None
+                 ) -> np.ndarray:
     """Solve the nonlinear MNA system ``F(x) = 0`` by damped NR.
 
     ``stamp(st, x)`` must assemble the linearized system at guess ``x``.
     Raises :class:`ConvergenceError` if the iteration does not settle.
+
+    With ``stamp_base`` given, the constant (solution-independent) part
+    of the system is assembled ONCE per call into ``workspace.base`` and
+    copied into the working stamper each iteration; ``stamp`` then only
+    adds the nonlinear companion models.  ``workspace`` recycles the
+    dense matrices across calls.
     """
     opts = options if options is not None else NewtonOptions()
     x = np.zeros(size) if x0 is None else np.array(x0, dtype=float)
     if x.shape != (size,):
         raise ValueError(f"x0 shape {x.shape} != ({size},)")
-    st = Stamper(size)
+    ws = workspace if workspace is not None and workspace.size == size \
+        else NewtonWorkspace(size)
+    st = ws.st
+    base: Optional[Stamper] = None
+    if stamp_base is not None:
+        base = ws.base
+        base.clear()
+        stamp_base(base)
+        base.add_gmin(n_nodes, opts.gmin)
     for _ in range(opts.max_iterations):
-        st.clear()
-        stamp(st, x)
-        st.add_gmin(n_nodes, opts.gmin)
+        if base is None:
+            st.clear()
+            stamp(st, x)
+            st.add_gmin(n_nodes, opts.gmin)
+        else:
+            st.load_from(base)
+            stamp(st, x)
         x_new = st.solve()
-        delta = x_new - x
+        # st.solve() returns a fresh vector, so it can be consumed as
+        # the in-place update buffer.
+        delta = np.subtract(x_new, x, out=x_new)
+        abs_delta = np.abs(delta, out=ws.abs_delta)
         # Damp node-voltage updates; branch currents follow freely.
-        v_delta = delta[:n_nodes]
-        max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+        max_dv = float(abs_delta[:n_nodes].max()) if n_nodes else 0.0
         if max_dv > opts.damping_v:
-            delta = delta * (opts.damping_v / max_dv)
-        x = x + delta
-        scale = np.maximum(np.abs(x), 1.0)
-        if np.all(np.abs(delta) <= opts.vtol + opts.reltol * scale):
+            factor = opts.damping_v / max_dv
+            delta *= factor
+            abs_delta *= factor
+        x += delta  # x is always an owned copy (np.array/np.zeros above)
+        scale = np.abs(x, out=ws.scale)
+        np.maximum(scale, 1.0, out=scale)
+        scale *= opts.reltol
+        scale += opts.vtol
+        if (abs_delta <= scale).all():
             return x
     raise ConvergenceError(
         f"Newton-Raphson did not converge in {opts.max_iterations} iterations")
@@ -126,18 +176,123 @@ def _stamp_dc_factory(circuit: Circuit) -> Callable[[Stamper, np.ndarray], None]
     return stamp
 
 
+class DcEngine:
+    """Per-circuit solver state: stamp plans, workspace, warm start.
+
+    Splits the element list into a *linear* part (stamps independent of
+    the Newton guess within one solve) and a *nonlinear* part, so the
+    linear system can be assembled once per solve and only the devices
+    re-stamped each iteration.  Also owns the reusable
+    :class:`NewtonWorkspace` and the warm-start seed carried between
+    consecutive operating-point solves (Monte-Carlo samples, sweep
+    points, transient steps).
+    """
+
+    def __init__(self, circuit: Circuit):
+        circuit.compile()
+        self.circuit = circuit
+        self.topology_version = circuit.topology_version
+        self.size = circuit.n_unknowns
+        self.n_nodes = circuit.n_nodes
+        elements = circuit.elements
+        self.linear_elements = [e for e in elements if not e.nonlinear]
+        self.nonlinear_elements = [e for e in elements if e.nonlinear]
+        mosfets = [e for e in self.nonlinear_elements if isinstance(e, Mosfet)]
+        self.other_nonlinear = [e for e in self.nonlinear_elements
+                                if not isinstance(e, Mosfet)]
+        self.mosfet_group = MosfetGroup(mosfets, self.size) if mosfets else None
+        self.workspace = NewtonWorkspace(self.size)
+        #: When True, the previous solution seeds the next solve.
+        self.warm_start_enabled = False
+        self.last_x: Optional[np.ndarray] = None
+
+    def stamp_base(self, st: Stamper) -> None:
+        """Stamp every solution-independent contribution (called once per
+        solve).  Source scaling and gate-leak conductances are read at
+        call time, so source stepping and aging updates land correctly;
+        the MOSFET group re-reads effective parameters here too."""
+        x_unused = _EMPTY_X
+        for element in self.linear_elements:
+            element.stamp_dc(st, x_unused)
+        group = self.mosfet_group
+        if group is not None:
+            group.stamp_gate_leaks(st)
+            group.refresh()
+
+    def stamp_nonlinear(self, st: Stamper, x: np.ndarray) -> None:
+        """Stamp the guess-dependent part only (called every iteration)."""
+        group = self.mosfet_group
+        if group is not None:
+            group.stamp(st, x)
+        for element in self.other_nonlinear:
+            element.stamp_dc(st, x)
+
+    def reset_warm_start(self) -> None:
+        """Forget the previous solution (next solve starts cold)."""
+        self.last_x = None
+
+
+_EMPTY_X = np.zeros(0)
+
+_ENGINES: "weakref.WeakKeyDictionary[Circuit, DcEngine]" = \
+    weakref.WeakKeyDictionary()
+_ENGINES_LOCK = threading.Lock()
+
+
+def dc_engine(circuit: Circuit) -> DcEngine:
+    """The cached :class:`DcEngine` for ``circuit`` (rebuilt on topology
+    change).  Engines are keyed per circuit object, so cloned circuits
+    used by parallel workers each get an independent engine."""
+    circuit.compile()
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(circuit)
+        if engine is None or engine.topology_version != circuit.topology_version:
+            engine = DcEngine(circuit)
+            _ENGINES[circuit] = engine
+        return engine
+
+
+@contextmanager
+def warm_start(circuit: Circuit):
+    """Context manager enabling cross-solve warm starting for ``circuit``.
+
+    Inside the block, each successful :func:`dc_operating_point` records
+    its solution and the next solve (without an explicit ``x0``) starts
+    from it.  The seed is cleared on entry, so results never depend on
+    solves performed before the block — the property that keeps chunked
+    Monte-Carlo runs bit-identical regardless of worker assignment.
+    """
+    engine = dc_engine(circuit)
+    prev_enabled = engine.warm_start_enabled
+    prev_last_x = engine.last_x
+    engine.warm_start_enabled = True
+    engine.last_x = None
+    try:
+        yield engine
+    finally:
+        engine.warm_start_enabled = prev_enabled
+        engine.last_x = prev_last_x
+
+
 def dc_operating_point(circuit: Circuit,
                        x0: Optional[np.ndarray] = None,
                        options: Optional[NewtonOptions] = None) -> DcSolution:
     """Find the DC operating point, with gmin/source-stepping fallbacks."""
-    circuit.compile()
-    size = circuit.n_unknowns
-    n_nodes = circuit.n_nodes
-    stamp = _stamp_dc_factory(circuit)
+    engine = dc_engine(circuit)
+    size = engine.size
+    n_nodes = engine.n_nodes
+    stamp = engine.stamp_nonlinear
+    stamp_base = engine.stamp_base
+    ws = engine.workspace
     opts = options if options is not None else NewtonOptions()
+    if x0 is None and engine.warm_start_enabled and engine.last_x is not None:
+        x0 = engine.last_x
 
     try:
-        x = newton_solve(stamp, size, n_nodes, x0, opts)
+        x = newton_solve(stamp, size, n_nodes, x0, opts,
+                         workspace=ws, stamp_base=stamp_base)
+        if engine.warm_start_enabled:
+            engine.last_x = x.copy()
         return DcSolution(circuit, x)
     except ConvergenceError:
         pass
@@ -150,8 +305,12 @@ def dc_operating_point(circuit: Circuit,
                 max_iterations=opts.max_iterations, vtol=opts.vtol,
                 reltol=opts.reltol, damping_v=opts.damping_v,
                 gmin=10.0 ** (-exponent))
-            x_guess = newton_solve(stamp, size, n_nodes, x_guess, stepped)
-        x = newton_solve(stamp, size, n_nodes, x_guess, opts)
+            x_guess = newton_solve(stamp, size, n_nodes, x_guess, stepped,
+                                   workspace=ws, stamp_base=stamp_base)
+        x = newton_solve(stamp, size, n_nodes, x_guess, opts,
+                         workspace=ws, stamp_base=stamp_base)
+        if engine.warm_start_enabled:
+            engine.last_x = x.copy()
         return DcSolution(circuit, x)
     except ConvergenceError:
         pass
@@ -165,8 +324,13 @@ def dc_operating_point(circuit: Circuit,
         for fraction in np.linspace(0.05, 1.0, 20):
             for source, scale0 in zip(sources, original_scales):
                 source.scale = scale0 * float(fraction)
-            x_guess = newton_solve(stamp, size, n_nodes, x_guess, opts)
+            # Source scales change between steps, so the base must be
+            # re-assembled each time — stamp_base reads them live.
+            x_guess = newton_solve(stamp, size, n_nodes, x_guess, opts,
+                                   workspace=ws, stamp_base=stamp_base)
         assert x_guess is not None
+        if engine.warm_start_enabled:
+            engine.last_x = x_guess.copy()
         return DcSolution(circuit, x_guess)
     finally:
         for source, scale0 in zip(sources, original_scales):
@@ -190,11 +354,20 @@ def dc_sweep(circuit: Circuit, source_name: str,
     original_spec = element.spec
     solutions: List[DcSolution] = []
     x_guess: Optional[np.ndarray] = None
+    x_prev: Optional[np.ndarray] = None
     try:
         for value in values:
             element.spec = DcSpec(float(value))
-            solution = dc_operating_point(circuit, x0=x_guess, options=options)
+            if x_prev is not None:
+                # Secant predictor: extrapolating the last two solutions
+                # lands close enough that Newton typically needs one
+                # fewer iteration per point than plain continuation.
+                x0 = 2.0 * x_guess - x_prev
+            else:
+                x0 = x_guess
+            solution = dc_operating_point(circuit, x0=x0, options=options)
             solutions.append(solution)
+            x_prev = x_guess
             x_guess = solution.x
     finally:
         element.spec = original_spec

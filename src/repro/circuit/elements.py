@@ -162,6 +162,11 @@ class Element:
 
     n_branches = 0
 
+    #: Whether the DC/transient stamp depends on the solution guess ``x``
+    #: (within one Newton solve).  Linear elements are stamped once per
+    #: solve into a constant base system instead of every NR iteration.
+    nonlinear = False
+
     def __init__(self, name: str, node_names: Sequence[str]):
         if not name:
             raise ValueError("element name must be non-empty")
@@ -169,6 +174,9 @@ class Element:
         self.node_names: Tuple[str, ...] = tuple(node_names)
         self.nodes: Tuple[int, ...] = ()
         self.branches: Tuple[int, ...] = ()
+        #: The circuit that last bound this element (set by
+        #: ``Circuit.compile``); lets shared elements detect re-binding.
+        self.bound_by = None
 
     def bind(self, node_indices: Sequence[int], branch_indices: Sequence[int]) -> None:
         """Attach resolved matrix indices (called by ``Circuit.compile``)."""
@@ -178,6 +186,7 @@ class Element:
             raise ValueError(f"{self.name}: branch index count mismatch")
         self.nodes = tuple(node_indices)
         self.branches = tuple(branch_indices)
+        self.bound_by = None
 
     # --- stamping interface -------------------------------------------
     def stamp_dc(self, st: Stamper, x: np.ndarray, t: float = 0.0) -> None:
@@ -495,6 +504,8 @@ class Vcvs(Element):
 
 class Diode(TwoTerminal):
     """Shockley diode with junction-voltage limiting for NR robustness."""
+
+    nonlinear = True
 
     def __init__(self, name: str, anode: str, cathode: str,
                  i_sat: float = 1e-14, ideality: float = 1.0,

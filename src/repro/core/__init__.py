@@ -14,6 +14,7 @@ from repro.core.aging_simulator import (
     MissionPhase,
     MissionProfile,
     ReliabilitySimulator,
+    aging_ensemble,
 )
 from repro.core.breakdown_sim import (
     BreakdownSample,
@@ -36,6 +37,7 @@ from repro.core.lifetime import (
 )
 from repro.core.yield_analysis import (
     MonteCarloYield,
+    SampleEvaluationError,
     Specification,
     YieldResult,
     wilson_interval,
@@ -60,10 +62,12 @@ __all__ = [
     "MissionProfile",
     "MonteCarloYield",
     "ReliabilitySimulator",
+    "SampleEvaluationError",
     "Specification",
     "SusceptibilityMap",
     "SweepResult",
     "YieldResult",
+    "aging_ensemble",
     "combined_survival",
     "crossover",
     "mission_survival_probability",

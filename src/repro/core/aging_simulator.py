@@ -33,6 +33,7 @@ from repro.circuit.dc import DcSolution, dc_operating_point
 from repro.circuit.netlist import Circuit
 from repro.circuit.transient import TransientResult, transient
 from repro.circuits.references import CircuitFixture
+from repro.parallel import ParallelMap, replicate, spawn_seed_sequences
 
 MetricFn = Callable[[CircuitFixture], float]
 
@@ -295,3 +296,45 @@ class ReliabilitySimulator:
 
         return AgingReport(times_s=times, metrics=trajectories,
                            device_delta_vt_v=delta_vt)
+
+
+def aging_ensemble(fixture: CircuitFixture,
+                   mechanisms: Sequence[AgingMechanism],
+                   profile: MissionProfile,
+                   metrics: Dict[str, MetricFn],
+                   tech,
+                   n_samples: int,
+                   seed: int = 0,
+                   jobs: int = 1,
+                   backend: str = "auto",
+                   include_ler: bool = False) -> List[AgingReport]:
+    """Monte-Carlo aging: mission trajectories over sampled mismatch.
+
+    The paper's §2 and §3 interact — a die's time-zero mismatch shifts
+    its bias point, which changes its stress, which changes how it
+    ages.  This helper runs the full simulate→stress→degrade mission on
+    ``n_samples`` virtual dies, each with fresh
+    :class:`~repro.variability.MismatchSampler` variations, and returns
+    one :class:`AgingReport` per die (in sample order).
+
+    Every sample evaluates a private replica of ``(fixture,
+    mechanisms)`` seeded from its own ``SeedSequence.spawn`` child, so
+    results are bit-identical for any ``jobs``/``backend`` choice and
+    the caller's fixture is never mutated.
+    """
+    from repro.variability.sampler import MismatchSampler
+
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    seeds = spawn_seed_sequences(seed, n_samples)
+
+    def run_sample(seed_seq: np.random.SeedSequence) -> AgingReport:
+        fx, mechs = replicate((fixture, mechanisms))
+        rng = np.random.default_rng(seed_seq)
+        sampler = MismatchSampler(tech, rng, include_ler=include_ler)
+        sampler.assign(fx.circuit)
+        simulator = ReliabilitySimulator(fx, list(mechs))
+        return simulator.run(profile, metrics=metrics)
+
+    mapper = ParallelMap(backend=backend, n_jobs=jobs)
+    return mapper.map(run_sample, seeds)

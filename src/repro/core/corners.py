@@ -11,13 +11,14 @@ matrix and reports the worst case per spec.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.elements import DcSpec, VoltageSource
 from repro.circuit.mna import ConvergenceError, SingularCircuitError
 from repro.circuits.references import CircuitFixture
 from repro.core.yield_analysis import Specification
+from repro.parallel import ParallelMap, clone_fixture
 from repro.technology.node import TechnologyNode
 from repro.variability.sampler import ProcessCorner, standard_corners
 
@@ -95,44 +96,86 @@ class CornerAnalysis:
         if not isinstance(source, VoltageSource):
             raise TypeError(f"{vdd_source_name!r} is not a voltage source")
 
-    def _set_temperature(self, temperature_k: float) -> None:
-        for device in self.fixture.circuit.mosfets:
+    @staticmethod
+    def _set_temperature(circuit, temperature_k: float) -> None:
+        for device in circuit.mosfets:
             # MosfetParams is frozen; swap a copy with the new temperature.
-            from dataclasses import replace
-
             device.params = replace(device.params,
                                     temperature_k=temperature_k)
 
-    def run(self) -> CornerResult:
-        """Evaluate every spec at every PVT point; restores the fixture."""
+    def _pvt_points(self) -> List[Tuple[str, PvtPoint]]:
+        """The PVT matrix in its canonical (corner, vdd, T) nest order."""
+        points = []
+        for corner_name in self.corners:
+            for scale in self.vdd_scales:
+                for temperature in self.temperatures_k:
+                    points.append((corner_name,
+                                   PvtPoint(corner=corner_name,
+                                            vdd_scale=scale,
+                                            temperature_k=temperature)))
+        return points
+
+    def _evaluate_point(self, task: Tuple[str, PvtPoint]) -> Dict[str, float]:
+        """Evaluate every spec at one PVT point on a fixture replica.
+
+        Used by the parallel path: each point configures a private
+        clone, so nothing shared is mutated and no restoration is
+        needed.  Metric extraction has no randomness, hence the result
+        is identical to the serial in-place path.
+        """
+        corner_name, point = task
+        fixture = clone_fixture(self.fixture)
+        circuit = fixture.circuit
+        source = circuit[self.vdd_source_name]
+        nominal_vdd = source.spec.dc_value()
+        self.corners[corner_name].apply(circuit)
+        source.spec = DcSpec(point.vdd_scale * nominal_vdd)
+        self._set_temperature(circuit, point.temperature_k)
+        out = {}
+        for spec in self.specs:
+            try:
+                out[spec.name] = float(spec.extractor(fixture))
+            except (ConvergenceError, SingularCircuitError, ValueError):
+                out[spec.name] = float("nan")
+        return out
+
+    def run(self, jobs: int = 1, backend: str = "auto") -> CornerResult:
+        """Evaluate every spec at every PVT point; restores the fixture.
+
+        ``jobs > 1`` fans the PVT matrix out over
+        :class:`repro.parallel.ParallelMap` workers, each configuring a
+        private fixture replica; the original fixture is untouched.
+        """
+        tasks = self._pvt_points()
+        points = [point for _, point in tasks]
+        values: Dict[str, Dict[str, float]] = {s.name: {} for s in self.specs}
+        if jobs != 1 or backend not in ("auto", "serial"):
+            mapper = ParallelMap(backend=backend, n_jobs=jobs)
+            for (_, point), out in zip(tasks, mapper.map(self._evaluate_point,
+                                                         tasks)):
+                for name, value in out.items():
+                    values[name][point.label] = value
+            return CornerResult(values=values, points=points)
+
         circuit = self.fixture.circuit
         source = circuit[self.vdd_source_name]
         nominal_spec = source.spec
         nominal_vdd = nominal_spec.dc_value()
-        points: List[PvtPoint] = []
-        values: Dict[str, Dict[str, float]] = {s.name: {} for s in self.specs}
         try:
-            for corner_name, corner in self.corners.items():
-                corner.apply(circuit)
-                for scale in self.vdd_scales:
-                    source.spec = DcSpec(scale * nominal_vdd)
-                    for temperature in self.temperatures_k:
-                        self._set_temperature(temperature)
-                        point = PvtPoint(corner=corner_name,
-                                         vdd_scale=scale,
-                                         temperature_k=temperature)
-                        points.append(point)
-                        for spec in self.specs:
-                            try:
-                                value = float(spec.extractor(self.fixture))
-                            except (ConvergenceError, SingularCircuitError,
-                                    ValueError):
-                                value = float("nan")
-                            values[spec.name][point.label] = value
+            for corner_name, point in tasks:
+                self.corners[corner_name].apply(circuit)
+                source.spec = DcSpec(point.vdd_scale * nominal_vdd)
+                self._set_temperature(circuit, point.temperature_k)
+                for spec in self.specs:
+                    try:
+                        value = float(spec.extractor(self.fixture))
+                    except (ConvergenceError, SingularCircuitError,
+                            ValueError):
+                        value = float("nan")
+                    values[spec.name][point.label] = value
         finally:
             source.spec = nominal_spec
-            self._set_temperature(300.0)
-            self.corners["TT"].apply(circuit) if "TT" in self.corners else None
+            self._set_temperature(circuit, 300.0)
             for device in circuit.mosfets:
                 from repro.circuit.mosfet import DeviceVariation
 

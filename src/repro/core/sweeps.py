@@ -14,6 +14,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.parallel import ParallelMap
+
 
 @dataclass
 class SweepResult:
@@ -68,22 +70,40 @@ class SweepResult:
 def sweep(parameter_name: str,
           parameter_values: Sequence[float],
           metrics: Dict[str, Callable[[float], float]],
-          catch: tuple = (ValueError,)) -> SweepResult:
+          catch: tuple = (ValueError,),
+          jobs: int = 1,
+          backend: str = "auto") -> SweepResult:
     """Evaluate ``metrics`` (functions of the swept value) over a grid.
 
     Exceptions listed in ``catch`` are recorded as NaN — sweeps expect
     to probe failure regions.
+
+    ``jobs > 1`` evaluates the grid points through
+    :class:`repro.parallel.ParallelMap`.  The metric functions then run
+    concurrently, so they must be safe to call from several workers —
+    pure functions, or functions that clone their fixture internally
+    (closures that mutate one shared circuit are only safe serially).
+    Results are assembled in grid order either way.
     """
     grid = np.asarray(list(parameter_values), dtype=float)
     if grid.ndim != 1 or grid.size < 2:
         raise ValueError("need a 1-D grid of at least two values")
-    values = {name: np.full(grid.size, np.nan) for name in metrics}
-    for k, value in enumerate(grid):
+
+    def evaluate_point(value: float) -> Dict[str, float]:
+        out = {}
         for name, fn in metrics.items():
             try:
-                values[name][k] = float(fn(float(value)))
+                out[name] = float(fn(float(value)))
             except catch:
-                continue
+                out[name] = float("nan")
+        return out
+
+    mapper = ParallelMap(backend=backend, n_jobs=jobs)
+    per_point = mapper.map(evaluate_point, [float(v) for v in grid])
+    values = {name: np.full(grid.size, np.nan) for name in metrics}
+    for k, point in enumerate(per_point):
+        for name, value in point.items():
+            values[name][k] = value
     return SweepResult(parameter_name=parameter_name,
                        parameter_values=grid, values=values)
 

@@ -20,14 +20,51 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.circuit.dc import warm_start
 from repro.circuit.mna import ConvergenceError, SingularCircuitError
 from repro.circuits.references import CircuitFixture
+from repro.parallel import (
+    ParallelMap,
+    chunk_ranges,
+    clone_fixture,
+    spawn_seed_sequences,
+)
 from repro.technology.node import TechnologyNode
 from repro.variability.sampler import MismatchSampler, Placement
+
+#: Samples per work chunk.  Part of the reproducibility contract: the
+#: chunk grid (and hence the per-chunk seed streams) depends only on
+#: this value, never on ``jobs`` — changing it changes the drawn
+#: variates, changing ``jobs`` does not.
+DEFAULT_CHUNK_SIZE = 32
+
+#: Exception types that mean "this die could not be evaluated" — they
+#: are recorded as NaN (and counted) rather than aborting the run.
+EXPECTED_EVALUATION_ERRORS = (ConvergenceError, SingularCircuitError,
+                              ValueError)
+
+
+class SampleEvaluationError(RuntimeError):
+    """An *unexpected* exception escaped a spec extractor.
+
+    Convergence failures are part of normal Monte-Carlo life and become
+    NaN samples; anything else (a bug in the extractor, a typo'd node
+    name) is re-raised wrapped with the global sample index so the
+    failing die can be reproduced in isolation.
+    """
+
+    def __init__(self, sample_index: int, spec_name: str,
+                 original: BaseException):
+        super().__init__(
+            f"sample {sample_index} failed evaluating spec {spec_name!r}: "
+            f"{type(original).__name__}: {original}")
+        self.sample_index = sample_index
+        self.spec_name = spec_name
+        self.original = original
 
 
 @dataclass(frozen=True)
@@ -90,6 +127,9 @@ class YieldResult:
     spec_passes: Dict[str, np.ndarray] = field(default_factory=dict)
     """Spec name → per-sample pass flags."""
 
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+    """Exception type name → number of NaN samples it caused."""
+
     @property
     def yield_fraction(self) -> float:
         """Estimated yield (all specs met)."""
@@ -138,37 +178,84 @@ class MonteCarloYield:
         self.placements = placements
         self.include_ler = include_ler
 
-    def run(self, n_samples: int, seed: int = 0) -> YieldResult:
-        """Sample ``n_samples`` virtual dies and evaluate every spec.
+    def _evaluate_chunk(self, task: Tuple[Tuple[int, int],
+                                          np.random.SeedSequence]) -> dict:
+        """Evaluate one chunk of samples on a private fixture replica.
 
-        A sample whose evaluation does not converge is recorded as NaN
-        and counted as a FAIL (a die you cannot verify is a die you
-        cannot ship).  Device variations are restored to nominal
-        afterwards.
+        The chunk is fully self-contained: it clones the fixture, seeds
+        its own sampler from the chunk's ``SeedSequence`` child and
+        warm-starts Newton from a fresh state, so the result depends
+        only on (chunk bounds, chunk seed) — not on the worker that ran
+        it or on any other chunk.  That is what makes ``jobs=N``
+        bit-identical to ``jobs=1``.
         """
-        if n_samples <= 0:
-            raise ValueError("n_samples must be positive")
-        rng = np.random.default_rng(seed)
+        (start, stop), seed_seq = task
+        n = stop - start
+        fixture = clone_fixture(self.fixture)
+        circuit = fixture.circuit
+        rng = np.random.default_rng(seed_seq)
         sampler = MismatchSampler(self.tech, rng, include_ler=self.include_ler)
-        values = {s.name: np.full(n_samples, np.nan) for s in self.specs}
-        spec_passes = {s.name: np.zeros(n_samples, dtype=bool) for s in self.specs}
-        passes = np.zeros(n_samples, dtype=bool)
-        circuit = self.fixture.circuit
-        try:
-            for k in range(n_samples):
+        values = {s.name: np.full(n, np.nan) for s in self.specs}
+        spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
+        passes = np.zeros(n, dtype=bool)
+        failure_counts: Dict[str, int] = {}
+        with warm_start(circuit):
+            for k in range(n):
                 sampler.assign(circuit, self.placements)
                 sample_ok = True
                 for spec in self.specs:
                     try:
-                        value = float(spec.extractor(self.fixture))
-                    except (ConvergenceError, SingularCircuitError, ValueError):
+                        value = float(spec.extractor(fixture))
+                    except EXPECTED_EVALUATION_ERRORS as exc:
                         value = float("nan")
+                        name = type(exc).__name__
+                        failure_counts[name] = failure_counts.get(name, 0) + 1
+                    except Exception as exc:
+                        raise SampleEvaluationError(start + k, spec.name,
+                                                    exc) from exc
                     values[spec.name][k] = value
                     ok = spec.passes(value)
                     spec_passes[spec.name][k] = ok
                     sample_ok = sample_ok and ok
                 passes[k] = sample_ok
-        finally:
-            sampler.clear(circuit)
+        return {"start": start, "stop": stop, "values": values,
+                "spec_passes": spec_passes, "passes": passes,
+                "failure_counts": failure_counts}
+
+    def run(self, n_samples: int, seed: int = 0, jobs: int = 1,
+            backend: str = "auto",
+            chunk_size: int = DEFAULT_CHUNK_SIZE) -> YieldResult:
+        """Sample ``n_samples`` virtual dies and evaluate every spec.
+
+        A sample whose evaluation does not converge is recorded as NaN
+        and counted as a FAIL (a die you cannot verify is a die you
+        cannot ship); :attr:`YieldResult.failure_counts` records which
+        exception type caused each NaN.  The fixture itself is never
+        mutated — every chunk of ``chunk_size`` samples runs on a
+        private replica with its own ``SeedSequence.spawn`` child, so
+        results are bit-identical for any ``jobs``/``backend`` choice
+        (``chunk_size`` and ``seed`` are the reproducibility knobs).
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        ranges = chunk_ranges(n_samples, chunk_size)
+        seeds = spawn_seed_sequences(seed, len(ranges))
+        mapper = ParallelMap(backend=backend, n_jobs=jobs)
+        chunks = mapper.map(self._evaluate_chunk, list(zip(ranges, seeds)))
+
+        values = {s.name: np.full(n_samples, np.nan) for s in self.specs}
+        spec_passes = {s.name: np.zeros(n_samples, dtype=bool)
+                       for s in self.specs}
+        passes = np.zeros(n_samples, dtype=bool)
+        failure_counts: Dict[str, int] = {}
+        for chunk in chunks:
+            sl = slice(chunk["start"], chunk["stop"])
+            for name in values:
+                values[name][sl] = chunk["values"][name]
+                spec_passes[name][sl] = chunk["spec_passes"][name]
+            passes[sl] = chunk["passes"]
+            for name, count in chunk["failure_counts"].items():
+                failure_counts[name] = failure_counts.get(name, 0) + count
         return YieldResult(n_samples=n_samples, values=values,
-                           passes=passes, spec_passes=spec_passes)
+                           passes=passes, spec_passes=spec_passes,
+                           failure_counts=failure_counts)

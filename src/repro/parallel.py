@@ -1,0 +1,126 @@
+"""Deterministic parallel execution for the analysis engines.
+
+The Monte-Carlo engines (§2 yield, §3 aging ensembles, PVT corner
+matrices) are embarrassingly parallel: every virtual die is independent.
+This module provides the shared machinery to fan them out without
+giving up reproducibility:
+
+* :class:`ParallelMap` — a minimal map abstraction over serial, thread
+  and process backends with ``n_jobs`` auto-detection;
+* :func:`chunk_ranges` / :func:`spawn_seed_sequences` — work is split
+  into *fixed-size* chunks (independent of the worker count) and each
+  chunk receives its own child of one ``np.random.SeedSequence``.  A
+  chunk's results therefore depend only on (chunk content, chunk seed),
+  never on which worker ran it or how many workers exist — ``jobs=1``
+  and ``jobs=N`` are bit-identical for the same seed;
+* :func:`clone_fixture` / :func:`replicate` — per-worker circuit
+  replicas.  Workers mutate device variations and cached engine state,
+  so each chunk evaluates a private deep copy of the fixture (pickle
+  round-trip, falling back to ``copy.deepcopy`` for fixtures that hold
+  unpicklable callables such as lambdas).
+
+Backend notes: the ``process`` backend requires every task (function
+and payload) to be picklable — use module-level extractors, not
+lambdas.  The ``thread`` backend has no such restriction and still
+helps here because the dense solves spend their time in BLAS/LAPACK,
+which releases the GIL.  ``auto`` picks serial for one job and threads
+otherwise.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+_BACKENDS = ("auto", "serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request to a positive worker count.
+
+    ``None``, ``0`` and ``-1`` mean "use every core".
+    """
+    if jobs is None or jobs in (0, -1):
+        return max(1, os.cpu_count() or 1)
+    if jobs < -1:
+        raise ValueError(f"jobs must be positive, -1, 0 or None, got {jobs}")
+    return int(jobs)
+
+
+def chunk_ranges(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_items)`` into ``(start, stop)`` chunks.
+
+    The chunk grid depends only on ``chunk_size`` — never on the worker
+    count — which is what makes parallel runs reproducible.
+    """
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [(start, min(start + chunk_size, n_items))
+            for start in range(0, n_items, chunk_size)]
+
+
+def spawn_seed_sequences(seed: int, n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent child seed streams of one root seed."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def replicate(obj: T) -> T:
+    """Deep-copy ``obj`` for a worker (pickle, deepcopy fallback).
+
+    Pickle round-trips are preferred because they produce exactly the
+    object a process worker would receive; fixtures holding lambdas or
+    other unpicklable members fall back to ``copy.deepcopy``.
+    """
+    try:
+        return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return copy.deepcopy(obj)
+
+
+def clone_fixture(fixture: T) -> T:
+    """Private per-worker replica of a circuit fixture."""
+    return replicate(fixture)
+
+
+class ParallelMap:
+    """Ordered ``map`` over a serial, thread or process backend.
+
+    Results come back in input order; the first exception raised by any
+    task propagates to the caller (earliest index first, matching the
+    serial backend).
+    """
+
+    def __init__(self, backend: str = "auto", n_jobs: Optional[int] = None):
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.n_jobs = resolve_jobs(n_jobs)
+        if backend == "auto":
+            backend = "serial" if self.n_jobs == 1 else "thread"
+        self.backend = backend
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, preserving order."""
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or self.n_jobs == 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        workers = min(self.n_jobs, len(items))
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))

@@ -104,6 +104,50 @@ class MismatchSampler:
         return DeviceVariation(delta_vt_v=delta_vt, beta_factor=beta_factor,
                                gamma_factor=gamma_factor)
 
+    def sample_devices_batch(self, w_m: float, l_m: float, n_samples: int
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized draw of ``n_samples`` independent device offsets.
+
+        Returns ``(delta_vt_v, beta_factor, gamma_factor)`` arrays with
+        the same per-draw distributions (and the same 0.05 clamping) as
+        :meth:`sample_device`, but in three ``Generator`` calls instead
+        of ``3 · n_samples`` — the fast path for characterization
+        sweeps and high-sigma tail studies that need 10⁴–10⁶ variates
+        of one geometry.  The stream differs from an equivalent scalar
+        loop (array draws consume the generator in blocks), so use one
+        style or the other consistently within an experiment.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        sigma_vt = self.sigma_single_vt_v(w_m, l_m)
+        sigma_beta = self.sigma_single_beta_fraction(w_m, l_m)
+        sigma_gamma_v = self.pelgrom.sigma_delta_gamma_v(w_m, l_m) / math.sqrt(2.0)
+        gamma_rel_sigma = sigma_gamma_v / max(self.tech.gamma_body_sqrt_v, 1e-9)
+        delta_vt = self.rng.normal(0.0, sigma_vt, size=n_samples)
+        beta = np.maximum(1.0 + self.rng.normal(0.0, sigma_beta, n_samples),
+                          0.05)
+        gamma = np.maximum(1.0 + self.rng.normal(0.0, gamma_rel_sigma,
+                                                 n_samples), 0.05)
+        return delta_vt, beta, gamma
+
+    def sample_pair_delta_vt_batch_v(self, w_m: float, l_m: float,
+                                     n_samples: int,
+                                     distance_m: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`sample_pair_delta_vt_v` — ``n_samples`` ΔV_T
+        draws of one matched pair in four ``Generator`` calls."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        local = self.sigma_single_vt_v(w_m, l_m)
+        d1 = self.rng.normal(0.0, local, size=n_samples)
+        d2 = self.rng.normal(0.0, local, size=n_samples)
+        s_vt_v_per_m = (self.tech.mismatch.s_vt_mv_per_um
+                        * units.MILLI / units.MICRO)
+        gx = self.rng.normal(0.0, s_vt_v_per_m, size=n_samples)
+        # The scalar path draws (and discards) a y gradient component
+        # per sample; consume the same number of variates here.
+        self.rng.normal(0.0, s_vt_v_per_m, size=n_samples)
+        return (d1 - d2) + gx * distance_m
+
     def assign(self, circuit: Circuit,
                placements: Optional[Dict[str, Placement]] = None) -> None:
         """Draw and attach fresh variations to every MOSFET in ``circuit``.
