@@ -1,0 +1,213 @@
+"""Atomic chunk-granular checkpoints for long-run analyses.
+
+A million-sample Monte-Carlo run must survive restarts: this module
+persists every completed work chunk as it finishes, so an interrupted
+run resumes from the last checkpoint and — because each chunk's result
+depends only on (chunk bounds, chunk seed), never on execution order —
+finishes **bit-identical** to an uninterrupted run under the same seed.
+
+Format: a checkpoint is a *directory* holding
+
+* ``manifest.json`` — run identity (seed, sample count, chunk size,
+  spec names), the ids of completed chunks, per-chunk failure counts
+  and the serialised :class:`~repro.parallel.FailureLedger`;
+* ``chunks.npz`` — the numeric chunk payloads (values, pass flags) in
+  lossless binary.
+
+Writes are atomic: each file is written to a temporary sibling and
+``os.replace``-d into place, arrays first, manifest last.  A crash
+mid-write therefore leaves the previous consistent state — the manifest
+only ever names chunks whose arrays are already on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel import FailureLedger
+
+#: Manifest schema version.
+MC_CHECKPOINT_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+CHUNKS_NAME = "chunks.npz"
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint is missing, corrupt, or belongs to another run."""
+
+
+class RunInterrupted(RuntimeError):
+    """A checkpointed run was interrupted (SIGINT / injected fault).
+
+    Raised by the engines *after* the final checkpoint has been
+    written; carries the partial result and the checkpoint path so
+    callers can report progress and instruct the user how to resume.
+    """
+
+    def __init__(self, message: str, checkpoint_path: Optional[Path] = None,
+                 partial_result=None):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.partial_result = partial_result
+
+    def __reduce__(self):
+        return type(self), (self.args[0] if self.args else "",
+                            self.checkpoint_path, self.partial_result)
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp + rename."""
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Path, obj) -> None:
+    """Atomically serialise ``obj`` as JSON at ``path``."""
+    _atomic_write_bytes(Path(path),
+                        json.dumps(obj, indent=1, sort_keys=True)
+                        .encode("utf-8"))
+
+
+def atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically write an ``.npz`` archive at ``path``."""
+    import io
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    _atomic_write_bytes(Path(path), buffer.getvalue())
+
+
+class McCheckpointStore:
+    """Checkpoint reader/writer for the Monte-Carlo yield engine.
+
+    A *chunk payload* is the dict ``MonteCarloYield._evaluate_chunk``
+    returns: start/stop bounds, per-spec value and pass arrays, the
+    overall pass flags, failure counts and quarantine records.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the JSON manifest (run identity + completed chunks)."""
+        return self.path / MANIFEST_NAME
+
+    @property
+    def chunks_path(self) -> Path:
+        """Path of the ``.npz`` archive holding the chunk arrays."""
+        return self.path / CHUNKS_NAME
+
+    def exists(self) -> bool:
+        """Whether a loadable checkpoint is present."""
+        return self.manifest_path.is_file()
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save(self, run_params: dict, chunks: Dict[int, dict]) -> None:
+        """Persist the run state: arrays first, manifest last."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        spec_names = list(run_params["spec_names"])
+        arrays: Dict[str, np.ndarray] = {}
+        failure_counts: Dict[str, dict] = {}
+        ledger_records = []
+        for cid in sorted(chunks):
+            chunk = chunks[cid]
+            arrays[f"c{cid}_passes"] = chunk["passes"]
+            for j, name in enumerate(spec_names):
+                arrays[f"c{cid}_v{j}"] = chunk["values"][name]
+                arrays[f"c{cid}_s{j}"] = chunk["spec_passes"][name]
+            if chunk["failure_counts"]:
+                failure_counts[str(cid)] = chunk["failure_counts"]
+            ledger_records.extend(chunk.get("ledger", []))
+        atomic_write_npz(self.chunks_path, arrays)
+        manifest = dict(run_params)
+        manifest["schema"] = MC_CHECKPOINT_SCHEMA
+        manifest["completed"] = sorted(chunks)
+        manifest["bounds"] = {str(cid): [chunks[cid]["start"],
+                                         chunks[cid]["stop"]]
+                              for cid in sorted(chunks)}
+        manifest["failure_counts"] = failure_counts
+        manifest["ledger"] = ledger_records
+        atomic_write_json(self.manifest_path, manifest)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, expected_params: dict
+             ) -> Tuple[Dict[int, dict], FailureLedger]:
+        """Restore completed chunk payloads, validating run identity.
+
+        Raises :class:`CheckpointError` when the manifest does not
+        match ``expected_params`` — resuming a different run (other
+        seed, sample count, chunk size or specs) would silently corrupt
+        the statistics, so it is refused outright.
+        """
+        if not self.exists():
+            raise CheckpointError(f"no checkpoint at {self.path}")
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest: {exc}") from exc
+        if manifest.get("schema") != MC_CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint schema {manifest.get('schema')!r} not supported")
+        for key, expected in expected_params.items():
+            found = manifest.get(key)
+            if found != expected:
+                raise CheckpointError(
+                    f"checkpoint mismatch on {key!r}: checkpoint has "
+                    f"{found!r}, this run wants {expected!r}")
+        spec_names = list(expected_params["spec_names"])
+        try:
+            with np.load(self.chunks_path) as archive:
+                chunks: Dict[int, dict] = {}
+                for cid in manifest.get("completed", []):
+                    start, stop = manifest["bounds"][str(cid)]
+                    chunks[int(cid)] = {
+                        "start": int(start), "stop": int(stop),
+                        "passes": archive[f"c{cid}_passes"],
+                        "values": {name: archive[f"c{cid}_v{j}"]
+                                   for j, name in enumerate(spec_names)},
+                        "spec_passes": {name: archive[f"c{cid}_s{j}"]
+                                        for j, name in enumerate(spec_names)},
+                        "failure_counts": manifest.get(
+                            "failure_counts", {}).get(str(cid), {}),
+                        "ledger": [],
+                    }
+        except (OSError, KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint arrays: {exc}") from exc
+        ledger = FailureLedger.from_list(manifest.get("ledger", []))
+        # Re-home quarantine records onto their chunks so a later save
+        # round-trips them unchanged.
+        if ledger:
+            grid = {int(cid): chunks[int(cid)] for cid in chunks}
+            for record in ledger.records:
+                for chunk in grid.values():
+                    if chunk["start"] <= record.index < chunk["stop"]:
+                        chunk["ledger"].append(record.to_dict())
+                        break
+        return chunks, ledger

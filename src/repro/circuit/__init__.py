@@ -50,7 +50,14 @@ from repro.circuit.elements import (
     Vcvs,
     VoltageSource,
 )
-from repro.circuit.mna import ConvergenceError, SingularCircuitError, Stamper
+from repro.circuit.mna import (
+    ConvergenceError,
+    ConvergenceReport,
+    SingularCircuitError,
+    SolverError,
+    Stamper,
+    StrategyAttempt,
+)
 from repro.circuit.mosfet import (
     DeviceDegradation,
     DeviceVariation,
@@ -67,6 +74,7 @@ __all__ = [
     "Capacitor",
     "Circuit",
     "ConvergenceError",
+    "ConvergenceReport",
     "CurrentSource",
     "DcSolution",
     "DcSpec",
@@ -85,8 +93,10 @@ __all__ = [
     "Resistor",
     "SineSpec",
     "SingularCircuitError",
+    "SolverError",
     "SourceSpec",
     "Stamper",
+    "StrategyAttempt",
     "TransientResult",
     "Vccs",
     "Vcvs",

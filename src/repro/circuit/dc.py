@@ -1,29 +1,42 @@
 """DC operating-point and DC-sweep analyses.
 
 The operating point is found by damped Newton–Raphson on the MNA system.
-Two industry-standard fallbacks kick in when plain NR stalls:
+Three industry-standard fallbacks form the convergence ladder when plain
+NR stalls:
 
 1. **gmin stepping** — solve with a large shunt conductance from every
    node to ground, then relax it decade by decade, reusing each solution
    as the next initial guess;
-2. **source stepping** — ramp all independent sources from 0 to 100 %.
+2. **source stepping** — ramp all independent sources from 0 to 100 %;
+3. **pseudo-transient continuation** — anchor every node to its previous
+   pseudo-time value through a conductance that is relaxed geometrically,
+   following the circuit's natural settling trajectory toward the OP.
 
-Both are continuation methods; circuits in this library (references,
-mirrors, ring oscillators, OTAs) converge with at most gmin stepping.
+Circuits in this library (references, mirrors, ring oscillators, OTAs)
+converge with at most gmin stepping; the deeper rungs absorb the
+pathological corners a Monte-Carlo run inevitably draws.  Every failure
+carries a :class:`~repro.circuit.mna.ConvergenceReport` recording the
+ladder, iteration counts, final residual and worst-device attribution.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuit.elements import CurrentSource, VoltageSource
-from repro.circuit.mna import ConvergenceError, Stamper
+from repro.circuit.mna import (
+    ConvergenceError,
+    ConvergenceReport,
+    Stamper,
+    StrategyAttempt,
+)
 from repro.circuit.mosfet import Mosfet, MosfetGroup, OperatingPoint
 from repro.circuit.netlist import Circuit
 
@@ -52,6 +65,19 @@ class NewtonOptions:
     """Shunt conductance from every node to ground [S]."""
 
 
+class NewtonStats:
+    """Mutable iteration counter threaded through ladder rungs.
+
+    ``newton_solve`` adds the iterations it spent (successful or not)
+    so a fallback strategy can report its true total cost.
+    """
+
+    __slots__ = ("iterations",)
+
+    def __init__(self) -> None:
+        self.iterations = 0
+
+
 class NewtonWorkspace:
     """Reusable stampers for repeated Newton solves of one system size.
 
@@ -75,18 +101,21 @@ def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
                  n_nodes: int, x0: Optional[np.ndarray] = None,
                  options: Optional[NewtonOptions] = None, *,
                  workspace: Optional[NewtonWorkspace] = None,
-                 stamp_base: Optional[Callable[[Stamper], None]] = None
-                 ) -> np.ndarray:
+                 stamp_base: Optional[Callable[[Stamper], None]] = None,
+                 stats: Optional[NewtonStats] = None) -> np.ndarray:
     """Solve the nonlinear MNA system ``F(x) = 0`` by damped NR.
 
     ``stamp(st, x)`` must assemble the linearized system at guess ``x``.
-    Raises :class:`ConvergenceError` if the iteration does not settle.
+    Raises :class:`ConvergenceError` if the iteration does not settle or
+    the update turns non-finite (NaN/Inf never escapes as a bare
+    ``LinAlgError`` or an infinite loop — it is a convergence failure).
 
     With ``stamp_base`` given, the constant (solution-independent) part
     of the system is assembled ONCE per call into ``workspace.base`` and
     copied into the working stamper each iteration; ``stamp`` then only
     adds the nonlinear companion models.  ``workspace`` recycles the
-    dense matrices across calls.
+    dense matrices across calls.  ``stats`` (when given) accumulates the
+    iterations spent, converged or not.
     """
     opts = options if options is not None else NewtonOptions()
     x = np.zeros(size) if x0 is None else np.array(x0, dtype=float)
@@ -101,7 +130,8 @@ def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
         base.clear()
         stamp_base(base)
         base.add_gmin(n_nodes, opts.gmin)
-    for _ in range(opts.max_iterations):
+    iteration = 0
+    for iteration in range(1, opts.max_iterations + 1):
         if base is None:
             st.clear()
             stamp(st, x)
@@ -116,6 +146,16 @@ def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
         abs_delta = np.abs(delta, out=ws.abs_delta)
         # Damp node-voltage updates; branch currents follow freely.
         max_dv = float(abs_delta[:n_nodes].max()) if n_nodes else 0.0
+        if not math.isfinite(max_dv):
+            # NaN/Inf residual guard: a poisoned model parameter or an
+            # overflowing companion must fail fast and classified.
+            if stats is not None:
+                stats.iterations += iteration
+            raise ConvergenceError(
+                f"non-finite Newton update at iteration {iteration}",
+                iterations=iteration, final_residual=max_dv,
+                worst_index=int(np.argmax(np.isnan(abs_delta) |
+                                          np.isinf(abs_delta))))
         if max_dv > opts.damping_v:
             factor = opts.damping_v / max_dv
             delta *= factor
@@ -126,9 +166,18 @@ def newton_solve(stamp: Callable[[Stamper, np.ndarray], None], size: int,
         scale *= opts.reltol
         scale += opts.vtol
         if (abs_delta <= scale).all():
+            if stats is not None:
+                stats.iterations += iteration
             return x
+    if stats is not None:
+        stats.iterations += iteration
+    residual = float(ws.abs_delta.max())
     raise ConvergenceError(
-        f"Newton-Raphson did not converge in {opts.max_iterations} iterations")
+        f"Newton-Raphson did not converge in {opts.max_iterations} "
+        f"iterations (final residual {residual:.3g})",
+        iterations=opts.max_iterations,
+        final_residual=residual,
+        worst_index=int(np.argmax(ws.abs_delta)))
 
 
 @dataclass
@@ -274,10 +323,100 @@ def warm_start(circuit: Circuit):
         engine.last_x = prev_last_x
 
 
+def label_unknown(circuit: Circuit, index: Optional[int]
+                  ) -> Tuple[Optional[str], Optional[str]]:
+    """``(unknown_label, nearest_device)`` for a raw MNA index.
+
+    Nodes map to their netlist names; branch unknowns to
+    ``branch[<i>]``.  The device attribution is best-effort: the first
+    MOSFET with a terminal on the worst node.
+    """
+    if index is None or index < 0:
+        return None, None
+    names = circuit.node_names
+    if index >= len(names):
+        return f"branch[{index - len(names)}]", None
+    label = names[index]
+    for device in circuit.mosfets:
+        if index in device.nodes:
+            return label, device.name
+    return label, None
+
+
+#: Pseudo-transient continuation tuning: initial node anchor [S], the
+#: geometric relaxation per accepted pseudo-step, the re-strengthening
+#: factor after a rejected step, and the step budget.
+PTC_G_INITIAL = 1.0
+PTC_G_RELAX = 0.25
+PTC_G_GROW = 16.0
+PTC_G_FLOOR = 1e-9
+PTC_G_CEIL = 1e7
+PTC_MAX_STEPS = 40
+
+
+def _pseudo_transient(stamp: Callable[[Stamper, np.ndarray], None],
+                      stamp_base: Callable[[Stamper], None],
+                      size: int, n_nodes: int,
+                      x0: Optional[np.ndarray],
+                      opts: NewtonOptions,
+                      ws: NewtonWorkspace,
+                      stats: NewtonStats) -> np.ndarray:
+    """Pseudo-transient continuation: follow the settling trajectory.
+
+    Every node is anchored to its previous pseudo-time value through a
+    conductance ``g`` (the discrete analogue of a node capacitor with
+    timestep ``1/g``).  Accepted steps relax ``g`` geometrically —
+    growing the pseudo-timestep — until the anchor is negligible and a
+    plain Newton solve polishes the result.  Rejected steps (Newton
+    failure) re-strengthen the anchor, the switched-evolution rule that
+    makes PTC robust where plain continuation cycles.
+    """
+    x_prev = np.zeros(size) if x0 is None else np.array(x0, dtype=float)
+    idx = np.arange(n_nodes)
+    g = PTC_G_INITIAL
+    for _ in range(PTC_MAX_STEPS):
+        anchor = x_prev[:n_nodes].copy()
+
+        def stamp_ptc(st: Stamper, x: np.ndarray,
+                      _g: float = g, _anchor: np.ndarray = anchor) -> None:
+            stamp(st, x)
+            st.a[idx, idx] += _g
+            st.b[:n_nodes] += _g * _anchor
+
+        try:
+            x_prev = newton_solve(stamp_ptc, size, n_nodes, x_prev, opts,
+                                  workspace=ws, stamp_base=stamp_base,
+                                  stats=stats)
+        except ConvergenceError:
+            g *= PTC_G_GROW
+            if g > PTC_G_CEIL:
+                raise
+            continue
+        g *= PTC_G_RELAX
+        if g < PTC_G_FLOOR:
+            break
+    return newton_solve(stamp, size, n_nodes, x_prev, opts,
+                        workspace=ws, stamp_base=stamp_base, stats=stats)
+
+
+def _failed_attempt(name: str, exc: ConvergenceError, iterations: int,
+                    detail: str = "") -> StrategyAttempt:
+    return StrategyAttempt(name=name, iterations=iterations, converged=False,
+                           final_residual=exc.final_residual, detail=detail)
+
+
 def dc_operating_point(circuit: Circuit,
                        x0: Optional[np.ndarray] = None,
                        options: Optional[NewtonOptions] = None) -> DcSolution:
-    """Find the DC operating point, with gmin/source-stepping fallbacks."""
+    """Find the DC operating point, walking the convergence ladder.
+
+    Ladder: plain Newton → gmin stepping → source stepping →
+    pseudo-transient continuation.  A total failure raises
+    :class:`ConvergenceError` whose ``report`` records every strategy
+    tried, its iteration count, the final residual, and the worst
+    node/device — the telemetry the failure ledger and yield reports
+    consume.
+    """
     engine = dc_engine(circuit)
     size = engine.size
     n_nodes = engine.n_nodes
@@ -294,11 +433,14 @@ def dc_operating_point(circuit: Circuit,
         if engine.warm_start_enabled:
             engine.last_x = x.copy()
         return DcSolution(circuit, x)
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        attempts = [_failed_attempt("newton", exc, exc.iterations)]
+        worst_index = exc.worst_index
 
     # --- Fallback 1: gmin stepping -----------------------------------
     x_guess = x0
+    stats = NewtonStats()
+    exponent = 3
     try:
         for exponent in range(3, 13):
             stepped = NewtonOptions(
@@ -306,20 +448,26 @@ def dc_operating_point(circuit: Circuit,
                 reltol=opts.reltol, damping_v=opts.damping_v,
                 gmin=10.0 ** (-exponent))
             x_guess = newton_solve(stamp, size, n_nodes, x_guess, stepped,
-                                   workspace=ws, stamp_base=stamp_base)
+                                   workspace=ws, stamp_base=stamp_base,
+                                   stats=stats)
         x = newton_solve(stamp, size, n_nodes, x_guess, opts,
-                         workspace=ws, stamp_base=stamp_base)
+                         workspace=ws, stamp_base=stamp_base, stats=stats)
         if engine.warm_start_enabled:
             engine.last_x = x.copy()
         return DcSolution(circuit, x)
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        attempts.append(_failed_attempt(
+            "gmin-stepping", exc, stats.iterations,
+            detail=f"stalled at gmin=1e-{exponent}"))
+        worst_index = exc.worst_index
 
     # --- Fallback 2: source stepping ----------------------------------
     sources = [e for e in circuit.elements
                if isinstance(e, (VoltageSource, CurrentSource))]
     original_scales = [s.scale for s in sources]
     x_guess = None
+    stats = NewtonStats()
+    fraction = 0.0
     try:
         for fraction in np.linspace(0.05, 1.0, 20):
             for source, scale0 in zip(sources, original_scales):
@@ -327,14 +475,43 @@ def dc_operating_point(circuit: Circuit,
             # Source scales change between steps, so the base must be
             # re-assembled each time — stamp_base reads them live.
             x_guess = newton_solve(stamp, size, n_nodes, x_guess, opts,
-                                   workspace=ws, stamp_base=stamp_base)
+                                   workspace=ws, stamp_base=stamp_base,
+                                   stats=stats)
         assert x_guess is not None
         if engine.warm_start_enabled:
             engine.last_x = x_guess.copy()
         return DcSolution(circuit, x_guess)
+    except ConvergenceError as exc:
+        attempts.append(_failed_attempt(
+            "source-stepping", exc, stats.iterations,
+            detail=f"ramp stalled at {float(fraction):.0%}"))
+        worst_index = exc.worst_index
     finally:
         for source, scale0 in zip(sources, original_scales):
             source.scale = scale0
+
+    # --- Fallback 3: pseudo-transient continuation --------------------
+    stats = NewtonStats()
+    try:
+        x = _pseudo_transient(stamp, stamp_base, size, n_nodes, x0, opts,
+                              ws, stats)
+        if engine.warm_start_enabled:
+            engine.last_x = x.copy()
+        return DcSolution(circuit, x)
+    except ConvergenceError as exc:
+        attempts.append(_failed_attempt(
+            "pseudo-transient", exc, stats.iterations))
+        worst_index = exc.worst_index
+
+    worst_unknown, worst_device = label_unknown(circuit, worst_index)
+    report = ConvergenceReport(
+        analysis="dc", strategies=attempts,
+        worst_unknown=worst_unknown, worst_device=worst_device,
+        message="DC operating point not found after full fallback ladder")
+    raise ConvergenceError(report.summary(), report=report,
+                           iterations=report.total_iterations,
+                           final_residual=report.final_residual,
+                           worst_index=worst_index)
 
 
 def dc_sweep(circuit: Circuit, source_name: str,

@@ -14,7 +14,8 @@ Sign conventions:
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
@@ -132,9 +133,145 @@ class Stamper:
             ) from exc
 
 
-class SingularCircuitError(RuntimeError):
+@dataclass
+class StrategyAttempt:
+    """One rung of the convergence fallback ladder."""
+
+    name: str
+    """Strategy identifier (``newton``, ``gmin-stepping``,
+    ``source-stepping``, ``pseudo-transient``, ``step-halving``…)."""
+
+    iterations: int = 0
+    """Newton iterations spent inside this strategy."""
+
+    converged: bool = False
+    final_residual: float = float("nan")
+    """Largest solution update |Δx| when the strategy gave up [V / A]."""
+
+    detail: str = ""
+    """Free-form context (gmin reached, ramp fraction, halving depth…)."""
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (failure ledgers, checkpoints)."""
+        return {"name": self.name, "iterations": self.iterations,
+                "converged": self.converged,
+                "final_residual": self.final_residual, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StrategyAttempt":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class ConvergenceReport:
+    """Structured post-mortem of a failed (or hard-won) solve.
+
+    Attached to every :class:`ConvergenceError` raised by the DC and
+    transient engines, and preserved through pickling so process-backend
+    workers deliver full diagnostics to the parent.
+    """
+
+    analysis: str = "dc"
+    """``dc`` or ``transient``."""
+
+    strategies: List[StrategyAttempt] = field(default_factory=list)
+    """The fallback ladder in the order it was tried."""
+
+    worst_unknown: Optional[str] = None
+    """Node / branch label with the largest final update."""
+
+    worst_device: Optional[str] = None
+    """A device attached to the worst node (best-effort attribution)."""
+
+    message: str = ""
+
+    @property
+    def total_iterations(self) -> int:
+        """Newton iterations summed over every strategy."""
+        return sum(a.iterations for a in self.strategies)
+
+    @property
+    def final_residual(self) -> float:
+        """Residual of the last strategy attempted."""
+        if not self.strategies:
+            return float("nan")
+        return self.strategies[-1].final_residual
+
+    def strategy_names(self) -> List[str]:
+        """Names of the strategies tried, in ladder order."""
+        return [a.name for a in self.strategies]
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        ladder = " -> ".join(
+            f"{a.name}({a.iterations}it)" for a in self.strategies) or "none"
+        parts = [f"{self.analysis} solve failed after {ladder}"]
+        if self.worst_unknown:
+            parts.append(f"worst unknown {self.worst_unknown}")
+        if self.worst_device:
+            parts.append(f"near device {self.worst_device}")
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (failure ledgers, checkpoints)."""
+        return {"analysis": self.analysis,
+                "strategies": [a.to_dict() for a in self.strategies],
+                "worst_unknown": self.worst_unknown,
+                "worst_device": self.worst_device,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConvergenceReport":
+        """Inverse of :meth:`to_dict`; tolerates missing keys."""
+        return cls(
+            analysis=data.get("analysis", "dc"),
+            strategies=[StrategyAttempt.from_dict(a)
+                        for a in data.get("strategies", [])],
+            worst_unknown=data.get("worst_unknown"),
+            worst_device=data.get("worst_device"),
+            message=data.get("message", ""))
+
+
+class SolverError(RuntimeError):
+    """Base class of simulator failures with structured diagnostics.
+
+    Subclasses carry extra payload beyond ``args``; ``__reduce__``
+    rebuilds them from that payload so the diagnostics survive the
+    pickle round-trip a process-pool worker puts them through.
+    """
+
+    def __reduce__(self):
+        return type(self), self._reduce_args()
+
+    def _reduce_args(self) -> tuple:
+        return tuple(self.args)
+
+
+class SingularCircuitError(SolverError):
     """The MNA matrix could not be factorised."""
 
 
-class ConvergenceError(RuntimeError):
-    """Newton–Raphson failed to converge after all fallback strategies."""
+class ConvergenceError(SolverError):
+    """Newton–Raphson failed to converge after all fallback strategies.
+
+    ``report`` (when present) records the strategy ladder, iteration
+    counts, final residual and worst-device attribution;
+    ``worst_index`` is the raw unknown index with the largest final
+    update (labelled by the analysis layer that owns the circuit).
+    """
+
+    def __init__(self, message: str,
+                 report: Optional[ConvergenceReport] = None,
+                 iterations: int = 0,
+                 final_residual: float = float("nan"),
+                 worst_index: Optional[int] = None):
+        super().__init__(message)
+        self.report = report
+        self.iterations = iterations
+        self.final_residual = final_residual
+        self.worst_index = worst_index
+
+    def _reduce_args(self) -> tuple:
+        return (self.args[0] if self.args else "", self.report,
+                self.iterations, self.final_residual, self.worst_index)

@@ -1,4 +1,4 @@
-"""Fixed-step transient analysis.
+"""Fixed-step transient analysis with bounded step recovery.
 
 Integration methods: trapezoidal (default — accurate for the sinusoidal
 EMC experiments) and backward Euler (L-stable, useful for stiff switching
@@ -6,10 +6,18 @@ circuits).  Each timestep is a damped Newton solve of the companion-model
 system; charge-storage elements keep their history in per-element state
 dicts managed here.
 
-The fixed step keeps results deterministic and reproducible, which the
-benchmark harness relies on.  Choose ``dt`` ≤ 1/50 of the fastest signal
-period; the EMC helpers in :mod:`repro.core.emc_analysis` do this
-automatically.
+The output grid is fixed, which keeps results deterministic and
+reproducible (the benchmark harness relies on it).  Robustness comes
+from *internal* sub-stepping: a grid step whose Newton solve fails — or,
+with ``lte_rtol`` set, whose local-truncation-error proxy is too large —
+is retried as two half steps, recursively, down to
+``dt / 2**max_step_halvings``.  Exhausting the halving budget raises a
+:class:`~repro.circuit.mna.ConvergenceError` carrying a transient
+:class:`~repro.circuit.mna.ConvergenceReport` (failure time, halving
+depth, worst node/device).
+
+Choose ``dt`` ≤ 1/50 of the fastest signal period; the EMC helpers in
+:mod:`repro.core.emc_analysis` do this automatically.
 """
 
 from __future__ import annotations
@@ -22,17 +30,27 @@ import numpy as np
 from repro.circuit.dc import (
     DcSolution,
     NewtonOptions,
+    NewtonStats,
     dc_engine,
     dc_operating_point,
+    label_unknown,
     newton_solve,
 )
 from repro.circuit.elements import VoltageSource
-from repro.circuit.mna import Stamper
+from repro.circuit.mna import (
+    ConvergenceError,
+    ConvergenceReport,
+    Stamper,
+    StrategyAttempt,
+)
 from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import Waveform
 
 _METHODS = ("trapezoidal", "backward_euler")
+
+#: Default bound on recursive step halvings when a grid step rejects.
+DEFAULT_MAX_STEP_HALVINGS = 4
 
 
 @dataclass
@@ -96,12 +114,23 @@ class TransientResult:
 def transient(circuit: Circuit, t_stop: float, dt: float,
               method: str = "trapezoidal",
               initial_op: Optional[DcSolution] = None,
-              options: Optional[NewtonOptions] = None) -> TransientResult:
+              options: Optional[NewtonOptions] = None,
+              max_step_halvings: int = DEFAULT_MAX_STEP_HALVINGS,
+              lte_rtol: Optional[float] = None) -> TransientResult:
     """Integrate the circuit from its DC operating point to ``t_stop``.
 
     Sources follow their time-dependent specs; the t = 0 point is the DC
     solution (sources at their DC value), matching SPICE's default
     (no-UIC) behaviour.
+
+    A grid step whose Newton solve fails is retried as two half steps,
+    recursively, at most ``max_step_halvings`` deep; the output grid is
+    unchanged, so converging runs are bit-identical to earlier versions.
+    With ``lte_rtol`` set, a step whose local-truncation-error proxy
+    (deviation from the linear two-point predictor, relative to the
+    solution scale) exceeds the tolerance is also halved — rejection by
+    accuracy, not just by convergence.  ``lte_rtol=None`` (default)
+    disables the accuracy check.
     """
     if method not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
@@ -109,6 +138,8 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         raise ValueError("t_stop and dt must be positive")
     if dt > t_stop:
         raise ValueError("dt exceeds t_stop")
+    if max_step_halvings < 0:
+        raise ValueError("max_step_halvings must be non-negative")
 
     engine = dc_engine(circuit)
     size = engine.size
@@ -135,33 +166,97 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     other_pairs = [(e, s) for e, s in zip(elements, element_states)
                    if e.nonlinear and not isinstance(e, Mosfet)]
     ws = engine.workspace
+    stats = NewtonStats()
+
+    def solve_step(x_from: np.ndarray, t_to: float, dt_loc: float
+                   ) -> np.ndarray:
+        """One companion-model Newton solve over [t_to - dt_loc, t_to]."""
+
+        def stamp_base(st: Stamper) -> None:
+            # linear companions read state, never the guess
+            for element, state in linear_pairs:
+                element.stamp_transient(st, x_from, state, t_to, dt_loc,
+                                        method)
+            if group is not None:
+                group.stamp_gate_leaks(st)
+
+        def stamp(st: Stamper, x_guess: np.ndarray) -> None:
+            if group is not None:
+                group.stamp(st, x_guess)
+            for element, state in other_pairs:
+                element.stamp_transient(st, x_guess, state, t_to, dt_loc,
+                                        method)
+
+        return newton_solve(stamp, size, n_nodes, x0=x_from, options=opts,
+                            workspace=ws, stamp_base=stamp_base, stats=stats)
+
+    def commit_states(x_new: np.ndarray, t_to: float, dt_loc: float) -> None:
+        for element, state in zip(elements, element_states):
+            element.update_state(x_new, state, t_to, dt_loc, method)
+
+    def step_fail(t_at: float, depth: int, exc: ConvergenceError
+                  ) -> ConvergenceError:
+        worst_unknown, worst_device = label_unknown(circuit, exc.worst_index)
+        report = ConvergenceReport(
+            analysis="transient",
+            strategies=[StrategyAttempt(
+                name="step-halving", iterations=stats.iterations,
+                converged=False, final_residual=exc.final_residual,
+                detail=f"t={t_at:.6g}s, depth {depth}/{max_step_halvings}, "
+                       f"dt={dt / 2 ** depth:.3g}s")],
+            worst_unknown=worst_unknown, worst_device=worst_device,
+            message=f"transient step at t={t_at:.6g}s rejected "
+                    f"{max_step_halvings} halvings deep")
+        return ConvergenceError(report.summary(), report=report,
+                                iterations=stats.iterations,
+                                final_residual=exc.final_residual,
+                                worst_index=exc.worst_index)
+
+    def advance(x_from: np.ndarray, t0: float, t1: float, depth: int,
+                check_lte: bool, x_predicted: Optional[np.ndarray]
+                ) -> np.ndarray:
+        """Advance [t0, t1], halving on rejection; commits element state."""
+        dt_loc = t1 - t0
+        try:
+            x_new = solve_step(x_from, t1, dt_loc)
+        except ConvergenceError as exc:
+            if depth >= max_step_halvings:
+                raise step_fail(t1, depth, exc) from exc
+            x_new = None
+        if x_new is not None and check_lte and x_predicted is not None \
+                and depth < max_step_halvings:
+            # LTE proxy: deviation of the accepted solution from the
+            # two-point linear predictor, relative to the node scale.
+            scale = np.maximum(np.abs(x_new[:n_nodes]), 1.0)
+            lte = float(np.max(np.abs(x_new[:n_nodes]
+                                      - x_predicted[:n_nodes]) / scale))
+            if not lte <= lte_rtol:  # NaN rejects too
+                x_new = None
+        if x_new is None:
+            # Reject: integrate the same interval as two half steps.
+            # Sub-steps skip the LTE check — halving is the remedy, and
+            # skipping guarantees termination within the depth bound.
+            t_mid = 0.5 * (t0 + t1)
+            x_mid = advance(x_from, t0, t_mid, depth + 1, False, None)
+            return advance(x_mid, t_mid, t1, depth + 1, False, None)
+        commit_states(x_new, t1, dt_loc)
+        return x_new
 
     n_steps = int(round(t_stop / dt))
     times = np.empty(n_steps + 1)
     states = np.empty((n_steps + 1, size))
     times[0] = 0.0
     states[0] = x
+    x_prev_grid: Optional[np.ndarray] = None
 
     for step in range(1, n_steps + 1):
         t = step * dt
-
-        def stamp_base(st: Stamper, _t: float = t) -> None:
-            x_prev = x  # linear companions read state, never the guess
-            for element, state in linear_pairs:
-                element.stamp_transient(st, x_prev, state, _t, dt, method)
-            if group is not None:
-                group.stamp_gate_leaks(st)
-
-        def stamp(st: Stamper, x_guess: np.ndarray, _t: float = t) -> None:
-            if group is not None:
-                group.stamp(st, x_guess)
-            for element, state in other_pairs:
-                element.stamp_transient(st, x_guess, state, _t, dt, method)
-
-        x = newton_solve(stamp, size, n_nodes, x0=x, options=opts,
-                         workspace=ws, stamp_base=stamp_base)
-        for element, state in zip(elements, element_states):
-            element.update_state(x, state, t, dt, method)
+        predicted = None
+        if lte_rtol is not None and x_prev_grid is not None:
+            predicted = 2.0 * x - x_prev_grid
+        x_prev_grid = x
+        stats.iterations = 0
+        x = advance(x, t - dt, t, 0, lte_rtol is not None, predicted)
         times[step] = t
         states[step] = x
 

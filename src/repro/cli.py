@@ -9,9 +9,12 @@ Commands:
   operating point (node voltages, source currents, device bias);
 * ``tran <netlist> --tstop T --dt DT [--tech NODE] [--nodes a,b]`` —
   transient analysis; prints summary statistics per requested node;
-* ``mc [--tech NODE] [--samples N] [--jobs J]`` — Monte-Carlo offset
-  yield of a differential pair (the §2 demo), parallelised over the
-  :mod:`repro.parallel` backends;
+* ``mc [--tech NODE] [--samples N] [--jobs J] [--checkpoint DIR
+  [--resume]] [--retries N --timeout SEC]`` — Monte-Carlo offset yield
+  of a differential pair (the §2 demo), parallelised over the
+  :mod:`repro.parallel` backends, with chunk-granular checkpointing,
+  per-sample retry/timeout and graceful degradation (see
+  ``docs/robustness.md``);
 * ``aging <name>`` — the degradation outlook of a node: 10-year NBTI/
   HCI shifts, TDDB characteristic life, EM MTTF at J_max.
 
@@ -148,9 +151,48 @@ def _offset_extractor(fixture) -> float:
     return input_referred_offset_v(fixture)
 
 
+def _print_mc_result(result, args, tech, partial: bool = False) -> None:
+    """Render a (possibly partial/degraded) yield result."""
+    from repro.report import render_failure_ledger
+
+    lo, hi = result.confidence_interval()
+    rows = [
+        ("samples", f"{result.n_samples} (jobs={args.jobs}, "
+                    f"backend={args.backend})"),
+        ("spec", f"|offset| < {args.limit_mv:g} mV"),
+    ]
+    if partial:
+        rows.append(("evaluated", f"{result.n_evaluated} of "
+                                  f"{result.n_samples} (PARTIAL)"))
+    try:
+        rows.append(("offset sigma", f"{result.sigma('offset') * 1e3:.2f} mV"))
+    except ValueError:
+        rows.append(("offset sigma", "n/a (too few valid samples)"))
+    rows += [
+        ("yield", f"{result.yield_fraction * 100:.1f} %"),
+        ("95% CI", f"[{lo * 100:.1f}, {hi * 100:.1f}] %"
+                   + (" (widened for unresolved samples)"
+                      if result.is_degraded else "")),
+    ]
+    if result.failure_counts:
+        failed = ", ".join(f"{name}: {count}" for name, count
+                           in sorted(result.failure_counts.items()))
+        rows.append(("failed evaluations", failed))
+    body = render_key_values(rows)
+    ledger_text = render_failure_ledger(result.ledger)
+    if ledger_text:
+        body = body + "\n\n" + ledger_text
+    title = "Monte-Carlo offset yield: differential pair, " + tech.name
+    if partial:
+        title += " [INTERRUPTED]"
+    print(render_section(title, body))
+
+
 def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.checkpoint import RunInterrupted
     from repro.circuits import differential_pair
     from repro.core import MonteCarloYield, Specification
+    from repro.parallel import RetryPolicy
     from repro.technology import get_node
 
     tech = get_node(args.tech)
@@ -159,26 +201,31 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                            l_m=args.l_um * units.MICRO)
     spec = Specification("offset", _offset_extractor,
                          lower=-limit_v, upper=limit_v)
-    result = MonteCarloYield(fx, [spec], tech).run(
-        n_samples=args.samples, seed=args.seed, jobs=args.jobs,
-        backend=args.backend)
-    lo, hi = result.wilson_interval()
-    rows = [
-        ("samples", f"{result.n_samples} (jobs={args.jobs}, "
-                    f"backend={args.backend})"),
-        ("spec", f"|offset| < {args.limit_mv:g} mV"),
-        ("offset sigma", f"{result.sigma('offset') * 1e3:.2f} mV"),
-        ("yield", f"{result.yield_fraction * 100:.1f} %"),
-        ("95% Wilson CI", f"[{lo * 100:.1f}, {hi * 100:.1f}] %"),
-    ]
-    if result.failure_counts:
-        failed = ", ".join(f"{name}: {count}" for name, count
-                           in sorted(result.failure_counts.items()))
-        rows.append(("failed evaluations", failed))
-    print(render_section(
-        f"Monte-Carlo offset yield: differential pair, {tech.name}",
-        render_key_values(rows)))
-    return 0
+    retry = None
+    if args.retries > 1 or args.timeout is not None:
+        retry = RetryPolicy(max_attempts=args.retries,
+                            timeout_s=args.timeout,
+                            backoff_s=args.backoff)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 1
+    try:
+        result = MonteCarloYield(fx, [spec], tech).run(
+            n_samples=args.samples, seed=args.seed, jobs=args.jobs,
+            backend=args.backend, retry=retry,
+            checkpoint=args.checkpoint, resume=args.resume)
+    except RunInterrupted as exc:
+        # SIGINT mid-run: the engine has already written the final
+        # checkpoint; report the partial result and exit 130.
+        if exc.partial_result is not None:
+            _print_mc_result(exc.partial_result, args, tech, partial=True)
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(f"resume with: repro mc --checkpoint {exc.checkpoint_path} "
+              f"--resume --samples {args.samples} --seed {args.seed}",
+              file=sys.stderr)
+        return 130
+    _print_mc_result(result, args, tech)
+    return 2 if result.is_degraded else 0
 
 
 def _cmd_aging(args: argparse.Namespace) -> int:
@@ -216,12 +263,27 @@ def _cmd_aging(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit-code contract, shown in ``--help`` (main parser and ``mc``).
+EXIT_CODE_DOC = """\
+exit codes:
+  0    success — every evaluation completed cleanly
+  2    partial/degraded — the run completed, but some samples were
+       quarantined or skipped; results carry widened confidence
+       intervals and a failure ledger
+  1    hard failure (bad arguments, unreadable netlist, engine bug)
+  130  interrupted (Ctrl-C); with --checkpoint, a final checkpoint is
+       written first so the run can be resumed with --resume
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="yield & reliability analysis for nanometer CMOS "
-                    "(DATE 2008 reproduction)")
+                    "(DATE 2008 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=EXIT_CODE_DOC)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("nodes", help="list technology nodes").set_defaults(
@@ -247,7 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tran.set_defaults(func=_cmd_tran)
 
     p_mc = sub.add_parser(
-        "mc", help="Monte-Carlo offset yield of a differential pair")
+        "mc", help="Monte-Carlo offset yield of a differential pair",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=EXIT_CODE_DOC)
     p_mc.add_argument("--tech", default="90nm",
                       help="technology node (default 90nm)")
     p_mc.add_argument("--samples", type=int, default=200)
@@ -262,6 +326,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="input-pair width [um]")
     p_mc.add_argument("--l-um", type=float, default=0.4,
                       help="input-pair length [um]")
+    p_mc.add_argument("--checkpoint", default=None, metavar="DIR",
+                      help="checkpoint directory; completed chunks are "
+                           "persisted atomically, Ctrl-C writes a final "
+                           "checkpoint before exiting")
+    p_mc.add_argument("--resume", action="store_true",
+                      help="resume from --checkpoint (bit-identical to an "
+                           "uninterrupted run under the same seed)")
+    p_mc.add_argument("--retries", type=int, default=1, metavar="N",
+                      help="attempts per sample evaluation (default 1)")
+    p_mc.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="per-attempt wall-clock timeout [s]")
+    p_mc.add_argument("--backoff", type=float, default=0.0, metavar="SEC",
+                      help="delay before the first retry (doubles each "
+                           "attempt)")
     p_mc.set_defaults(func=_cmd_mc)
 
     p_aging = sub.add_parser("aging",
@@ -272,11 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes follow the contract in :data:`EXIT_CODE_DOC`: 0 clean
+    success, 2 completed-but-degraded, 1 hard failure, 130 interrupt.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

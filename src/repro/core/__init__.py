@@ -36,6 +36,7 @@ from repro.core.lifetime import (
     time_to_spec_violation,
 )
 from repro.core.yield_analysis import (
+    QUARANTINE_ERRORS,
     MonteCarloYield,
     SampleEvaluationError,
     Specification,
@@ -61,6 +62,7 @@ __all__ = [
     "MissionPhase",
     "MissionProfile",
     "MonteCarloYield",
+    "QUARANTINE_ERRORS",
     "ReliabilitySimulator",
     "SampleEvaluationError",
     "Specification",

@@ -307,7 +307,8 @@ def aging_ensemble(fixture: CircuitFixture,
                    seed: int = 0,
                    jobs: int = 1,
                    backend: str = "auto",
-                   include_ler: bool = False) -> List[AgingReport]:
+                   include_ler: bool = False,
+                   quarantine: bool = False):
     """Monte-Carlo aging: mission trajectories over sampled mismatch.
 
     The paper's §2 and §3 interact — a die's time-zero mismatch shifts
@@ -321,20 +322,55 @@ def aging_ensemble(fixture: CircuitFixture,
     mechanisms)`` seeded from its own ``SeedSequence.spawn`` child, so
     results are bit-identical for any ``jobs``/``backend`` choice and
     the caller's fixture is never mutated.
+
+    With ``quarantine=True`` the return value is ``(reports, ledger)``:
+    a die whose mission fails (non-convergence at some epoch, singular
+    system, timeout) gets a ``None`` placeholder instead of aborting the
+    ensemble, and the :class:`~repro.parallel.FailureLedger` records the
+    sample index and diagnostics.  The default (``False``) keeps the
+    historical contract: a plain report list, failures propagate.
     """
+    from repro.core.yield_analysis import QUARANTINE_ERRORS
+    from repro.faultinject import set_current_sample
     from repro.variability.sampler import MismatchSampler
 
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     seeds = spawn_seed_sequences(seed, n_samples)
 
-    def run_sample(seed_seq: np.random.SeedSequence) -> AgingReport:
+    def run_sample(task) -> AgingReport:
+        index, seed_seq = task
         fx, mechs = replicate((fixture, mechanisms))
         rng = np.random.default_rng(seed_seq)
         sampler = MismatchSampler(tech, rng, include_ler=include_ler)
-        sampler.assign(fx.circuit)
-        simulator = ReliabilitySimulator(fx, list(mechs))
-        return simulator.run(profile, metrics=metrics)
+        try:
+            set_current_sample(index)
+            sampler.assign(fx.circuit)
+            simulator = ReliabilitySimulator(fx, list(mechs))
+            return simulator.run(profile, metrics=metrics)
+        finally:
+            set_current_sample(None)
+
+    def run_sample_quarantined(task):
+        try:
+            return run_sample(task)
+        except QUARANTINE_ERRORS as exc:
+            return exc
 
     mapper = ParallelMap(backend=backend, n_jobs=jobs)
-    return mapper.map(run_sample, seeds)
+    tasks = list(enumerate(seeds))
+    if not quarantine:
+        return mapper.map(run_sample, tasks)
+
+    from repro.parallel import FailureLedger
+
+    outcomes = mapper.map(run_sample_quarantined, tasks)
+    reports: List[Optional[AgingReport]] = []
+    ledger = FailureLedger()
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, BaseException):
+            reports.append(None)
+            ledger.add(index, outcome, label="mission")
+        else:
+            reports.append(outcome)
+    return reports, ledger

@@ -15,10 +15,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.elements import DcSpec, VoltageSource
-from repro.circuit.mna import ConvergenceError, SingularCircuitError
 from repro.circuits.references import CircuitFixture
-from repro.core.yield_analysis import Specification
-from repro.parallel import ParallelMap, clone_fixture
+from repro.core.yield_analysis import QUARANTINE_ERRORS, Specification
+from repro.parallel import FailureLedger, ParallelMap, clone_fixture
 from repro.technology.node import TechnologyNode
 from repro.variability.sampler import ProcessCorner, standard_corners
 
@@ -47,6 +46,17 @@ class CornerResult:
     """spec name → point label → value (NaN = failed evaluation)."""
 
     points: List[PvtPoint]
+
+    ledger: FailureLedger = field(default_factory=FailureLedger)
+    """Failed PVT evaluations with diagnostics.  Record ``index`` is the
+    point's position in :attr:`points`; ``label`` is
+    ``"<spec>@<point label>"``; solver failures carry their
+    :class:`~repro.circuit.mna.ConvergenceReport`."""
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any PVT evaluation failed (its value is NaN)."""
+        return bool(self.ledger)
 
     def worst_case(self, spec: Specification) -> tuple:
         """``(point_label, value)`` of the worst excursion for a spec.
@@ -115,15 +125,18 @@ class CornerAnalysis:
                                             temperature_k=temperature)))
         return points
 
-    def _evaluate_point(self, task: Tuple[str, PvtPoint]) -> Dict[str, float]:
+    def _evaluate_point(self, task: Tuple[int, str, PvtPoint]) -> dict:
         """Evaluate every spec at one PVT point on a fixture replica.
 
         Used by the parallel path: each point configures a private
         clone, so nothing shared is mutated and no restoration is
         needed.  Metric extraction has no randomness, hence the result
-        is identical to the serial in-place path.
+        is identical to the serial in-place path.  Failed evaluations
+        (non-convergence, timeouts, singular systems) become NaN and are
+        quarantined in the returned ledger — one bad corner never aborts
+        the matrix.
         """
-        corner_name, point = task
+        index, corner_name, point = task
         fixture = clone_fixture(self.fixture)
         circuit = fixture.circuit
         source = circuit[self.vdd_source_name]
@@ -132,12 +145,15 @@ class CornerAnalysis:
         source.spec = DcSpec(point.vdd_scale * nominal_vdd)
         self._set_temperature(circuit, point.temperature_k)
         out = {}
+        ledger = FailureLedger()
         for spec in self.specs:
             try:
                 out[spec.name] = float(spec.extractor(fixture))
-            except (ConvergenceError, SingularCircuitError, ValueError):
+            except QUARANTINE_ERRORS as exc:
                 out[spec.name] = float("nan")
-        return out
+                ledger.add(index, exc,
+                           label=f"{spec.name}@{point.label}")
+        return {"values": out, "ledger": ledger.to_list()}
 
     def run(self, jobs: int = 1, backend: str = "auto") -> CornerResult:
         """Evaluate every spec at every PVT point; restores the fixture.
@@ -145,33 +161,44 @@ class CornerAnalysis:
         ``jobs > 1`` fans the PVT matrix out over
         :class:`repro.parallel.ParallelMap` workers, each configuring a
         private fixture replica; the original fixture is untouched.
+
+        Degrades gracefully: a PVT point whose evaluation fails is NaN
+        in :attr:`CornerResult.values` (and therefore the worst case for
+        its spec) and carries a diagnostic record in
+        :attr:`CornerResult.ledger`; the run always completes.
         """
-        tasks = self._pvt_points()
-        points = [point for _, point in tasks]
+        tasks = [(index, corner_name, point)
+                 for index, (corner_name, point)
+                 in enumerate(self._pvt_points())]
+        points = [point for _, _, point in tasks]
         values: Dict[str, Dict[str, float]] = {s.name: {} for s in self.specs}
+        ledger = FailureLedger()
         if jobs != 1 or backend not in ("auto", "serial"):
             mapper = ParallelMap(backend=backend, n_jobs=jobs)
-            for (_, point), out in zip(tasks, mapper.map(self._evaluate_point,
-                                                         tasks)):
-                for name, value in out.items():
+            for (_, _, point), out in zip(
+                    tasks, mapper.map(self._evaluate_point, tasks)):
+                for name, value in out["values"].items():
                     values[name][point.label] = value
-            return CornerResult(values=values, points=points)
+                ledger.merge(FailureLedger.from_list(out["ledger"]))
+            ledger.sort()
+            return CornerResult(values=values, points=points, ledger=ledger)
 
         circuit = self.fixture.circuit
         source = circuit[self.vdd_source_name]
         nominal_spec = source.spec
         nominal_vdd = nominal_spec.dc_value()
         try:
-            for corner_name, point in tasks:
+            for index, corner_name, point in tasks:
                 self.corners[corner_name].apply(circuit)
                 source.spec = DcSpec(point.vdd_scale * nominal_vdd)
                 self._set_temperature(circuit, point.temperature_k)
                 for spec in self.specs:
                     try:
                         value = float(spec.extractor(self.fixture))
-                    except (ConvergenceError, SingularCircuitError,
-                            ValueError):
+                    except QUARANTINE_ERRORS as exc:
                         value = float("nan")
+                        ledger.add(index, exc,
+                                   label=f"{spec.name}@{point.label}")
                     values[spec.name][point.label] = value
         finally:
             source.spec = nominal_spec
@@ -180,4 +207,5 @@ class CornerAnalysis:
                 from repro.circuit.mosfet import DeviceVariation
 
                 device.variation = DeviceVariation()
-        return CornerResult(values=values, points=points)
+        ledger.sort()
+        return CornerResult(values=values, points=points, ledger=ledger)

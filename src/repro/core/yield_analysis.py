@@ -20,15 +20,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.checkpoint import CheckpointError, McCheckpointStore, RunInterrupted
 from repro.circuit.dc import warm_start
 from repro.circuit.mna import ConvergenceError, SingularCircuitError
 from repro.circuits.references import CircuitFixture
+from repro.faultinject import WorkerKilledError, set_current_sample
 from repro.parallel import (
+    FailureLedger,
     ParallelMap,
+    RetryPolicy,
+    SampleTimeoutError,
+    call_resilient,
     chunk_ranges,
     clone_fixture,
     spawn_seed_sequences,
@@ -46,6 +53,11 @@ DEFAULT_CHUNK_SIZE = 32
 #: are recorded as NaN (and counted) rather than aborting the run.
 EXPECTED_EVALUATION_ERRORS = (ConvergenceError, SingularCircuitError,
                               ValueError)
+
+#: The full quarantine set: expected evaluation failures plus the
+#: resilience-layer outcomes (timeout, simulated worker death).
+QUARANTINE_ERRORS = EXPECTED_EVALUATION_ERRORS + (SampleTimeoutError,
+                                                  WorkerKilledError)
 
 
 class SampleEvaluationError(RuntimeError):
@@ -65,6 +77,12 @@ class SampleEvaluationError(RuntimeError):
         self.sample_index = sample_index
         self.spec_name = spec_name
         self.original = original
+
+    def __reduce__(self):
+        # The three-arg __init__ defeats default exception pickling;
+        # rebuild from the constructor arguments (process-pool workers
+        # must be able to ship this back to the parent).
+        return type(self), (self.sample_index, self.spec_name, self.original)
 
 
 @dataclass(frozen=True)
@@ -130,10 +148,35 @@ class YieldResult:
     failure_counts: Dict[str, int] = field(default_factory=dict)
     """Exception type name → number of NaN samples it caused."""
 
+    ledger: FailureLedger = field(default_factory=FailureLedger)
+    """Quarantined evaluations with full diagnostics (sample index,
+    exception, solver :class:`~repro.circuit.mna.ConvergenceReport`)."""
+
+    evaluated: Optional[np.ndarray] = None
+    """Per-sample evaluation mask; ``None`` means every sample ran.
+    Partial (interrupted) results mark unevaluated samples False."""
+
     @property
     def yield_fraction(self) -> float:
         """Estimated yield (all specs met)."""
         return float(np.mean(self.passes))
+
+    @property
+    def n_evaluated(self) -> int:
+        """Samples actually evaluated (== ``n_samples`` unless partial)."""
+        if self.evaluated is None:
+            return self.n_samples
+        return int(np.sum(self.evaluated))
+
+    @property
+    def n_quarantined(self) -> int:
+        """Samples with at least one quarantined evaluation."""
+        return len(self.ledger.quarantined_indices())
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the run completed with quarantined or missing samples."""
+        return bool(self.ledger) or self.n_evaluated < self.n_samples
 
     def spec_yield(self, name: str) -> float:
         """Per-spec yield (other specs ignored)."""
@@ -142,6 +185,26 @@ class YieldResult:
     def wilson_interval(self, z: float = 1.96) -> tuple:
         """Confidence interval on the overall yield."""
         return wilson_interval(int(np.sum(self.passes)), self.n_samples, z)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Yield CI, widened for unresolved (quarantined/missing) samples.
+
+        A die the harness could not evaluate is *unknown*, not known-
+        bad: the point estimate counts it as a failure (conservative),
+        but the interval must admit both extremes.  The lower bound
+        treats every unresolved sample as failing, the upper bound as
+        passing — so the interval widens by exactly the unresolved
+        mass, degrading gracefully instead of lying confidently.
+        """
+        successes = int(np.sum(self.passes))
+        unresolved = set(self.ledger.quarantined_indices())
+        if self.evaluated is not None:
+            unresolved.update(np.flatnonzero(~self.evaluated).tolist())
+        n_unresolved = len(unresolved)
+        lo = wilson_interval(successes, self.n_samples, z)[0]
+        hi = wilson_interval(min(successes + n_unresolved, self.n_samples),
+                             self.n_samples, z)[1]
+        return lo, hi
 
     def sigma(self, name: str) -> float:
         """Standard deviation of a metric across good evaluations."""
@@ -179,7 +242,8 @@ class MonteCarloYield:
         self.include_ler = include_ler
 
     def _evaluate_chunk(self, task: Tuple[Tuple[int, int],
-                                          np.random.SeedSequence]) -> dict:
+                                          np.random.SeedSequence,
+                                          Optional[RetryPolicy]]) -> dict:
         """Evaluate one chunk of samples on a private fixture replica.
 
         The chunk is fully self-contained: it clones the fixture, seeds
@@ -187,9 +251,15 @@ class MonteCarloYield:
         warm-starts Newton from a fresh state, so the result depends
         only on (chunk bounds, chunk seed) — not on the worker that ran
         it or on any other chunk.  That is what makes ``jobs=N``
-        bit-identical to ``jobs=1``.
+        bit-identical to ``jobs=1`` and checkpointed resumes
+        bit-identical to uninterrupted runs.
+
+        Failures in :data:`QUARANTINE_ERRORS` become NaN samples with a
+        :class:`~repro.parallel.FailureRecord` (carrying the solver's
+        convergence report); a configured :class:`RetryPolicy` retries
+        each evaluation with timeout/backoff before quarantining.
         """
-        (start, stop), seed_seq = task
+        (start, stop), seed_seq, retry = task
         n = stop - start
         fixture = clone_fixture(self.fixture)
         circuit = fixture.circuit
@@ -199,63 +269,176 @@ class MonteCarloYield:
         spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
         passes = np.zeros(n, dtype=bool)
         failure_counts: Dict[str, int] = {}
-        with warm_start(circuit):
-            for k in range(n):
-                sampler.assign(circuit, self.placements)
-                sample_ok = True
-                for spec in self.specs:
-                    try:
-                        value = float(spec.extractor(fixture))
-                    except EXPECTED_EVALUATION_ERRORS as exc:
-                        value = float("nan")
-                        name = type(exc).__name__
-                        failure_counts[name] = failure_counts.get(name, 0) + 1
-                    except Exception as exc:
-                        raise SampleEvaluationError(start + k, spec.name,
-                                                    exc) from exc
-                    values[spec.name][k] = value
-                    ok = spec.passes(value)
-                    spec_passes[spec.name][k] = ok
-                    sample_ok = sample_ok and ok
-                passes[k] = sample_ok
+        ledger = FailureLedger()
+        # The resilient wrapper only engages when the policy does
+        # something; otherwise evaluation stays a direct call.
+        direct = retry is None or (retry.max_attempts == 1
+                                   and retry.timeout_s is None)
+        attempts = 1 if direct else retry.max_attempts
+        try:
+            with warm_start(circuit):
+                for k in range(n):
+                    set_current_sample(start + k)
+                    sampler.assign(circuit, self.placements)
+                    sample_ok = True
+                    for spec in self.specs:
+                        try:
+                            if direct:
+                                value = float(spec.extractor(fixture))
+                            else:
+                                value = call_resilient(
+                                    lambda _s=spec: float(_s.extractor(fixture)),
+                                    retry, retry_on=QUARANTINE_ERRORS)
+                        except QUARANTINE_ERRORS as exc:
+                            value = float("nan")
+                            name = type(exc).__name__
+                            failure_counts[name] = \
+                                failure_counts.get(name, 0) + 1
+                            ledger.add(start + k, exc, label=spec.name,
+                                       attempts=attempts)
+                        except Exception as exc:
+                            raise SampleEvaluationError(start + k, spec.name,
+                                                        exc) from exc
+                        values[spec.name][k] = value
+                        ok = spec.passes(value)
+                        spec_passes[spec.name][k] = ok
+                        sample_ok = sample_ok and ok
+                    passes[k] = sample_ok
+        finally:
+            set_current_sample(None)
         return {"start": start, "stop": stop, "values": values,
                 "spec_passes": spec_passes, "passes": passes,
-                "failure_counts": failure_counts}
+                "failure_counts": failure_counts,
+                "ledger": ledger.to_list()}
 
-    def run(self, n_samples: int, seed: int = 0, jobs: int = 1,
-            backend: str = "auto",
-            chunk_size: int = DEFAULT_CHUNK_SIZE) -> YieldResult:
-        """Sample ``n_samples`` virtual dies and evaluate every spec.
+    def _assemble(self, n_samples: int, chunks: List[dict],
+                  partial: bool = False) -> YieldResult:
+        """Combine chunk payloads into a :class:`YieldResult`.
 
-        A sample whose evaluation does not converge is recorded as NaN
-        and counted as a FAIL (a die you cannot verify is a die you
-        cannot ship); :attr:`YieldResult.failure_counts` records which
-        exception type caused each NaN.  The fixture itself is never
-        mutated — every chunk of ``chunk_size`` samples runs on a
-        private replica with its own ``SeedSequence.spawn`` child, so
-        results are bit-identical for any ``jobs``/``backend`` choice
-        (``chunk_size`` and ``seed`` are the reproducibility knobs).
+        Chunks are aggregated in ascending start order, so the result
+        is independent of completion order — the property that makes
+        checkpointed resumes bit-identical.
         """
-        if n_samples <= 0:
-            raise ValueError("n_samples must be positive")
-        ranges = chunk_ranges(n_samples, chunk_size)
-        seeds = spawn_seed_sequences(seed, len(ranges))
-        mapper = ParallelMap(backend=backend, n_jobs=jobs)
-        chunks = mapper.map(self._evaluate_chunk, list(zip(ranges, seeds)))
-
         values = {s.name: np.full(n_samples, np.nan) for s in self.specs}
         spec_passes = {s.name: np.zeros(n_samples, dtype=bool)
                        for s in self.specs}
         passes = np.zeros(n_samples, dtype=bool)
         failure_counts: Dict[str, int] = {}
-        for chunk in chunks:
+        ledger = FailureLedger()
+        evaluated = np.zeros(n_samples, dtype=bool) if partial else None
+        for chunk in sorted(chunks, key=lambda c: c["start"]):
             sl = slice(chunk["start"], chunk["stop"])
             for name in values:
                 values[name][sl] = chunk["values"][name]
                 spec_passes[name][sl] = chunk["spec_passes"][name]
             passes[sl] = chunk["passes"]
+            if evaluated is not None:
+                evaluated[sl] = True
             for name, count in chunk["failure_counts"].items():
                 failure_counts[name] = failure_counts.get(name, 0) + count
+            ledger.merge(FailureLedger.from_list(chunk.get("ledger", [])))
+        ledger.sort()
         return YieldResult(n_samples=n_samples, values=values,
                            passes=passes, spec_passes=spec_passes,
-                           failure_counts=failure_counts)
+                           failure_counts=failure_counts,
+                           ledger=ledger, evaluated=evaluated)
+
+    def run(self, n_samples: int, seed: int = 0, jobs: int = 1,
+            backend: str = "auto",
+            chunk_size: int = DEFAULT_CHUNK_SIZE,
+            retry: Optional[RetryPolicy] = None,
+            checkpoint: Optional[Union[str, Path]] = None,
+            resume: bool = False,
+            checkpoint_every: int = 1) -> YieldResult:
+        """Sample ``n_samples`` virtual dies and evaluate every spec.
+
+        A sample whose evaluation does not converge is recorded as NaN
+        and counted as a FAIL (a die you cannot verify is a die you
+        cannot ship); :attr:`YieldResult.failure_counts` records which
+        exception type caused each NaN and :attr:`YieldResult.ledger`
+        quarantines it with full solver diagnostics.  The fixture
+        itself is never mutated — every chunk of ``chunk_size`` samples
+        runs on a private replica with its own ``SeedSequence.spawn``
+        child, so results are bit-identical for any ``jobs``/``backend``
+        choice (``chunk_size`` and ``seed`` are the reproducibility
+        knobs).
+
+        ``retry`` arms bounded per-evaluation retry with timeout and
+        backoff (see :class:`~repro.parallel.RetryPolicy`); persistent
+        failures are quarantined, never fatal.
+
+        ``checkpoint`` names a directory where every completed chunk is
+        persisted atomically (every ``checkpoint_every`` chunks); with
+        ``resume=True`` an existing checkpoint's chunks are restored
+        and only the remainder is evaluated — the final result is
+        bit-identical to an uninterrupted run under the same seed.  An
+        interrupt (Ctrl-C / injected) writes a final checkpoint and
+        raises :class:`~repro.checkpoint.RunInterrupted` carrying the
+        partial result.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        ranges = chunk_ranges(n_samples, chunk_size)
+        seeds = spawn_seed_sequences(seed, len(ranges))
+        tasks = [(bounds, seed_seq, retry)
+                 for bounds, seed_seq in zip(ranges, seeds)]
+        mapper = ParallelMap(backend=backend, n_jobs=jobs)
+
+        if checkpoint is None:
+            chunks = mapper.map(self._evaluate_chunk, tasks)
+            return self._assemble(n_samples, chunks)
+        return self._run_checkpointed(n_samples, tasks, mapper,
+                                      Path(checkpoint), resume,
+                                      checkpoint_every, seed, chunk_size)
+
+    def _run_checkpointed(self, n_samples: int, tasks: List[tuple],
+                          mapper: ParallelMap, checkpoint: Path,
+                          resume: bool, checkpoint_every: int,
+                          seed: int, chunk_size: int) -> YieldResult:
+        """Incremental evaluation with atomic chunk-granular persistence."""
+        store = McCheckpointStore(checkpoint)
+        run_params = {"kind": "mc-yield", "seed": seed,
+                      "n_samples": n_samples, "chunk_size": chunk_size,
+                      "spec_names": [s.name for s in self.specs]}
+        completed: Dict[int, dict] = {}
+        if resume:
+            if not store.exists():
+                raise CheckpointError(
+                    f"resume requested but no checkpoint at {checkpoint}")
+            completed, _ = store.load(run_params)
+        elif store.exists():
+            # Refuse to silently clobber an existing checkpoint the
+            # caller did not ask to resume.
+            store.load(run_params)  # validates it is OUR run at least
+            raise CheckpointError(
+                f"checkpoint already exists at {checkpoint}; pass "
+                f"resume=True to continue it or remove the directory")
+        pending = [(cid, task) for cid, task in enumerate(tasks)
+                   if cid not in completed]
+        since_save = 0
+        try:
+            for pending_index, chunk in mapper.map_completed(
+                    self._evaluate_chunk, [task for _, task in pending]):
+                completed[pending[pending_index][0]] = chunk
+                since_save += 1
+                if since_save >= checkpoint_every:
+                    store.save(run_params, completed)
+                    since_save = 0
+        except (KeyboardInterrupt, SystemExit) as exc:
+            store.save(run_params, completed)
+            partial = self._assemble(n_samples, list(completed.values()),
+                                     partial=True)
+            raise RunInterrupted(
+                f"run interrupted with {len(completed)}/{len(tasks)} chunks "
+                f"complete; checkpoint written to {checkpoint}",
+                checkpoint_path=checkpoint,
+                partial_result=partial) from exc
+        except BaseException:
+            # Persist whatever finished before propagating the failure —
+            # a crashed run resumes from its last good chunk.
+            store.save(run_params, completed)
+            raise
+        store.save(run_params, completed)
+        return self._assemble(n_samples, list(completed.values()))

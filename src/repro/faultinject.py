@@ -1,0 +1,179 @@
+"""Fault injection: knobs to *prove* the resilience layer works.
+
+The paper's §5 "knobs and monitors" philosophy — build the disturbance
+into the system so its compensation can be exercised on demand — applied
+to the analysis harness itself.  Tests (and chaos-style soak runs) use
+this module to inject the failure modes a production-scale Monte-Carlo
+service must absorb:
+
+* **forced non-convergence** — poison a device parameter with NaN so the
+  solver's residual guard trips and the full fallback ladder runs;
+* **device open / short / stuck parameter** — silicon-style defects
+  expressed as parameter rewrites that survive per-sample mismatch
+  re-assignment (the sampler only rewrites ``variation``);
+* **sample-targeted extractor faults** — wrappers that raise, hang or
+  "kill the worker" on chosen global sample indices, driven by the
+  :func:`current_sample` context the yield engine publishes.
+
+Everything here is deterministic: faults target explicit sample indices
+or named devices, never random draws, so an injected-fault run is as
+reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import replace
+from typing import Callable, Iterable, Optional, Set
+
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+
+#: Global sample index of the evaluation currently in flight, published
+#: by the Monte-Carlo engines around each sample.  ContextVars are
+#: per-thread (and per-process), so parallel workers never see each
+#: other's index.
+_CURRENT_SAMPLE: ContextVar[Optional[int]] = ContextVar(
+    "repro_current_sample", default=None)
+
+
+def current_sample() -> Optional[int]:
+    """Global index of the sample being evaluated (None outside a run)."""
+    return _CURRENT_SAMPLE.get()
+
+
+def set_current_sample(index: Optional[int]):
+    """Publish the in-flight sample index (engines call this)."""
+    return _CURRENT_SAMPLE.set(index)
+
+
+class WorkerKilledError(RuntimeError):
+    """Simulated abrupt worker death.
+
+    Raised by :func:`killing_extractor` to model a worker process that
+    disappears mid-sample.  The resilient engines treat it like any
+    other quarantinable failure: the sample lands in the
+    :class:`~repro.parallel.FailureLedger` and the run completes.
+    """
+
+
+def _device(circuit: Circuit, device_name: str) -> Mosfet:
+    element = circuit[device_name]
+    if not isinstance(element, Mosfet):
+        raise TypeError(f"{device_name!r} is not a MOSFET")
+    return element
+
+
+# ----------------------------------------------------------------------
+# Device-level faults (parameter rewrites; survive mismatch sampling)
+# ----------------------------------------------------------------------
+def force_nonconvergence(circuit: Circuit, device_name: str) -> None:
+    """Poison ``device_name`` so every solve fails the NaN guard.
+
+    Sets the threshold voltage to NaN; the first Newton update turns
+    non-finite, the residual guard raises ``ConvergenceError``, and the
+    whole DC fallback ladder runs (and fails) — the canonical way to
+    exercise the complete failure path end-to-end.
+    """
+    device = _device(circuit, device_name)
+    device.params = replace(device.params, vt0_v=float("nan"))
+
+
+def inject_open(circuit: Circuit, device_name: str,
+                kp_factor: float = 1e-12) -> None:
+    """Open-circuit defect: the channel loses (almost) all drive."""
+    device = _device(circuit, device_name)
+    device.params = replace(
+        device.params, kp_a_per_v2=device.params.kp_a_per_v2 * kp_factor)
+
+
+def inject_short(circuit: Circuit, device_name: str,
+                 conductance_s: float = 10.0) -> None:
+    """Gate-oxide short: a hard post-breakdown gate leak (TDDB-style)."""
+    device = _device(circuit, device_name)
+    device.degradation.gate_leak_s = conductance_s
+
+
+def inject_stuck_parameter(circuit: Circuit, device_name: str,
+                           parameter: str, value: float) -> None:
+    """Pin one ``MosfetParams`` field to ``value`` (a stuck knob)."""
+    device = _device(circuit, device_name)
+    if not hasattr(device.params, parameter):
+        raise ValueError(f"unknown MOSFET parameter {parameter!r}")
+    device.params = replace(device.params, **{parameter: value})
+
+
+# ----------------------------------------------------------------------
+# Sample-targeted extractor faults
+# ----------------------------------------------------------------------
+def _as_set(samples: Iterable[int]) -> Set[int]:
+    return set(int(s) for s in samples)
+
+
+def failing_extractor(base: Callable, fail_on: Iterable[int],
+                      exc_factory: Optional[Callable[[int], BaseException]]
+                      = None) -> Callable:
+    """Wrap ``base`` to raise on the given global sample indices.
+
+    ``exc_factory`` builds the exception from the sample index; the
+    default raises :class:`ValueError`, which the engines classify as a
+    quarantinable evaluation failure.
+    """
+    targets = _as_set(fail_on)
+
+    def wrapped(fixture):
+        index = current_sample()
+        if index is not None and index in targets:
+            if exc_factory is not None:
+                raise exc_factory(index)
+            raise ValueError(f"injected evaluation fault on sample {index}")
+        return base(fixture)
+
+    return wrapped
+
+
+def killing_extractor(base: Callable, kill_on: Iterable[int]) -> Callable:
+    """Wrap ``base`` to simulate worker death on chosen samples."""
+    targets = _as_set(kill_on)
+
+    def wrapped(fixture):
+        index = current_sample()
+        if index is not None and index in targets:
+            raise WorkerKilledError(
+                f"worker killed while evaluating sample {index}")
+        return base(fixture)
+
+    return wrapped
+
+
+def hanging_extractor(base: Callable, hang_on: Iterable[int],
+                      hang_s: float = 3600.0) -> Callable:
+    """Wrap ``base`` to stall on chosen samples (exercises timeouts)."""
+    targets = _as_set(hang_on)
+
+    def wrapped(fixture):
+        index = current_sample()
+        if index is not None and index in targets:
+            time.sleep(hang_s)
+        return base(fixture)
+
+    return wrapped
+
+
+def interrupting_extractor(base: Callable, interrupt_on: int) -> Callable:
+    """Wrap ``base`` to raise ``KeyboardInterrupt`` at one sample.
+
+    Models an operator Ctrl-C (or a SIGTERM from an orchestrator) at a
+    deterministic point mid-run — the checkpoint/resume tests interrupt
+    a run with this, then resume from the checkpoint with the plain
+    extractor and assert bit-identical results.
+    """
+
+    def wrapped(fixture):
+        if current_sample() == interrupt_on:
+            raise KeyboardInterrupt(
+                f"injected interrupt at sample {interrupt_on}")
+        return base(fixture)
+
+    return wrapped

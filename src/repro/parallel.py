@@ -25,15 +25,34 @@ lambdas.  The ``thread`` backend has no such restriction and still
 helps here because the dense solves spend their time in BLAS/LAPACK,
 which releases the GIL.  ``auto`` picks serial for one job and threads
 otherwise.
+
+Resilience primitives (ISSUE-2):
+
+* :class:`RetryPolicy` / :func:`call_resilient` — bounded retry with
+  backoff and an optional per-call wall-clock timeout (watchdog
+  thread; zero overhead when no timeout is configured);
+* :class:`FailureLedger` / :class:`FailureRecord` — the quarantine
+  book: which sample failed, with which exception, carrying the
+  solver's :class:`~repro.circuit.mna.ConvergenceReport` when there is
+  one.  JSON-serialisable so checkpoints and reports can persist it;
+* :meth:`ParallelMap.map_completed` — completion-order iteration used
+  by the checkpointing engines to persist finished chunks while later
+  chunks are still running.
 """
 
 from __future__ import annotations
 
+import contextvars
 import copy
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple, TypeVar
 
 import numpy as np
 
@@ -124,3 +143,237 @@ class ParallelMap:
                 return list(pool.map(fn, items))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
+
+    def map_completed(self, fn: Callable[[T], R], items: Sequence[T]
+                      ) -> Iterator[Tuple[int, R]]:
+        """Yield ``(index, fn(item))`` pairs in completion order.
+
+        The serial backend yields in input order; pooled backends yield
+        as futures finish, which lets a checkpointing caller persist
+        every finished chunk immediately instead of waiting for the
+        whole batch.  A task exception propagates when its future is
+        consumed; on ``KeyboardInterrupt`` pending futures are cancelled
+        so the caller can write a final checkpoint and exit promptly.
+        """
+        items = list(items)
+        if not items:
+            return
+        if self.backend == "serial" or self.n_jobs == 1 or len(items) == 1:
+            for index, item in enumerate(items):
+                yield index, fn(item)
+            return
+        workers = min(self.n_jobs, len(items))
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" \
+            else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            futures = {pool.submit(fn, item): index
+                       for index, item in enumerate(items)}
+            try:
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield futures[future], future.result()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+
+# ----------------------------------------------------------------------
+# Retry / timeout
+# ----------------------------------------------------------------------
+class SampleTimeoutError(RuntimeError):
+    """A sample evaluation exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with backoff and an optional per-attempt timeout.
+
+    The default policy (one attempt, no timeout, no backoff) adds zero
+    overhead — :func:`call_resilient` only arms its watchdog machinery
+    when ``timeout_s`` is set, keeping the Monte-Carlo hot path clean.
+    """
+
+    max_attempts: int = 1
+    """Total attempts per call (1 = no retry)."""
+
+    timeout_s: Optional[float] = None
+    """Per-attempt wall-clock budget [s] (None = unbounded)."""
+
+    backoff_s: float = 0.0
+    """Sleep before the second attempt [s]."""
+
+    backoff_multiplier: float = 2.0
+    """Growth of the sleep between consecutive retries."""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive")
+        if self.backoff_s < 0.0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative, multiplier >= 1")
+
+
+#: The no-retry, no-timeout policy used when callers pass ``None``.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def call_with_timeout(fn: Callable[[], R], timeout_s: Optional[float]) -> R:
+    """Run ``fn()`` with a wall-clock budget.
+
+    Without a timeout this is a direct call.  With one, ``fn`` runs on
+    a daemon watchdog thread joined with the budget; on expiry a
+    :class:`SampleTimeoutError` is raised.  The runaway computation
+    cannot be killed (Python threads are not preemptible) but the
+    caller regains control and can quarantine the sample — the thread
+    is leaked deliberately, bounded by the retry policy.
+    """
+    if timeout_s is None:
+        return fn()
+    outcome: Dict[str, Any] = {}
+    # New threads start from an empty context; copy the caller's so
+    # ContextVar state (e.g. the current-sample index the fault
+    # injectors read) is visible inside the watchdog thread.
+    context = contextvars.copy_context()
+
+    def target() -> None:
+        try:
+            outcome["result"] = context.run(fn)
+        except BaseException as exc:  # delivered to the caller below
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise SampleTimeoutError(
+            f"evaluation exceeded {timeout_s:g}s wall-clock budget")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+def call_resilient(fn: Callable[[], R], policy: RetryPolicy,
+                   retry_on: Tuple[type, ...] = (Exception,)) -> R:
+    """Run ``fn()`` under a :class:`RetryPolicy`.
+
+    Each attempt gets the policy's timeout; attempts failing with an
+    exception in ``retry_on`` (or a timeout) are retried with backoff
+    until the attempt budget is spent, then the last exception
+    propagates.  With the default policy this is a plain call.
+    """
+    if policy.max_attempts == 1 and policy.timeout_s is None:
+        return fn()
+    sleep_s = policy.backoff_s
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        if attempt > 0 and sleep_s > 0.0:
+            time.sleep(sleep_s)
+            sleep_s *= policy.backoff_multiplier
+        try:
+            return call_with_timeout(fn, policy.timeout_s)
+        except SampleTimeoutError as exc:
+            last_error = exc
+        except retry_on as exc:
+            last_error = exc
+    assert last_error is not None
+    raise last_error
+
+
+# ----------------------------------------------------------------------
+# Failure ledger
+# ----------------------------------------------------------------------
+@dataclass
+class FailureRecord:
+    """One quarantined evaluation."""
+
+    index: int
+    """Global sample index (or PVT-point ordinal for corner runs)."""
+
+    label: str = ""
+    """What failed: a spec name, metric name, or point label."""
+
+    exception_type: str = ""
+    message: str = ""
+    attempts: int = 1
+    """How many attempts were made before quarantining."""
+
+    convergence_report: Optional[dict] = None
+    """``ConvergenceReport.to_dict()`` payload when the solver attached
+    one (strategy ladder, iterations, residual, worst device)."""
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (checkpoint manifests, reports)."""
+        return {"index": self.index, "label": self.label,
+                "exception_type": self.exception_type,
+                "message": self.message, "attempts": self.attempts,
+                "convergence_report": self.convergence_report}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class FailureLedger:
+    """The quarantine book of a resilient analysis run.
+
+    Engines append a :class:`FailureRecord` per sample they could not
+    evaluate instead of aborting; reports and checkpoints serialise the
+    ledger so a resumed or merged run keeps full failure provenance.
+    """
+
+    records: List[FailureRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def add(self, index: int, exc: BaseException, label: str = "",
+            attempts: int = 1) -> FailureRecord:
+        """Quarantine one failure, capturing solver telemetry if any."""
+        report = getattr(exc, "report", None)
+        record = FailureRecord(
+            index=index, label=label,
+            exception_type=type(exc).__name__,
+            message=str(exc), attempts=attempts,
+            convergence_report=report.to_dict() if report is not None
+            else None)
+        self.records.append(record)
+        return record
+
+    def merge(self, other: "FailureLedger") -> None:
+        """Absorb another ledger (e.g. a chunk's) into this one."""
+        self.records.extend(other.records)
+
+    def sort(self) -> None:
+        """Deterministic order: by sample index, then label."""
+        self.records.sort(key=lambda r: (r.index, r.label))
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Exception type name → quarantined record count."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.exception_type] = \
+                counts.get(record.exception_type, 0) + 1
+        return counts
+
+    def quarantined_indices(self) -> List[int]:
+        """Sorted unique sample indices with at least one failure."""
+        return sorted({r.index for r in self.records})
+
+    def to_list(self) -> List[dict]:
+        """JSON-ready list of record payloads."""
+        return [r.to_dict() for r in self.records]
+
+    @classmethod
+    def from_list(cls, data: Sequence[dict]) -> "FailureLedger":
+        """Inverse of :meth:`to_list`."""
+        return cls(records=[FailureRecord.from_dict(d) for d in data])

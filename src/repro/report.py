@@ -60,3 +60,36 @@ def render_key_values(pairs: Sequence[tuple], indent: int = 2) -> str:
     pad = " " * indent
     return "\n".join(f"{pad}{str(k).ljust(width)} : {format_cell(v)}"
                      for k, v in pairs)
+
+
+def render_failure_ledger(ledger, max_rows: int = 10) -> str:
+    """Summarise a :class:`~repro.parallel.FailureLedger` for a report.
+
+    One line per exception type with its count, then up to ``max_rows``
+    individual quarantine records (sample index, label, attempts, and
+    the solver's one-line convergence digest when present).  Returns an
+    empty string for an empty ledger so callers can append the result
+    unconditionally.
+    """
+    if not ledger:
+        return ""
+    counts = ledger.counts_by_type()
+    lines = ["quarantined evaluations: "
+             + ", ".join(f"{name} x{count}"
+                         for name, count in sorted(counts.items()))]
+    rows = []
+    for record in ledger.records[:max_rows]:
+        diagnosis = record.message
+        if record.convergence_report:
+            diagnosis = record.convergence_report.get("message", diagnosis) \
+                or diagnosis
+        if len(diagnosis) > 60:
+            diagnosis = diagnosis[:57] + "..."
+        rows.append([record.index, record.label, record.exception_type,
+                     record.attempts, diagnosis])
+    lines.append(render_table(
+        ["sample", "label", "exception", "attempts", "diagnosis"], rows))
+    hidden = len(ledger.records) - max_rows
+    if hidden > 0:
+        lines.append(f"... and {hidden} more record(s)")
+    return "\n".join(lines)
