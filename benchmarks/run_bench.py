@@ -89,6 +89,54 @@ def summarize(raw: dict) -> dict:
     return benches
 
 
+def collect_phase_breakdowns(repeats: int = 3) -> dict:
+    """Span-level phase breakdowns for the headline workloads.
+
+    Runs each workload in-process under
+    :func:`repro.telemetry.profile_phases` and records per-span-name
+    total/self/count averages, so a snapshot says *where* the time went
+    (``solve.dc`` vs ``solve.transient`` vs overhead), not just how
+    much there was.  ``scripts/check_regression.py`` only compares the
+    ``benchmarks`` key, so the breakdown rides along without affecting
+    the gate.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro import telemetry
+    from repro.circuit import dc_operating_point, transient
+    from repro.circuits import (
+        differential_pair,
+        input_referred_offset_v,
+        ring_oscillator,
+        simple_current_mirror,
+    )
+    from repro.technology import get_node
+    from repro.variability import MismatchSampler
+
+    tech = get_node("90nm")
+    mirror = simple_current_mirror(tech)
+    ring = ring_oscillator(tech, n_stages=3)
+    pair = differential_pair(tech, w_m=4e-6, l_m=0.4e-6)
+    sampler = MismatchSampler(tech, np.random.default_rng(1))
+
+    def mc_sample():
+        sampler.assign(pair.circuit)
+        input_referred_offset_v(pair)
+
+    workloads = {
+        "dc_operating_point": lambda: dc_operating_point(mirror.circuit),
+        "transient_ring": lambda: transient(ring.circuit,
+                                            t_stop=0.5e-9, dt=5e-12),
+        "mc_yield_sample": mc_sample,
+    }
+    breakdowns = {}
+    for name, fn in workloads.items():
+        breakdowns[name] = telemetry.profile_phases(fn, repeats=repeats)
+    sampler.clear(pair.circuit)
+    return breakdowns
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -109,6 +157,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dry-run", action="store_true",
         help="run and print the summary without writing a snapshot")
+    parser.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the telemetry phase-breakdown collection")
     args = parser.parse_args(argv)
 
     target = "benchmarks" if args.all else args.target
@@ -124,12 +175,20 @@ def main(argv=None) -> int:
         "python": raw.get("machine_info", {}).get("python_version", ""),
         "benchmarks": benches,
     }
+    if not args.no_phases:
+        snapshot["phases"] = collect_phase_breakdowns()
 
     width = max(len(name) for name in benches)
     print(f"\n{'benchmark'.ljust(width)}  median [ms]  rounds")
     for name, stats in sorted(benches.items()):
         print(f"{name.ljust(width)}  {stats['median_s'] * 1e3:11.3f}  "
               f"{stats['rounds']:6d}")
+    for name, phases in sorted(snapshot.get("phases", {}).items()):
+        parts = ", ".join(
+            f"{span} {entry['total_s'] * 1e3:.2f}ms"
+            for span, entry in sorted(phases.items(),
+                                      key=lambda kv: -kv[1]["total_s"])[:3])
+        print(f"phases {name}: {parts or '(no spans)'}")
 
     if args.dry_run:
         return 0

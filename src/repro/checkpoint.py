@@ -9,8 +9,10 @@ finishes **bit-identical** to an uninterrupted run under the same seed.
 Format: a checkpoint is a *directory* holding
 
 * ``manifest.json`` — run identity (seed, sample count, chunk size,
-  spec names), the ids of completed chunks, per-chunk failure counts
-  and the serialised :class:`~repro.parallel.FailureLedger`;
+  spec names), the ids of completed chunks, per-chunk failure counts,
+  the serialised :class:`~repro.parallel.FailureLedger` and the run's
+  cumulative :class:`~repro.telemetry.MetricsRegistry` snapshot (so a
+  resumed run's solver/engine counters continue instead of resetting);
 * ``chunks.npz`` — the numeric chunk payloads (values, pass flags) in
   lossless binary.
 
@@ -124,8 +126,14 @@ class McCheckpointStore:
     # ------------------------------------------------------------------
     # Saving
     # ------------------------------------------------------------------
-    def save(self, run_params: dict, chunks: Dict[int, dict]) -> None:
-        """Persist the run state: arrays first, manifest last."""
+    def save(self, run_params: dict, chunks: Dict[int, dict],
+             metrics: Optional[dict] = None) -> None:
+        """Persist the run state: arrays first, manifest last.
+
+        ``metrics`` (a :meth:`MetricsRegistry.snapshot
+        <repro.telemetry.MetricsRegistry.snapshot>` payload) rides in
+        the manifest so counters accumulate across interruptions.
+        """
         self.path.mkdir(parents=True, exist_ok=True)
         spec_names = list(run_params["spec_names"])
         arrays: Dict[str, np.ndarray] = {}
@@ -149,6 +157,8 @@ class McCheckpointStore:
                               for cid in sorted(chunks)}
         manifest["failure_counts"] = failure_counts
         manifest["ledger"] = ledger_records
+        if metrics is not None:
+            manifest["metrics"] = metrics
         atomic_write_json(self.manifest_path, manifest)
 
     # ------------------------------------------------------------------
@@ -211,3 +221,18 @@ class McCheckpointStore:
                         chunk["ledger"].append(record.to_dict())
                         break
         return chunks, ledger
+
+    def load_metrics(self) -> dict:
+        """The persisted metrics snapshot ({} when absent).
+
+        Kept separate from :meth:`load` — metrics are observability
+        payload, not part of the result contract, and checkpoints
+        written before the telemetry layer simply lack the key.
+        """
+        if not self.exists():
+            return {}
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                return json.load(handle).get("metrics", {})
+        except (OSError, json.JSONDecodeError):
+            return {}

@@ -30,6 +30,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuit.elements import CurrentSource, VoltageSource
 from repro.circuit.mna import (
     ConvergenceError,
@@ -405,17 +406,14 @@ def _failed_attempt(name: str, exc: ConvergenceError, iterations: int,
                            final_residual=exc.final_residual, detail=detail)
 
 
-def dc_operating_point(circuit: Circuit,
-                       x0: Optional[np.ndarray] = None,
-                       options: Optional[NewtonOptions] = None) -> DcSolution:
-    """Find the DC operating point, walking the convergence ladder.
+def _solve_ladder(circuit: Circuit, x0: Optional[np.ndarray],
+                  options: Optional[NewtonOptions]
+                  ) -> Tuple[DcSolution, str, int]:
+    """The convergence ladder; returns ``(solution, strategy, iters)``.
 
-    Ladder: plain Newton → gmin stepping → source stepping →
-    pseudo-transient continuation.  A total failure raises
-    :class:`ConvergenceError` whose ``report`` records every strategy
-    tried, its iteration count, the final residual, and the worst
-    node/device — the telemetry the failure ledger and yield reports
-    consume.
+    Shared by the plain and the telemetry-wrapped entry points of
+    :func:`dc_operating_point`; the extra return values feed the
+    ``solve.dc`` span attributes and the strategy/iteration metrics.
     """
     engine = dc_engine(circuit)
     size = engine.size
@@ -427,12 +425,13 @@ def dc_operating_point(circuit: Circuit,
     if x0 is None and engine.warm_start_enabled and engine.last_x is not None:
         x0 = engine.last_x
 
+    stats = NewtonStats()
     try:
         x = newton_solve(stamp, size, n_nodes, x0, opts,
-                         workspace=ws, stamp_base=stamp_base)
+                         workspace=ws, stamp_base=stamp_base, stats=stats)
         if engine.warm_start_enabled:
             engine.last_x = x.copy()
-        return DcSolution(circuit, x)
+        return DcSolution(circuit, x), "newton", stats.iterations
     except ConvergenceError as exc:
         attempts = [_failed_attempt("newton", exc, exc.iterations)]
         worst_index = exc.worst_index
@@ -454,7 +453,7 @@ def dc_operating_point(circuit: Circuit,
                          workspace=ws, stamp_base=stamp_base, stats=stats)
         if engine.warm_start_enabled:
             engine.last_x = x.copy()
-        return DcSolution(circuit, x)
+        return DcSolution(circuit, x), "gmin-stepping", stats.iterations
     except ConvergenceError as exc:
         attempts.append(_failed_attempt(
             "gmin-stepping", exc, stats.iterations,
@@ -480,7 +479,8 @@ def dc_operating_point(circuit: Circuit,
         assert x_guess is not None
         if engine.warm_start_enabled:
             engine.last_x = x_guess.copy()
-        return DcSolution(circuit, x_guess)
+        return DcSolution(circuit, x_guess), "source-stepping", \
+            stats.iterations
     except ConvergenceError as exc:
         attempts.append(_failed_attempt(
             "source-stepping", exc, stats.iterations,
@@ -497,7 +497,7 @@ def dc_operating_point(circuit: Circuit,
                               ws, stats)
         if engine.warm_start_enabled:
             engine.last_x = x.copy()
-        return DcSolution(circuit, x)
+        return DcSolution(circuit, x), "pseudo-transient", stats.iterations
     except ConvergenceError as exc:
         attempts.append(_failed_attempt(
             "pseudo-transient", exc, stats.iterations))
@@ -512,6 +512,50 @@ def dc_operating_point(circuit: Circuit,
                            iterations=report.total_iterations,
                            final_residual=report.final_residual,
                            worst_index=worst_index)
+
+
+def dc_operating_point(circuit: Circuit,
+                       x0: Optional[np.ndarray] = None,
+                       options: Optional[NewtonOptions] = None) -> DcSolution:
+    """Find the DC operating point, walking the convergence ladder.
+
+    Ladder: plain Newton → gmin stepping → source stepping →
+    pseudo-transient continuation.  A total failure raises
+    :class:`ConvergenceError` whose ``report`` records every strategy
+    tried, its iteration count, the final residual, and the worst
+    node/device — the telemetry the failure ledger and yield reports
+    consume.
+
+    With an active :mod:`repro.telemetry` session every solve emits a
+    ``solve.dc`` span (strategy, iterations) and feeds the
+    ``solver.dc.*`` metrics; without one, the guarded call sites cost a
+    single ContextVar read.
+    """
+    session = telemetry.active()
+    if session is None:
+        return _solve_ladder(circuit, x0, options)[0]
+    with session.tracer.span("solve.dc") as sp:
+        metrics = session.metrics
+        try:
+            solution, strategy, iterations = _solve_ladder(circuit, x0,
+                                                           options)
+        except ConvergenceError as exc:
+            iterations = exc.report.total_iterations if exc.report is not None \
+                else exc.iterations
+            sp.set(status="failed", iterations=iterations,
+                   summary=exc.report.summary() if exc.report is not None
+                   else str(exc))
+            metrics.inc("solver.dc.solves")
+            metrics.inc("solver.dc.failures")
+            metrics.inc("solver.factorizations", iterations)
+            raise
+        sp.set(strategy=strategy, iterations=iterations)
+        metrics.inc("solver.dc.solves")
+        metrics.inc("solver.dc.strategy." + strategy)
+        metrics.inc("solver.factorizations", iterations)
+        metrics.observe("solver.dc.newton_iterations", iterations,
+                        telemetry.ITERATION_BUCKETS)
+        return solution
 
 
 def dc_sweep(circuit: Circuit, source_name: str,

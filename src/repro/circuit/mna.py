@@ -19,6 +19,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
+
 try:
     from scipy.linalg.lapack import dgesv as _dgesv
 except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
@@ -123,14 +125,23 @@ class Stamper:
             _, _, x, info = _dgesv(self.a, self.b)
             if info == 0:
                 return x
+            self._record_singular()
             raise SingularCircuitError(
                 "singular MNA matrix — floating node or voltage-source loop?")
         try:
             return np.linalg.solve(self.a, self.b)
         except np.linalg.LinAlgError as exc:
+            self._record_singular()
             raise SingularCircuitError(
                 "singular MNA matrix — floating node or voltage-source loop?"
             ) from exc
+
+    def _record_singular(self) -> None:
+        """Telemetry for a failed factorization (cold path only)."""
+        session = telemetry.active()
+        if session is not None:
+            session.metrics.inc("solver.singular_matrices")
+            session.tracer.event("solver.singular_matrix", size=self.size)
 
 
 @dataclass

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuit.dc import (
     DcSolution,
     NewtonOptions,
@@ -111,12 +112,12 @@ class TransientResult:
         }
 
 
-def transient(circuit: Circuit, t_stop: float, dt: float,
-              method: str = "trapezoidal",
-              initial_op: Optional[DcSolution] = None,
-              options: Optional[NewtonOptions] = None,
-              max_step_halvings: int = DEFAULT_MAX_STEP_HALVINGS,
-              lte_rtol: Optional[float] = None) -> TransientResult:
+def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
+                    method: str = "trapezoidal",
+                    initial_op: Optional[DcSolution] = None,
+                    options: Optional[NewtonOptions] = None,
+                    max_step_halvings: int = DEFAULT_MAX_STEP_HALVINGS,
+                    lte_rtol: Optional[float] = None):
     """Integrate the circuit from its DC operating point to ``t_stop``.
 
     Sources follow their time-dependent specs; the t = 0 point is the DC
@@ -212,6 +213,10 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                                 final_residual=exc.final_residual,
                                 worst_index=exc.worst_index)
 
+    # Telemetry: rejection tallies feed the solve.transient span and
+    # the solver.transient.* counters; all-zero when stepping is clean.
+    rejections = {"newton": 0, "lte": 0, "max_depth": 0}
+
     def advance(x_from: np.ndarray, t0: float, t1: float, depth: int,
                 check_lte: bool, x_predicted: Optional[np.ndarray]
                 ) -> np.ndarray:
@@ -223,6 +228,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
             if depth >= max_step_halvings:
                 raise step_fail(t1, depth, exc) from exc
             x_new = None
+            rejections["newton"] += 1
         if x_new is not None and check_lte and x_predicted is not None \
                 and depth < max_step_halvings:
             # LTE proxy: deviation of the accepted solution from the
@@ -232,7 +238,9 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                                       - x_predicted[:n_nodes]) / scale))
             if not lte <= lte_rtol:  # NaN rejects too
                 x_new = None
+                rejections["lte"] += 1
         if x_new is None:
+            rejections["max_depth"] = max(rejections["max_depth"], depth + 1)
             # Reject: integrate the same interval as two half steps.
             # Sub-steps skip the LTE check — halving is the remedy, and
             # skipping guarantees termination within the depth bound.
@@ -249,6 +257,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     states[0] = x
     x_prev_grid: Optional[np.ndarray] = None
 
+    iterations_total = 0
     for step in range(1, n_steps + 1):
         t = step * dt
         predicted = None
@@ -257,7 +266,57 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         x_prev_grid = x
         stats.iterations = 0
         x = advance(x, t - dt, t, 0, lte_rtol is not None, predicted)
+        iterations_total += stats.iterations
         times[step] = t
         states[step] = x
 
-    return TransientResult(circuit=circuit, times=times, states=states)
+    result = TransientResult(circuit=circuit, times=times, states=states)
+    return result, rejections, iterations_total
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              method: str = "trapezoidal",
+              initial_op: Optional[DcSolution] = None,
+              options: Optional[NewtonOptions] = None,
+              max_step_halvings: int = DEFAULT_MAX_STEP_HALVINGS,
+              lte_rtol: Optional[float] = None) -> TransientResult:
+    """Public transient entry point (see :func:`_transient_impl`).
+
+    With an active :mod:`repro.telemetry` session the integration is
+    wrapped in a ``solve.transient`` span (step count, Newton
+    iterations, step rejections, deepest halving) and feeds the
+    ``solver.transient.*`` metrics; the initial operating point and its
+    ladder telemetry nest beneath it.  Disabled, this adds a single
+    ContextVar read.
+    """
+    session = telemetry.active()
+    if session is None:
+        return _transient_impl(circuit, t_stop, dt, method, initial_op,
+                               options, max_step_halvings, lte_rtol)[0]
+    with session.tracer.span("solve.transient", t_stop=t_stop, dt=dt,
+                             method=method) as sp:
+        metrics = session.metrics
+        try:
+            result, rejections, iterations = _transient_impl(
+                circuit, t_stop, dt, method, initial_op, options,
+                max_step_halvings, lte_rtol)
+        except ConvergenceError as exc:
+            metrics.inc("solver.transient.solves")
+            metrics.inc("solver.transient.failures")
+            sp.set(status="failed",
+                   summary=exc.report.summary() if exc.report is not None
+                   else str(exc))
+            raise
+        n_steps = len(result.times) - 1
+        rejected = rejections["newton"] + rejections["lte"]
+        sp.set(steps=n_steps, iterations=iterations,
+               step_rejections=rejected,
+               max_halving_depth=rejections["max_depth"])
+        metrics.inc("solver.transient.solves")
+        metrics.inc("solver.transient.steps", n_steps)
+        metrics.inc("solver.transient.step_rejections", rejected)
+        metrics.inc("solver.transient.lte_rejections", rejections["lte"])
+        metrics.inc("solver.factorizations", iterations)
+        metrics.observe("solver.transient.newton_iterations", iterations,
+                        telemetry.ITERATION_BUCKETS)
+        return result

@@ -10,11 +10,15 @@ Commands:
 * ``tran <netlist> --tstop T --dt DT [--tech NODE] [--nodes a,b]`` —
   transient analysis; prints summary statistics per requested node;
 * ``mc [--tech NODE] [--samples N] [--jobs J] [--checkpoint DIR
-  [--resume]] [--retries N --timeout SEC]`` — Monte-Carlo offset yield
-  of a differential pair (the §2 demo), parallelised over the
-  :mod:`repro.parallel` backends, with chunk-granular checkpointing,
-  per-sample retry/timeout and graceful degradation (see
-  ``docs/robustness.md``);
+  [--resume]] [--retries N --timeout SEC] [--trace FILE] [--quiet]`` —
+  Monte-Carlo offset yield of a differential pair (the §2 demo),
+  parallelised over the :mod:`repro.parallel` backends, with
+  chunk-granular checkpointing, per-sample retry/timeout, graceful
+  degradation (see ``docs/robustness.md``), a live progress heartbeat
+  on stderr and optional JSONL trace export (``docs/observability.md``);
+* ``trace <file>`` — summarise a JSONL trace written by ``mc --trace``:
+  top time sinks, convergence-strategy breakdown, slowest and
+  quarantined samples;
 * ``aging <name>`` — the degradation outlook of a node: 10-year NBTI/
   HCI shifts, TDDB characteristic life, EM MTTF at J_max.
 
@@ -188,7 +192,32 @@ def _print_mc_result(result, args, tech, partial: bool = False) -> None:
     print(render_section(title, body))
 
 
+def _mc_heartbeat(session, stream):
+    """Progress callback printing a live run pulse to ``stream``.
+
+    Rate/ETA come from the engine's progress payload; fail and retry
+    counts are read live off the session's metrics registry (workers
+    merge their counters back with every completed chunk).
+    """
+
+    def beat(p: dict) -> None:
+        done, total = p["done"], p["total"]
+        elapsed = p["elapsed_s"]
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = f"{(total - done) / rate:.0f}s" if rate > 0 else "--"
+        fails = int(session.metrics.counter("engine.quarantines"))
+        retries = int(session.metrics.counter("engine.retries"))
+        stream.write(f"\r[mc] {done}/{total} samples  {rate:.1f}/s  "
+                     f"ETA {eta}  fail={fails} retry={retries}")
+        if done >= total:
+            stream.write("\n")
+        stream.flush()
+
+    return beat
+
+
 def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.checkpoint import RunInterrupted
     from repro.circuits import differential_pair
     from repro.core import MonteCarloYield, Specification
@@ -209,23 +238,59 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 1
-    try:
-        result = MonteCarloYield(fx, [spec], tech).run(
-            n_samples=args.samples, seed=args.seed, jobs=args.jobs,
-            backend=args.backend, retry=retry,
-            checkpoint=args.checkpoint, resume=args.resume)
-    except RunInterrupted as exc:
-        # SIGINT mid-run: the engine has already written the final
-        # checkpoint; report the partial result and exit 130.
-        if exc.partial_result is not None:
-            _print_mc_result(exc.partial_result, args, tech, partial=True)
-        print(f"interrupted: {exc}", file=sys.stderr)
-        print(f"resume with: repro mc --checkpoint {exc.checkpoint_path} "
-              f"--resume --samples {args.samples} --seed {args.seed}",
-              file=sys.stderr)
-        return 130
+    # The mc command always runs under a telemetry session: the
+    # heartbeat reads its metrics registry and --trace serialises it.
+    # Library callers without a session keep the zero-overhead path.
+    meta = {"command": "mc", "tech": args.tech, "samples": args.samples,
+            "seed": args.seed, "jobs": args.jobs, "backend": args.backend}
+    with telemetry.session(meta=meta) as session:
+        progress = None if args.quiet else _mc_heartbeat(session,
+                                                         sys.stderr)
+
+        def write_trace() -> None:
+            if args.trace:
+                count = session.write_trace(args.trace)
+                if not args.quiet:
+                    print(f"trace: {count} records -> {args.trace}",
+                          file=sys.stderr)
+
+        try:
+            result = MonteCarloYield(fx, [spec], tech).run(
+                n_samples=args.samples, seed=args.seed, jobs=args.jobs,
+                backend=args.backend, retry=retry,
+                checkpoint=args.checkpoint, resume=args.resume,
+                progress=progress)
+        except RunInterrupted as exc:
+            # SIGINT mid-run: the engine has already written the final
+            # checkpoint; report the partial result and exit 130.
+            if progress is not None:
+                sys.stderr.write("\n")
+            write_trace()
+            if exc.partial_result is not None:
+                _print_mc_result(exc.partial_result, args, tech,
+                                 partial=True)
+            print(f"interrupted: {exc}", file=sys.stderr)
+            print(f"resume with: repro mc --checkpoint "
+                  f"{exc.checkpoint_path} --resume --samples "
+                  f"{args.samples} --seed {args.seed}", file=sys.stderr)
+            return 130
+        write_trace()
     _print_mc_result(result, args, tech)
     return 2 if result.is_degraded else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.report import render_trace_summary
+
+    try:
+        trace = telemetry.read_trace(args.file)
+        trace.validate()
+    except (OSError, telemetry.TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(trace))
+    return 0
 
 
 def _cmd_aging(args: argparse.Namespace) -> int:
@@ -340,7 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--backoff", type=float, default=0.0, metavar="SEC",
                       help="delay before the first retry (doubles each "
                            "attempt)")
+    p_mc.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a JSONL telemetry trace (inspect with "
+                           "'repro trace FILE')")
+    p_mc.add_argument("--quiet", action="store_true",
+                      help="suppress the stderr progress heartbeat")
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarise a JSONL telemetry trace")
+    p_trace.add_argument("file", help="trace written by 'mc --trace'")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_aging = sub.add_parser("aging",
                              help="degradation outlook of a node")

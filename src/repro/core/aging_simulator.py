@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import units
+from repro import telemetry, units
 from repro.aging.base import AgingMechanism, DeviceStress, MechanismState
 from repro.circuit.dc import DcSolution, dc_operating_point
 from repro.circuit.netlist import Circuit
@@ -246,53 +246,66 @@ class ReliabilitySimulator:
         devices = self.fixture.circuit.mosfets
         delta_vt = {d.name: np.zeros(len(times)) for d in devices}
 
-        self._apply_degradation()
-        for name, fn in metric_fns.items():
-            trajectories[name][0] = fn(self.fixture)
-
-        t_prev = 0.0
-        for k, t_end in enumerate(epoch_ends, start=1):
-            dt = t_end - t_prev
-            operating_stresses = self.extract_stresses(profile)
-            if profile.phases is None:
-                schedule = [(dt, operating_stresses)]
-            else:
-                # Duty-cycled epoch: powered phases see the extracted
-                # stress (at the phase temperature); unpowered phases
-                # see zero bias — NBTI relaxes, HCI freezes.
-                schedule = []
-                for phase in profile.phases:
-                    if phase.powered:
-                        phase_stresses = {
-                            name: DeviceStress(
-                                vgs_v=s.vgs_v, vds_v=s.vds_v,
-                                temperature_k=phase.temperature_k,
-                                vgs_waveform=s.vgs_waveform,
-                                vds_waveform=s.vds_waveform,
-                                ids_waveform=s.ids_waveform)
-                            for name, s in operating_stresses.items()
-                        }
-                    else:
-                        phase_stresses = {
-                            device.name: DeviceStress.static(
-                                0.0, 0.0, phase.temperature_k)
-                            for device in devices
-                        }
-                    schedule.append((phase.fraction * dt, phase_stresses))
-            for dt_phase, stresses in schedule:
-                for device in devices:
-                    stress = stresses[device.name]
-                    for mechanism in self.mechanisms:
-                        if not mechanism.affects(device):
-                            continue
-                        state = self._state(device.name, mechanism)
-                        mechanism.advance(device, stress, state, dt_phase)
+        with telemetry.span("aging.mission", n_epochs=profile.n_epochs,
+                            stress_mode=profile.stress_mode,
+                            duration_s=profile.duration_s):
             self._apply_degradation()
-            for device in devices:
-                delta_vt[device.name][k] = self.total_delta_vt(device.name)
             for name, fn in metric_fns.items():
-                trajectories[name][k] = fn(self.fixture)
-            t_prev = t_end
+                trajectories[name][0] = fn(self.fixture)
+
+            session = telemetry.active()
+            t_prev = 0.0
+            for k, t_end in enumerate(epoch_ends, start=1):
+                if session is not None:
+                    session.metrics.inc("engine.aging_epochs")
+                with telemetry.span("aging.epoch", epoch=k,
+                                    t_end_s=float(t_end)):
+                    dt = t_end - t_prev
+                    operating_stresses = self.extract_stresses(profile)
+                    if profile.phases is None:
+                        schedule = [(dt, operating_stresses)]
+                    else:
+                        # Duty-cycled epoch: powered phases see the
+                        # extracted stress (at the phase temperature);
+                        # unpowered phases see zero bias — NBTI
+                        # relaxes, HCI freezes.
+                        schedule = []
+                        for phase in profile.phases:
+                            if phase.powered:
+                                phase_stresses = {
+                                    name: DeviceStress(
+                                        vgs_v=s.vgs_v, vds_v=s.vds_v,
+                                        temperature_k=phase.temperature_k,
+                                        vgs_waveform=s.vgs_waveform,
+                                        vds_waveform=s.vds_waveform,
+                                        ids_waveform=s.ids_waveform)
+                                    for name, s
+                                    in operating_stresses.items()
+                                }
+                            else:
+                                phase_stresses = {
+                                    device.name: DeviceStress.static(
+                                        0.0, 0.0, phase.temperature_k)
+                                    for device in devices
+                                }
+                            schedule.append(
+                                (phase.fraction * dt, phase_stresses))
+                    for dt_phase, stresses in schedule:
+                        for device in devices:
+                            stress = stresses[device.name]
+                            for mechanism in self.mechanisms:
+                                if not mechanism.affects(device):
+                                    continue
+                                state = self._state(device.name, mechanism)
+                                mechanism.advance(device, stress, state,
+                                                  dt_phase)
+                    self._apply_degradation()
+                    for device in devices:
+                        delta_vt[device.name][k] = \
+                            self.total_delta_vt(device.name)
+                    for name, fn in metric_fns.items():
+                        trajectories[name][k] = fn(self.fixture)
+                    t_prev = t_end
 
         return AgingReport(times_s=times, metrics=trajectories,
                            device_delta_vt_v=delta_vt)
@@ -351,26 +364,55 @@ def aging_ensemble(fixture: CircuitFixture,
         finally:
             set_current_sample(None)
 
-    def run_sample_quarantined(task):
-        try:
-            return run_sample(task)
-        except QUARANTINE_ERRORS as exc:
-            return exc
+    session = telemetry.active()
+    trace = session is not None
+
+    def evaluate(task):
+        # Each sample collects into a private worker session (span tree
+        # ``sample → aging.mission → aging.epoch → solve.*``) shipped
+        # back with the outcome, mirroring the Monte-Carlo chunks.
+        index = task[0]
+        with telemetry.worker_session(trace, f"s{index}.") as tsession:
+            if tsession is not None:
+                sample_ctx = tsession.tracer.span(
+                    "sample", index=index,
+                    worker=telemetry.worker_label())
+            else:
+                sample_ctx = telemetry.NULL_SPAN
+            try:
+                with sample_ctx:
+                    outcome = run_sample(task)
+            except QUARANTINE_ERRORS as exc:
+                if not quarantine:
+                    raise
+                outcome = exc
+            payload = None if tsession is None else tsession.export()
+            return outcome, payload
 
     mapper = ParallelMap(backend=backend, n_jobs=jobs)
     tasks = list(enumerate(seeds))
-    if not quarantine:
-        return mapper.map(run_sample, tasks)
+    run_ctx = telemetry.NULL_SPAN if session is None else \
+        session.tracer.span("run", kind="aging-ensemble",
+                            n_samples=n_samples, jobs=jobs, backend=backend)
+    with run_ctx as run_span:
+        run_span_id = None if session is None else run_span.span_id
+        outcomes = []
+        for outcome, payload in mapper.map(evaluate, tasks):
+            if session is not None:
+                session.merge_worker(payload, run_span_id)
+                session.metrics.inc("engine.samples")
+            outcomes.append(outcome)
+        if not quarantine:
+            return outcomes
 
-    from repro.parallel import FailureLedger
+        from repro.parallel import FailureLedger
 
-    outcomes = mapper.map(run_sample_quarantined, tasks)
-    reports: List[Optional[AgingReport]] = []
-    ledger = FailureLedger()
-    for index, outcome in enumerate(outcomes):
-        if isinstance(outcome, BaseException):
-            reports.append(None)
-            ledger.add(index, outcome, label="mission")
-        else:
-            reports.append(outcome)
-    return reports, ledger
+        reports: List[Optional[AgingReport]] = []
+        ledger = FailureLedger()
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                reports.append(None)
+                ledger.add(index, outcome, label="mission")
+            else:
+                reports.append(outcome)
+        return reports, ledger

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.circuit.elements import DcSpec, VoltageSource
 from repro.circuits.references import CircuitFixture
 from repro.core.yield_analysis import QUARANTINE_ERRORS, Specification
@@ -125,7 +126,7 @@ class CornerAnalysis:
                                             temperature_k=temperature)))
         return points
 
-    def _evaluate_point(self, task: Tuple[int, str, PvtPoint]) -> dict:
+    def _evaluate_point(self, task: Tuple[int, str, PvtPoint, bool]) -> dict:
         """Evaluate every spec at one PVT point on a fixture replica.
 
         Used by the parallel path: each point configures a private
@@ -135,25 +136,44 @@ class CornerAnalysis:
         (non-convergence, timeouts, singular systems) become NaN and are
         quarantined in the returned ledger — one bad corner never aborts
         the matrix.
+
+        With ``trace`` set the point collects telemetry into a private
+        worker session (``point → analysis → solve.*``) shipped back
+        under the ``"telemetry"`` key, exactly like the Monte-Carlo
+        chunks.
         """
-        index, corner_name, point = task
-        fixture = clone_fixture(self.fixture)
-        circuit = fixture.circuit
-        source = circuit[self.vdd_source_name]
-        nominal_vdd = source.spec.dc_value()
-        self.corners[corner_name].apply(circuit)
-        source.spec = DcSpec(point.vdd_scale * nominal_vdd)
-        self._set_temperature(circuit, point.temperature_k)
-        out = {}
-        ledger = FailureLedger()
-        for spec in self.specs:
-            try:
-                out[spec.name] = float(spec.extractor(fixture))
-            except QUARANTINE_ERRORS as exc:
-                out[spec.name] = float("nan")
-                ledger.add(index, exc,
-                           label=f"{spec.name}@{point.label}")
-        return {"values": out, "ledger": ledger.to_list()}
+        index, corner_name, point, trace = task
+        with telemetry.worker_session(trace, f"p{index}.") as tsession:
+            fixture = clone_fixture(self.fixture)
+            circuit = fixture.circuit
+            source = circuit[self.vdd_source_name]
+            nominal_vdd = source.spec.dc_value()
+            self.corners[corner_name].apply(circuit)
+            source.spec = DcSpec(point.vdd_scale * nominal_vdd)
+            self._set_temperature(circuit, point.temperature_k)
+            out = {}
+            ledger = FailureLedger()
+            if tsession is not None:
+                tsession.metrics.inc("engine.corner_points")
+                point_ctx = tsession.tracer.span(
+                    "point", label=point.label,
+                    worker=telemetry.worker_label())
+            else:
+                point_ctx = telemetry.NULL_SPAN
+            with point_ctx:
+                for spec in self.specs:
+                    with telemetry.span("analysis", spec=spec.name) as a_sp:
+                        try:
+                            out[spec.name] = float(spec.extractor(fixture))
+                        except QUARANTINE_ERRORS as exc:
+                            out[spec.name] = float("nan")
+                            ledger.add(index, exc,
+                                       label=f"{spec.name}@{point.label}")
+                            a_sp.set(quarantined=type(exc).__name__)
+            payload = {"values": out, "ledger": ledger.to_list()}
+            if tsession is not None:
+                payload["telemetry"] = tsession.export()
+            return payload
 
     def run(self, jobs: int = 1, backend: str = "auto") -> CornerResult:
         """Evaluate every spec at every PVT point; restores the fixture.
@@ -167,45 +187,65 @@ class CornerAnalysis:
         its spec) and carries a diagnostic record in
         :attr:`CornerResult.ledger`; the run always completes.
         """
-        tasks = [(index, corner_name, point)
+        session = telemetry.active()
+        tasks = [(index, corner_name, point, session is not None)
                  for index, (corner_name, point)
                  in enumerate(self._pvt_points())]
-        points = [point for _, _, point in tasks]
+        points = [point for _, _, point, _ in tasks]
         values: Dict[str, Dict[str, float]] = {s.name: {} for s in self.specs}
         ledger = FailureLedger()
-        if jobs != 1 or backend not in ("auto", "serial"):
-            mapper = ParallelMap(backend=backend, n_jobs=jobs)
-            for (_, _, point), out in zip(
-                    tasks, mapper.map(self._evaluate_point, tasks)):
-                for name, value in out["values"].items():
-                    values[name][point.label] = value
-                ledger.merge(FailureLedger.from_list(out["ledger"]))
+        run_ctx = telemetry.NULL_SPAN if session is None else \
+            session.tracer.span("run", kind="corner-matrix",
+                                n_points=len(tasks), jobs=jobs,
+                                backend=backend)
+        with run_ctx as run_span:
+            run_span_id = None if session is None else run_span.span_id
+            if jobs != 1 or backend not in ("auto", "serial"):
+                mapper = ParallelMap(backend=backend, n_jobs=jobs)
+                for (_, _, point, _), out in zip(
+                        tasks, mapper.map(self._evaluate_point, tasks)):
+                    if session is not None:
+                        session.merge_worker(out.pop("telemetry", None),
+                                             run_span_id)
+                    for name, value in out["values"].items():
+                        values[name][point.label] = value
+                    ledger.merge(FailureLedger.from_list(out["ledger"]))
+                ledger.sort()
+                return CornerResult(values=values, points=points,
+                                    ledger=ledger)
+
+            circuit = self.fixture.circuit
+            source = circuit[self.vdd_source_name]
+            nominal_spec = source.spec
+            nominal_vdd = nominal_spec.dc_value()
+            try:
+                for index, corner_name, point, _ in tasks:
+                    if session is not None:
+                        session.metrics.inc("engine.corner_points")
+                    with telemetry.span("point", label=point.label):
+                        self.corners[corner_name].apply(circuit)
+                        source.spec = DcSpec(point.vdd_scale * nominal_vdd)
+                        self._set_temperature(circuit, point.temperature_k)
+                        for spec in self.specs:
+                            with telemetry.span("analysis",
+                                                spec=spec.name) as a_sp:
+                                try:
+                                    value = float(
+                                        spec.extractor(self.fixture))
+                                except QUARANTINE_ERRORS as exc:
+                                    value = float("nan")
+                                    ledger.add(
+                                        index, exc,
+                                        label=f"{spec.name}@{point.label}")
+                                    a_sp.set(
+                                        quarantined=type(exc).__name__)
+                            values[spec.name][point.label] = value
+            finally:
+                source.spec = nominal_spec
+                self._set_temperature(circuit, 300.0)
+                for device in circuit.mosfets:
+                    from repro.circuit.mosfet import DeviceVariation
+
+                    device.variation = DeviceVariation()
             ledger.sort()
             return CornerResult(values=values, points=points, ledger=ledger)
-
-        circuit = self.fixture.circuit
-        source = circuit[self.vdd_source_name]
-        nominal_spec = source.spec
-        nominal_vdd = nominal_spec.dc_value()
-        try:
-            for index, corner_name, point in tasks:
-                self.corners[corner_name].apply(circuit)
-                source.spec = DcSpec(point.vdd_scale * nominal_vdd)
-                self._set_temperature(circuit, point.temperature_k)
-                for spec in self.specs:
-                    try:
-                        value = float(spec.extractor(self.fixture))
-                    except QUARANTINE_ERRORS as exc:
-                        value = float("nan")
-                        ledger.add(index, exc,
-                                   label=f"{spec.name}@{point.label}")
-                    values[spec.name][point.label] = value
-        finally:
-            source.spec = nominal_spec
-            self._set_temperature(circuit, 300.0)
-            for device in circuit.mosfets:
-                from repro.circuit.mosfet import DeviceVariation
-
-                device.variation = DeviceVariation()
-        ledger.sort()
-        return CornerResult(values=values, points=points, ledger=ledger)

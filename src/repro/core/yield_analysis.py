@@ -19,12 +19,14 @@ Example::
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.checkpoint import CheckpointError, McCheckpointStore, RunInterrupted
 from repro.circuit.dc import warm_start
 from repro.circuit.mna import ConvergenceError, SingularCircuitError
@@ -243,7 +245,8 @@ class MonteCarloYield:
 
     def _evaluate_chunk(self, task: Tuple[Tuple[int, int],
                                           np.random.SeedSequence,
-                                          Optional[RetryPolicy]]) -> dict:
+                                          Optional[RetryPolicy],
+                                          bool, float]) -> dict:
         """Evaluate one chunk of samples on a private fixture replica.
 
         The chunk is fully self-contained: it clones the fixture, seeds
@@ -258,8 +261,16 @@ class MonteCarloYield:
         :class:`~repro.parallel.FailureRecord` (carrying the solver's
         convergence report); a configured :class:`RetryPolicy` retries
         each evaluation with timeout/backoff before quarantining.
+
+        When ``trace`` is set the chunk collects telemetry into a
+        private :func:`~repro.telemetry.worker_session` (span tree
+        ``chunk → sample → analysis → solve.*`` plus solver metrics)
+        and ships the exported payload back under the ``"telemetry"``
+        key — same transport as the results, so the process backend
+        needs no side channel.  ``t_enqueued`` (epoch) dates the task's
+        submission; the gap to chunk start is recorded as queue wait.
         """
-        (start, stop), seed_seq, retry = task
+        (start, stop), seed_seq, retry, trace, t_enqueued = task
         n = stop - start
         fixture = clone_fixture(self.fixture)
         circuit = fixture.circuit
@@ -275,41 +286,69 @@ class MonteCarloYield:
         direct = retry is None or (retry.max_attempts == 1
                                    and retry.timeout_s is None)
         attempts = 1 if direct else retry.max_attempts
-        try:
-            with warm_start(circuit):
-                for k in range(n):
-                    set_current_sample(start + k)
-                    sampler.assign(circuit, self.placements)
-                    sample_ok = True
-                    for spec in self.specs:
-                        try:
-                            if direct:
-                                value = float(spec.extractor(fixture))
-                            else:
-                                value = call_resilient(
-                                    lambda _s=spec: float(_s.extractor(fixture)),
-                                    retry, retry_on=QUARANTINE_ERRORS)
-                        except QUARANTINE_ERRORS as exc:
-                            value = float("nan")
-                            name = type(exc).__name__
-                            failure_counts[name] = \
-                                failure_counts.get(name, 0) + 1
-                            ledger.add(start + k, exc, label=spec.name,
-                                       attempts=attempts)
-                        except Exception as exc:
-                            raise SampleEvaluationError(start + k, spec.name,
-                                                        exc) from exc
-                        values[spec.name][k] = value
-                        ok = spec.passes(value)
-                        spec_passes[spec.name][k] = ok
-                        sample_ok = sample_ok and ok
-                    passes[k] = sample_ok
-        finally:
-            set_current_sample(None)
-        return {"start": start, "stop": stop, "values": values,
-                "spec_passes": spec_passes, "passes": passes,
-                "failure_counts": failure_counts,
-                "ledger": ledger.to_list()}
+        with telemetry.worker_session(trace, f"c{start}.") as tsession:
+            if tsession is not None:
+                queue_wait_s = max(0.0, time.time() - t_enqueued)
+                tsession.metrics.inc("engine.chunks")
+                tsession.metrics.inc("engine.samples", n)
+                tsession.metrics.observe("engine.queue_wait_s", queue_wait_s)
+                chunk_ctx = tsession.tracer.span(
+                    "chunk", start=start, stop=stop,
+                    worker=telemetry.worker_label(),
+                    queue_wait_s=round(queue_wait_s, 6))
+            else:
+                chunk_ctx = telemetry.NULL_SPAN
+            try:
+                with chunk_ctx, warm_start(circuit):
+                    for k in range(n):
+                        set_current_sample(start + k)
+                        t_sample = time.perf_counter()
+                        with telemetry.span("sample", index=start + k):
+                            sampler.assign(circuit, self.placements)
+                            sample_ok = True
+                            for spec in self.specs:
+                                with telemetry.span("analysis",
+                                                    spec=spec.name) as a_sp:
+                                    try:
+                                        if direct:
+                                            value = float(
+                                                spec.extractor(fixture))
+                                        else:
+                                            value = call_resilient(
+                                                lambda _s=spec:
+                                                float(_s.extractor(fixture)),
+                                                retry,
+                                                retry_on=QUARANTINE_ERRORS)
+                                    except QUARANTINE_ERRORS as exc:
+                                        value = float("nan")
+                                        name = type(exc).__name__
+                                        failure_counts[name] = \
+                                            failure_counts.get(name, 0) + 1
+                                        ledger.add(start + k, exc,
+                                                   label=spec.name,
+                                                   attempts=attempts)
+                                        a_sp.set(quarantined=name)
+                                    except Exception as exc:
+                                        raise SampleEvaluationError(
+                                            start + k, spec.name, exc) from exc
+                                values[spec.name][k] = value
+                                ok = spec.passes(value)
+                                spec_passes[spec.name][k] = ok
+                                sample_ok = sample_ok and ok
+                            passes[k] = sample_ok
+                        if tsession is not None:
+                            tsession.metrics.observe(
+                                "engine.sample_duration_s",
+                                time.perf_counter() - t_sample)
+            finally:
+                set_current_sample(None)
+            payload = {"start": start, "stop": stop, "values": values,
+                       "spec_passes": spec_passes, "passes": passes,
+                       "failure_counts": failure_counts,
+                       "ledger": ledger.to_list()}
+            if tsession is not None:
+                payload["telemetry"] = tsession.export()
+            return payload
 
     def _assemble(self, n_samples: int, chunks: List[dict],
                   partial: bool = False) -> YieldResult:
@@ -349,7 +388,9 @@ class MonteCarloYield:
             retry: Optional[RetryPolicy] = None,
             checkpoint: Optional[Union[str, Path]] = None,
             resume: bool = False,
-            checkpoint_every: int = 1) -> YieldResult:
+            checkpoint_every: int = 1,
+            progress: Optional[Callable[[dict], None]] = None
+            ) -> YieldResult:
         """Sample ``n_samples`` virtual dies and evaluate every spec.
 
         A sample whose evaluation does not converge is recorded as NaN
@@ -375,6 +416,14 @@ class MonteCarloYield:
         interrupt (Ctrl-C / injected) writes a final checkpoint and
         raises :class:`~repro.checkpoint.RunInterrupted` carrying the
         partial result.
+
+        ``progress`` (when given) is invoked after every completed
+        chunk with ``{"done", "total", "elapsed_s"}`` — the CLI
+        heartbeat hangs off this.  With an active
+        :func:`telemetry.session <repro.telemetry.session>` each
+        chunk's telemetry rides back with its results and is merged
+        under the ``run`` span; neither feature perturbs the sampled
+        values (results stay bit-identical with telemetry on or off).
         """
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -382,32 +431,72 @@ class MonteCarloYield:
             raise ValueError("checkpoint_every must be at least 1")
         ranges = chunk_ranges(n_samples, chunk_size)
         seeds = spawn_seed_sequences(seed, len(ranges))
-        tasks = [(bounds, seed_seq, retry)
+        session = telemetry.active()
+        t_enqueued = time.time()
+        tasks = [(bounds, seed_seq, retry, session is not None, t_enqueued)
                  for bounds, seed_seq in zip(ranges, seeds)]
         mapper = ParallelMap(backend=backend, n_jobs=jobs)
 
-        if checkpoint is None:
-            chunks = mapper.map(self._evaluate_chunk, tasks)
+        run_ctx = telemetry.NULL_SPAN if session is None else \
+            session.tracer.span("run", kind="mc-yield", n_samples=n_samples,
+                                jobs=jobs, backend=backend,
+                                chunk_size=chunk_size, seed=seed)
+        with run_ctx as run_span:
+            run_span_id = None if session is None else run_span.span_id
+            if checkpoint is not None:
+                return self._run_checkpointed(
+                    n_samples, tasks, mapper, Path(checkpoint), resume,
+                    checkpoint_every, seed, chunk_size, progress, session,
+                    run_span_id)
+            if session is None and progress is None:
+                chunks = mapper.map(self._evaluate_chunk, tasks)
+                return self._assemble(n_samples, chunks)
+            chunks = []
+            done = 0
+            for _, chunk in mapper.map_completed(self._evaluate_chunk,
+                                                 tasks):
+                if session is not None:
+                    session.merge_worker(chunk.pop("telemetry", None),
+                                         run_span_id)
+                chunks.append(chunk)
+                done += chunk["stop"] - chunk["start"]
+                if progress is not None:
+                    progress({"done": done, "total": n_samples,
+                              "elapsed_s": time.time() - t_enqueued})
             return self._assemble(n_samples, chunks)
-        return self._run_checkpointed(n_samples, tasks, mapper,
-                                      Path(checkpoint), resume,
-                                      checkpoint_every, seed, chunk_size)
 
     def _run_checkpointed(self, n_samples: int, tasks: List[tuple],
                           mapper: ParallelMap, checkpoint: Path,
                           resume: bool, checkpoint_every: int,
-                          seed: int, chunk_size: int) -> YieldResult:
-        """Incremental evaluation with atomic chunk-granular persistence."""
+                          seed: int, chunk_size: int,
+                          progress: Optional[Callable[[dict], None]] = None,
+                          session: Optional[telemetry.TelemetrySession]
+                          = None,
+                          run_span_id: Optional[str] = None) -> YieldResult:
+        """Incremental evaluation with atomic chunk-granular persistence.
+
+        A private :class:`~repro.telemetry.MetricsRegistry` accumulates
+        this run's solver/engine counters; every checkpoint save
+        persists its snapshot in the manifest, and a resume restores
+        the snapshot into both the accumulator and the live session —
+        counters (solves, retries, quarantines…) carry across
+        interruptions instead of resetting.
+        """
         store = McCheckpointStore(checkpoint)
         run_params = {"kind": "mc-yield", "seed": seed,
                       "n_samples": n_samples, "chunk_size": chunk_size,
                       "spec_names": [s.name for s in self.specs]}
+        metrics_acc = telemetry.MetricsRegistry()
         completed: Dict[int, dict] = {}
         if resume:
             if not store.exists():
                 raise CheckpointError(
                     f"resume requested but no checkpoint at {checkpoint}")
             completed, _ = store.load(run_params)
+            restored_metrics = store.load_metrics()
+            metrics_acc.merge(restored_metrics)
+            if session is not None:
+                session.metrics.merge(restored_metrics)
         elif store.exists():
             # Refuse to silently clobber an existing checkpoint the
             # caller did not ask to resume.
@@ -418,16 +507,36 @@ class MonteCarloYield:
         pending = [(cid, task) for cid, task in enumerate(tasks)
                    if cid not in completed]
         since_save = 0
+        done = sum(c["stop"] - c["start"] for c in completed.values())
+        t_start = time.time()
+
+        def absorb(chunk: dict) -> None:
+            # Strip the telemetry payload BEFORE the chunk reaches the
+            # store — traces are ephemeral, checkpoints are results.
+            nonlocal done
+            payload = chunk.pop("telemetry", None)
+            if payload is not None:
+                metrics_acc.merge(payload.get("metrics"))
+            if session is not None:
+                session.merge_worker(payload, run_span_id)
+            done += chunk["stop"] - chunk["start"]
+            if progress is not None:
+                progress({"done": done, "total": n_samples,
+                          "elapsed_s": time.time() - t_start})
+
         try:
             for pending_index, chunk in mapper.map_completed(
                     self._evaluate_chunk, [task for _, task in pending]):
+                absorb(chunk)
                 completed[pending[pending_index][0]] = chunk
                 since_save += 1
                 if since_save >= checkpoint_every:
-                    store.save(run_params, completed)
+                    store.save(run_params, completed,
+                               metrics=metrics_acc.snapshot())
                     since_save = 0
         except (KeyboardInterrupt, SystemExit) as exc:
-            store.save(run_params, completed)
+            store.save(run_params, completed,
+                       metrics=metrics_acc.snapshot())
             partial = self._assemble(n_samples, list(completed.values()),
                                      partial=True)
             raise RunInterrupted(
@@ -438,7 +547,8 @@ class MonteCarloYield:
         except BaseException:
             # Persist whatever finished before propagating the failure —
             # a crashed run resumes from its last good chunk.
-            store.save(run_params, completed)
+            store.save(run_params, completed,
+                       metrics=metrics_acc.snapshot())
             raise
-        store.save(run_params, completed)
+        store.save(run_params, completed, metrics=metrics_acc.snapshot())
         return self._assemble(n_samples, list(completed.values()))

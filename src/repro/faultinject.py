@@ -27,6 +27,7 @@ from contextvars import ContextVar
 from dataclasses import replace
 from typing import Callable, Iterable, Optional, Set
 
+from repro import telemetry
 from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
 
@@ -65,6 +66,28 @@ def _device(circuit: Circuit, device_name: str) -> Mosfet:
     return element
 
 
+def _emit_injected(kind: str, **attrs) -> None:
+    """Trace a device-level fault injection (setup time)."""
+    session = telemetry.active()
+    if session is not None:
+        session.metrics.inc("faults.injected")
+        session.tracer.event("fault.injected", kind=kind, **attrs)
+
+
+def _emit_activated(kind: str, index: Optional[int], **attrs) -> None:
+    """Trace a sample-targeted fault firing (evaluation time).
+
+    Emitted under whatever span is open when the fault fires, so the
+    trace attributes the injected failure to its sample — quarantine
+    records then corroborate it.
+    """
+    session = telemetry.active()
+    if session is not None:
+        session.metrics.inc("faults.activated")
+        session.tracer.event("fault.activated", kind=kind, index=index,
+                             **attrs)
+
+
 # ----------------------------------------------------------------------
 # Device-level faults (parameter rewrites; survive mismatch sampling)
 # ----------------------------------------------------------------------
@@ -78,6 +101,7 @@ def force_nonconvergence(circuit: Circuit, device_name: str) -> None:
     """
     device = _device(circuit, device_name)
     device.params = replace(device.params, vt0_v=float("nan"))
+    _emit_injected("force-nonconvergence", device=device_name)
 
 
 def inject_open(circuit: Circuit, device_name: str,
@@ -86,6 +110,7 @@ def inject_open(circuit: Circuit, device_name: str,
     device = _device(circuit, device_name)
     device.params = replace(
         device.params, kp_a_per_v2=device.params.kp_a_per_v2 * kp_factor)
+    _emit_injected("open", device=device_name)
 
 
 def inject_short(circuit: Circuit, device_name: str,
@@ -93,6 +118,7 @@ def inject_short(circuit: Circuit, device_name: str,
     """Gate-oxide short: a hard post-breakdown gate leak (TDDB-style)."""
     device = _device(circuit, device_name)
     device.degradation.gate_leak_s = conductance_s
+    _emit_injected("short", device=device_name)
 
 
 def inject_stuck_parameter(circuit: Circuit, device_name: str,
@@ -102,6 +128,7 @@ def inject_stuck_parameter(circuit: Circuit, device_name: str,
     if not hasattr(device.params, parameter):
         raise ValueError(f"unknown MOSFET parameter {parameter!r}")
     device.params = replace(device.params, **{parameter: value})
+    _emit_injected("stuck-parameter", device=device_name, parameter=parameter)
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +152,7 @@ def failing_extractor(base: Callable, fail_on: Iterable[int],
     def wrapped(fixture):
         index = current_sample()
         if index is not None and index in targets:
+            _emit_activated("failing", index)
             if exc_factory is not None:
                 raise exc_factory(index)
             raise ValueError(f"injected evaluation fault on sample {index}")
@@ -140,6 +168,7 @@ def killing_extractor(base: Callable, kill_on: Iterable[int]) -> Callable:
     def wrapped(fixture):
         index = current_sample()
         if index is not None and index in targets:
+            _emit_activated("killing", index)
             raise WorkerKilledError(
                 f"worker killed while evaluating sample {index}")
         return base(fixture)
@@ -155,6 +184,7 @@ def hanging_extractor(base: Callable, hang_on: Iterable[int],
     def wrapped(fixture):
         index = current_sample()
         if index is not None and index in targets:
+            _emit_activated("hanging", index, hang_s=hang_s)
             time.sleep(hang_s)
         return base(fixture)
 
@@ -172,6 +202,7 @@ def interrupting_extractor(base: Callable, interrupt_on: int) -> Callable:
 
     def wrapped(fixture):
         if current_sample() == interrupt_on:
+            _emit_activated("interrupting", interrupt_on)
             raise KeyboardInterrupt(
                 f"injected interrupt at sample {interrupt_on}")
         return base(fixture)

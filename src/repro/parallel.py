@@ -56,6 +56,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, \
 
 import numpy as np
 
+from repro import telemetry
+
 _BACKENDS = ("auto", "serial", "thread", "process")
 
 T = TypeVar("T")
@@ -271,9 +273,17 @@ def call_resilient(fn: Callable[[], R], policy: RetryPolicy,
     sleep_s = policy.backoff_s
     last_error: Optional[BaseException] = None
     for attempt in range(policy.max_attempts):
-        if attempt > 0 and sleep_s > 0.0:
-            time.sleep(sleep_s)
-            sleep_s *= policy.backoff_multiplier
+        if attempt > 0:
+            session = telemetry.active()
+            if session is not None:
+                session.metrics.inc("engine.retries")
+                session.tracer.event(
+                    "retry", attempt=attempt + 1,
+                    exception=type(last_error).__name__
+                    if last_error is not None else None)
+            if sleep_s > 0.0:
+                time.sleep(sleep_s)
+                sleep_s *= policy.backoff_multiplier
         try:
             return call_with_timeout(fn, policy.timeout_s)
         except SampleTimeoutError as exc:
@@ -338,7 +348,14 @@ class FailureLedger:
 
     def add(self, index: int, exc: BaseException, label: str = "",
             attempts: int = 1) -> FailureRecord:
-        """Quarantine one failure, capturing solver telemetry if any."""
+        """Quarantine one failure, capturing solver telemetry if any.
+
+        With an active telemetry session, every quarantine also emits a
+        ``quarantine`` trace event (under the span that was open when
+        the failure surfaced) and bumps the ``engine.quarantines``
+        counter — so traces show the PR 2 failure path, not just the
+        final ledger.
+        """
         report = getattr(exc, "report", None)
         record = FailureRecord(
             index=index, label=label,
@@ -347,6 +364,14 @@ class FailureLedger:
             convergence_report=report.to_dict() if report is not None
             else None)
         self.records.append(record)
+        session = telemetry.active()
+        if session is not None:
+            session.metrics.inc("engine.quarantines")
+            summary = report.summary() if report is not None else str(exc)
+            session.tracer.event(
+                "quarantine", index=index, label=label,
+                exception=record.exception_type, attempts=attempts,
+                summary=summary[:200])
         return record
 
     def merge(self, other: "FailureLedger") -> None:

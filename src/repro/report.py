@@ -93,3 +93,146 @@ def render_failure_ledger(ledger, max_rows: int = 10) -> str:
     if hidden > 0:
         lines.append(f"... and {hidden} more record(s)")
     return "\n".join(lines)
+
+
+def render_trace_summary(trace, top: int = 8) -> str:
+    """Render a :class:`~repro.telemetry.TraceData` into the ``repro
+    trace`` report.
+
+    Sections: run overview, top time sinks (per-span-name totals with
+    *self* time, so nested spans don't double-bill), the DC convergence
+    strategy breakdown, slowest samples, and failed/quarantined samples
+    with their :class:`~repro.circuit.mna.ConvergenceReport` one-liners.
+    """
+    from repro.telemetry import aggregate_spans
+
+    sections: List[str] = []
+    spans = trace.spans
+    counters = trace.metrics.get("counters", {})
+    histograms = trace.metrics.get("histograms", {})
+
+    # -- overview ------------------------------------------------------
+    overview = []
+    for key in ("command", "tech", "samples", "seed", "jobs"):
+        if key in trace.meta:
+            overview.append((key, trace.meta[key]))
+    if spans:
+        t0 = min(s.get("t0", 0.0) for s in spans)
+        t1 = max(s.get("t1") or 0.0 for s in spans)
+        overview.append(("wall time", f"{t1 - t0:.3f} s"))
+    overview.append(("records", f"{len(spans)} spans, "
+                                f"{len(trace.events)} events"))
+    workers = sorted({s["attrs"]["worker"] for s in spans
+                      if "worker" in s.get("attrs", {})})
+    if workers:
+        overview.append(("workers", f"{len(workers)} "
+                                    f"({', '.join(workers[:4])}"
+                                    + (", ..." if len(workers) > 4 else "")
+                                    + ")"))
+    sections.append(render_section("trace summary",
+                                   render_key_values(overview)))
+
+    # -- top time sinks ------------------------------------------------
+    if spans:
+        stats = aggregate_spans(spans)
+        ranked = sorted(stats.items(), key=lambda kv: -kv[1]["self_s"])
+        rows = [[name, s["count"], s["total_s"], s["self_s"], s["max_s"]]
+                for name, s in ranked[:top]]
+        sections.append(render_section(
+            "top time sinks (by self time)",
+            render_table(["span", "count", "total [s]", "self [s]",
+                          "max [s]"], rows)))
+
+    # -- convergence strategies ----------------------------------------
+    strategies = {name: count for name, count in counters.items()
+                  if name.startswith("solver.dc.strategy.")}
+    if strategies:
+        solves = counters.get("solver.dc.solves", 0)
+        rows = []
+        for name, count in sorted(strategies.items(), key=lambda kv: -kv[1]):
+            share = count / solves if solves else 0.0
+            rows.append([name[len("solver.dc.strategy."):], int(count),
+                         f"{share * 100:.1f} %"])
+        failures = counters.get("solver.dc.failures", 0)
+        if failures:
+            rows.append(["(failed)", int(failures),
+                         f"{failures / solves * 100:.1f} %" if solves
+                         else "-"])
+        body = render_table(["strategy", "solves", "share"], rows)
+        extra = []
+        hist = histograms.get("solver.dc.newton_iterations")
+        if hist and hist.get("count"):
+            extra.append(("newton iterations / solve",
+                          f"mean {hist['sum'] / hist['count']:.1f}, "
+                          f"max {hist['max']:.0f}"))
+        if counters.get("solver.factorizations"):
+            extra.append(("matrix factorizations",
+                          int(counters["solver.factorizations"])))
+        if counters.get("solver.singular_matrices"):
+            extra.append(("singular matrices",
+                          int(counters["solver.singular_matrices"])))
+        if extra:
+            body += "\n" + render_key_values(extra)
+        sections.append(render_section("DC convergence", body))
+
+    # -- transient -----------------------------------------------------
+    if counters.get("solver.transient.solves"):
+        pairs = [("solves", int(counters["solver.transient.solves"])),
+                 ("steps", int(counters.get("solver.transient.steps", 0))),
+                 ("step rejections",
+                  int(counters.get("solver.transient.step_rejections", 0))),
+                 ("LTE rejections",
+                  int(counters.get("solver.transient.lte_rejections", 0)))]
+        sections.append(render_section("transient",
+                                       render_key_values(pairs)))
+
+    # -- slowest samples -----------------------------------------------
+    by_id = {s.get("id"): s for s in spans}
+    samples = [s for s in spans if s.get("name") == "sample"]
+    if samples:
+        slowest = sorted(
+            samples,
+            key=lambda s: -((s.get("t1") or 0) - (s.get("t0") or 0)))
+        rows = []
+        for record in slowest[:5]:
+            parent = by_id.get(record.get("parent"), {})
+            rows.append([record["attrs"].get("index", "-"),
+                         (record.get("t1") or 0) - (record.get("t0") or 0),
+                         parent.get("attrs", {}).get("worker", "-")])
+        sections.append(render_section(
+            "slowest samples",
+            render_table(["sample", "duration [s]", "worker"], rows)))
+
+    # -- failures / quarantines ----------------------------------------
+    quarantines = [e for e in trace.events
+                   if e.get("name") == "quarantine"]
+    if quarantines:
+        rows = []
+        for event in quarantines[:10]:
+            attrs = event.get("attrs", {})
+            summary = attrs.get("summary", "") or ""
+            if len(summary) > 60:
+                summary = summary[:57] + "..."
+            rows.append([attrs.get("index", "-"), attrs.get("label", "-"),
+                         attrs.get("exception", "-"), summary])
+        body = render_table(["sample", "label", "exception", "diagnosis"],
+                            rows)
+        hidden = len(quarantines) - 10
+        if hidden > 0:
+            body += f"\n... and {hidden} more"
+        sections.append(render_section(
+            f"quarantined samples ({len(quarantines)})", body))
+
+    # -- engine counters -----------------------------------------------
+    engine = [(name, int(value)) for name, value in sorted(counters.items())
+              if name.startswith(("engine.", "faults."))]
+    for hname, label in (("engine.sample_duration_s", "sample duration"),
+                         ("engine.queue_wait_s", "chunk queue wait")):
+        hist = histograms.get(hname)
+        if hist and hist.get("count"):
+            engine.append((label, f"mean {hist['sum'] / hist['count']:.4f} s,"
+                                  f" max {hist['max']:.4f} s"))
+    if engine:
+        sections.append(render_section("engine",
+                                       render_key_values(engine)))
+    return "\n".join(sections)
