@@ -124,11 +124,19 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
         sampler.assign(pair.circuit)
         input_referred_offset_v(pair)
 
+    def mc_sample_batched():
+        from repro.circuit import batched_sweeps
+
+        sampler.assign(pair.circuit)
+        with batched_sweeps():
+            input_referred_offset_v(pair)
+
     workloads = {
         "dc_operating_point": lambda: dc_operating_point(mirror.circuit),
         "transient_ring": lambda: transient(ring.circuit,
                                             t_stop=0.5e-9, dt=5e-12),
         "mc_yield_sample": mc_sample,
+        "mc_yield_batched": mc_sample_batched,
     }
     breakdowns = {}
     for name, fn in workloads.items():

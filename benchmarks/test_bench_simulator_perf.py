@@ -8,6 +8,8 @@ numbers, not as mysteriously slower experiment benches:
 * DC sweep with continuation (per-point cost);
 * one transient timestep on a switching ring oscillator;
 * one Monte-Carlo yield sample (sampling + sweep-based metric);
+* the same sample on the batched ensemble engine (sweep points as
+  lanes of one Newton loop — see ``repro.circuit.batch``);
 * compact-model evaluation (drain_current + linearize).
 """
 
@@ -61,6 +63,25 @@ def test_perf_mc_yield_sample(benchmark, tech90):
     def one_sample():
         sampler.assign(fx.circuit)
         return input_referred_offset_v(fx)
+
+    offset = benchmark(one_sample)
+    assert abs(offset) < 0.05
+    sampler.clear(fx.circuit)
+
+
+def test_perf_mc_yield_batched(benchmark, tech90):
+    # Same workload as test_perf_mc_yield_sample, but the extractor's
+    # DC sweep runs as ONE batched Newton ensemble (all sweep points as
+    # lanes) — the per-die cost the batched MC mode pays.
+    from repro.circuit import batched_sweeps
+
+    fx = differential_pair(tech90, w_m=4e-6, l_m=0.4e-6)
+    sampler = MismatchSampler(tech90, np.random.default_rng(1))
+
+    def one_sample():
+        sampler.assign(fx.circuit)
+        with batched_sweeps():
+            return input_referred_offset_v(fx)
 
     offset = benchmark(one_sample)
     assert abs(offset) < 0.05

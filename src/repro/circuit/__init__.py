@@ -19,6 +19,16 @@ Analyses: :func:`dc_operating_point`, :func:`dc_sweep`,
 """
 
 from repro.circuit.ac import AcResult, ac_analysis, logspace_frequencies
+from repro.circuit.batch import (
+    BatchDcEngine,
+    BatchMosfetGroup,
+    BatchStamper,
+    BatchUnsupportedError,
+    batch_engine,
+    batched_dc_sweep,
+    batched_sweeps,
+    can_batch,
+)
 from repro.circuit.hierarchy import clone_element, flatten_instance_names, instantiate
 from repro.circuit.parser import (
     NetlistError,
@@ -71,6 +81,10 @@ from repro.circuit.waveform import Waveform
 
 __all__ = [
     "AcResult",
+    "BatchDcEngine",
+    "BatchMosfetGroup",
+    "BatchStamper",
+    "BatchUnsupportedError",
     "Capacitor",
     "Circuit",
     "ConvergenceError",
@@ -103,6 +117,10 @@ __all__ = [
     "VoltageSource",
     "Waveform",
     "ac_analysis",
+    "batch_engine",
+    "batched_dc_sweep",
+    "batched_sweeps",
+    "can_batch",
     "clone_element",
     "dc_operating_point",
     "flatten_instance_names",

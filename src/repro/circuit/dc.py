@@ -560,16 +560,37 @@ def dc_operating_point(circuit: Circuit,
 
 def dc_sweep(circuit: Circuit, source_name: str,
              values: Union[Sequence[float], np.ndarray],
-             options: Optional[NewtonOptions] = None) -> List[DcSolution]:
+             options: Optional[NewtonOptions] = None, *,
+             batch: Optional[bool] = None) -> List[DcSolution]:
     """Sweep an independent source and solve the OP at each value.
 
     Each solution seeds the next (continuation), so sweeps through
     strongly nonlinear regions stay convergent.  The source is restored
     to its original spec afterwards.
+
+    ``batch`` selects the solver path: ``True`` solves all sweep points
+    as lanes of one batched Newton ensemble
+    (:mod:`repro.circuit.batch` — answers agree with the scalar path
+    within Newton tolerance), ``False`` forces the scalar
+    point-by-point loop, and ``None`` (default) batches only inside an
+    enclosing :func:`~repro.circuit.batch.batched_sweeps` context.
+    Circuits the batched engine does not support (non-MOSFET nonlinear
+    elements) silently stay on the scalar path.
     """
     element = circuit[source_name]
     if not isinstance(element, (VoltageSource, CurrentSource)):
         raise TypeError(f"{source_name!r} is not an independent source")
+    from repro.circuit import batch as _batch  # deferred: cyclic import
+    if batch is None:
+        max_lanes = _batch.batched_sweep_lanes()
+    elif batch:
+        max_lanes = _batch.DEFAULT_MAX_LANES
+    else:
+        max_lanes = None
+    if max_lanes is not None and len(values) > 1 \
+            and _batch.can_batch(circuit):
+        return _batch.batched_dc_sweep(circuit, source_name, values,
+                                       options, max_lanes=max_lanes)
     from repro.circuit.elements import DcSpec  # local import to avoid cycle noise
 
     original_spec = element.spec

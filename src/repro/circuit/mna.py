@@ -28,7 +28,12 @@ except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
 
 
 class Stamper:
-    """Ground-aware dense MNA matrix/RHS accumulator."""
+    """Ground-aware dense MNA matrix/RHS accumulator.
+
+    Holds ONE system.  :class:`repro.circuit.batch.BatchStamper` is the
+    lane-axis mirror of this interface over ``(B, size, size)`` stacked
+    systems — keep their primitive semantics in sync.
+    """
 
     def __init__(self, size: int, dtype=float):
         if size <= 0:

@@ -665,6 +665,17 @@ class MosfetGroup:
         self._c0 = self._c0s * np.array([m.beta_effective for m in ms])
         self._lam = np.array([m.lambda_effective for m in ms])
 
+    def dynamic_arrays(self) -> Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        """``(vt0p, gamma, c0, lam)`` — the per-device folded parameters
+        that depend on variation/degradation (rebuilt by each
+        :meth:`refresh`).  These are exactly what differs between two
+        sampled dies of one topology, which is why the batched engine
+        (:class:`repro.circuit.batch.BatchMosfetGroup`) snapshots them
+        per lane while sharing every params-derived static constant.
+        The arrays are live references, not copies."""
+        return self._vt0p, self._gamma, self._c0, self._lam
+
     def stamp(self, st: Stamper, x: np.ndarray) -> None:
         """Stamp every channel's linearized companion model at guess ``x``."""
         xe = self._xe  # ground (index -1) reads the trailing 0

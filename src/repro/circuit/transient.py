@@ -112,6 +112,24 @@ class TransientResult:
         }
 
 
+def _validate_transient_args(t_stop: float, dt: float, method: str,
+                             max_step_halvings: int) -> None:
+    """Reject bad arguments before any solve work happens.
+
+    Shared by :func:`transient` (which validates *before* solving the
+    initial operating point, so argument errors never cost a DC solve)
+    and :func:`_transient_impl` (for direct callers).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if dt <= 0.0 or t_stop <= 0.0:
+        raise ValueError("t_stop and dt must be positive")
+    if dt > t_stop:
+        raise ValueError("dt exceeds t_stop")
+    if max_step_halvings < 0:
+        raise ValueError("max_step_halvings must be non-negative")
+
+
 def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
                     method: str = "trapezoidal",
                     initial_op: Optional[DcSolution] = None,
@@ -133,14 +151,7 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
     accuracy, not just by convergence.  ``lte_rtol=None`` (default)
     disables the accuracy check.
     """
-    if method not in _METHODS:
-        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
-    if dt <= 0.0 or t_stop <= 0.0:
-        raise ValueError("t_stop and dt must be positive")
-    if dt > t_stop:
-        raise ValueError("dt exceeds t_stop")
-    if max_step_halvings < 0:
-        raise ValueError("max_step_halvings must be non-negative")
+    _validate_transient_args(t_stop, dt, method, max_step_halvings)
 
     engine = dc_engine(circuit)
     size = engine.size
@@ -285,10 +296,19 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     With an active :mod:`repro.telemetry` session the integration is
     wrapped in a ``solve.transient`` span (step count, Newton
     iterations, step rejections, deepest halving) and feeds the
-    ``solver.transient.*`` metrics; the initial operating point and its
-    ladder telemetry nest beneath it.  Disabled, this adds a single
-    ContextVar read.
+    ``solver.transient.*`` metrics.  The initial operating point is
+    solved *before* the span opens, so its ``solve.dc`` span (and
+    ladder telemetry) appears as a sibling of ``solve.transient``, not
+    a child — phase reports attribute DC time to DC solving instead of
+    double-counting it inside the integration.  Disabled, this adds a
+    single ContextVar read.
     """
+    # Validate before the operating-point solve: bad arguments must not
+    # cost a DC solve, and must raise in the same order they did when
+    # the checks lived inside the integrator.
+    _validate_transient_args(t_stop, dt, method, max_step_halvings)
+    if initial_op is None:
+        initial_op = dc_operating_point(circuit, options=options)
     session = telemetry.active()
     if session is None:
         return _transient_impl(circuit, t_stop, dt, method, initial_op,

@@ -259,7 +259,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                 n_samples=args.samples, seed=args.seed, jobs=args.jobs,
                 backend=args.backend, retry=retry,
                 checkpoint=args.checkpoint, resume=args.resume,
-                progress=progress)
+                progress=progress, batch_size=args.batch_size)
         except RunInterrupted as exc:
             # SIGINT mid-run: the engine has already written the final
             # checkpoint; report the partial result and exit 130.
@@ -385,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker count (0 or -1 = all cores)")
     p_mc.add_argument("--backend", default="auto",
                       choices=("auto", "serial", "thread", "process"))
+    p_mc.add_argument("--batch-size", type=int, default=None, metavar="B",
+                      help="solve each die's DC sweep as lanes of one "
+                           "batched Newton ensemble (up to B points per "
+                           "solve); sampled variates and pass/fail "
+                           "verdicts are unchanged")
     p_mc.add_argument("--limit-mv", type=float, default=5.0,
                       help="offset spec window [mV]")
     p_mc.add_argument("--w-um", type=float, default=4.0,

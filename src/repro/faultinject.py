@@ -23,9 +23,10 @@ reproducible as a clean one.
 from __future__ import annotations
 
 import time
+import weakref
 from contextvars import ContextVar
 from dataclasses import replace
-from typing import Callable, Iterable, Optional, Set
+from typing import Callable, Iterable, Optional, Sequence, Set
 
 from repro import telemetry
 from repro.circuit.mosfet import Mosfet
@@ -129,6 +130,54 @@ def inject_stuck_parameter(circuit: Circuit, device_name: str,
         raise ValueError(f"unknown MOSFET parameter {parameter!r}")
     device.params = replace(device.params, **{parameter: value})
     _emit_injected("stuck-parameter", device=device_name, parameter=parameter)
+
+
+# ----------------------------------------------------------------------
+# Batched-solver faults
+# ----------------------------------------------------------------------
+#: Circuit → lane indices forced out of batched Newton (per batched
+#: solve), so the per-lane scalar-fallback path can be exercised with a
+#: perfectly healthy circuit.  Weak keys: a dropped circuit drops its
+#: injection.
+_BATCH_FALLBACK_LANES: "weakref.WeakKeyDictionary[Circuit, Set[int]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def force_batch_lane_fallback(circuit: Circuit,
+                              lanes: Iterable[int]) -> None:
+    """Force the given lane indices of every batched DC solve on
+    ``circuit`` onto the scalar fallback ladder.
+
+    Unlike :func:`force_nonconvergence` (which poisons a device and so
+    fails *every* path), this targets only the batched Newton loop: the
+    marked lanes are skipped by the masked iteration and re-solved
+    one-by-one through the ordinary convergence ladder — which succeeds,
+    because the circuit is healthy.  Lane indices count within each
+    batched solve (sweep point ``k`` of a slab is lane ``k``).
+    """
+    _BATCH_FALLBACK_LANES[circuit] = _as_set(lanes)
+    _emit_injected("batch-lane-fallback", lanes=sorted(_as_set(lanes)))
+
+
+def clear_batch_lane_fallback(circuit: Circuit) -> None:
+    """Remove a :func:`force_batch_lane_fallback` injection."""
+    _BATCH_FALLBACK_LANES.pop(circuit, None)
+
+
+def active_batch_fallback_lanes(circuit: Circuit,
+                                n_lanes: int) -> Sequence[int]:
+    """Forced-fallback lanes applicable to a solve of ``n_lanes`` lanes.
+
+    Called by the batched DC engine at the top of each batched solve;
+    emits a ``fault.activated`` trace event when the injection fires.
+    """
+    lanes = _BATCH_FALLBACK_LANES.get(circuit)
+    if not lanes:
+        return ()
+    hit = sorted(lane for lane in lanes if 0 <= lane < n_lanes)
+    if hit:
+        _emit_activated("batch-lane-fallback", None, lanes=hit)
+    return hit
 
 
 # ----------------------------------------------------------------------

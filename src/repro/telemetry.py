@@ -74,6 +74,9 @@ TIME_BUCKETS_S = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
 #: Default histogram buckets for Newton iteration counts.
 ITERATION_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128)
 
+#: Default histogram buckets for batched-solve lane counts.
+LANE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
 
 # ----------------------------------------------------------------------
 # Metrics registry

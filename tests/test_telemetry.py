@@ -275,10 +275,15 @@ class TestSolverTelemetry:
         span = next(r for r in sess.tracer.export_records()
                     if r["name"] == "solve.transient")
         assert span["attrs"]["steps"] > 0
-        # nested DC solve (the t=0 operating point) hangs off the span
+        # The t=0 operating point is solved BEFORE the transient span
+        # opens: its solve.dc span is a sibling, never a child, so
+        # phase reports don't double-count DC time inside the
+        # integration.
         dc_spans = [r for r in sess.tracer.export_records()
                     if r["name"] == "solve.dc"]
-        assert any(s["parent"] == span["id"] for s in dc_spans)
+        assert dc_spans
+        assert all(s["parent"] != span["id"] for s in dc_spans)
+        assert all(s["parent"] == span["parent"] for s in dc_spans)
 
 
 # ----------------------------------------------------------------------
