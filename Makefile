@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench check-regression perf
+.PHONY: test bench check-regression perf verify update-golden
 
 ## Tier-1: the full unit/integration suite (must stay green).
 test:
@@ -17,3 +17,13 @@ check-regression:
 
 ## Record a snapshot AND verify the trajectory in one go.
 perf: bench check-regression
+
+## Correctness gate: oracles + cross-path differential + golden diff
+## (see docs/verification.md).
+verify:
+	$(PYTHON) -m repro verify --report verify-report.txt
+
+## Regenerate the committed golden artifacts after an intentional
+## model/solver change (review the diff before committing!).
+update-golden:
+	$(PYTHON) -m repro verify --update-golden

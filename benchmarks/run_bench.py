@@ -131,12 +131,18 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
         with batched_sweeps():
             input_referred_offset_v(pair)
 
+    def verify_oracles():
+        from repro.verify import default_oracles, run_oracles
+
+        run_oracles(default_oracles())
+
     workloads = {
         "dc_operating_point": lambda: dc_operating_point(mirror.circuit),
         "transient_ring": lambda: transient(ring.circuit,
                                             t_stop=0.5e-9, dt=5e-12),
         "mc_yield_sample": mc_sample,
         "mc_yield_batched": mc_sample_batched,
+        "verify_oracles": verify_oracles,
     }
     breakdowns = {}
     for name, fn in workloads.items():

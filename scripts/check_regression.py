@@ -24,7 +24,15 @@ regressions is applied to speedup floors (effective floor =
 FACTOR / (1 + tolerance)).  A goal naming a benchmark absent from the
 candidate still fails — a gated bench must not silently disappear.
 
-Exit code 0 = trajectory healthy, 1 = regression (or missed goal).
+The check also validates the committed golden-artifact store (see
+``docs/verification.md``): when ``--goldens`` points at a directory
+containing a ``manifest.json``, every file the manifest references
+must exist — a manifest entry whose file vanished fails loudly instead
+of being silently skipped.  A repo without a goldens directory is
+noted and tolerated (pre-verification branches).
+
+Exit code 0 = trajectory healthy, 1 = regression (or missed goal, or a
+golden file referenced by the manifest is missing).
 """
 
 from __future__ import annotations
@@ -46,6 +54,41 @@ def load_snapshot(path: Path) -> dict:
     if "benchmarks" not in data:
         raise SystemExit(f"{path}: not a BENCH snapshot (no 'benchmarks')")
     return data
+
+
+def check_golden_store(goldens_dir: Path) -> list:
+    """Broken-reference findings for the golden store (empty = healthy).
+
+    A missing goldens directory is fine (nothing committed yet), but a
+    manifest that names a file which does not exist is a hard finding:
+    a half-deleted store would otherwise pass ``repro verify`` checks
+    for the experiments that remain.
+    """
+    manifest_path = goldens_dir / "manifest.json"
+    if not goldens_dir.is_dir() or not manifest_path.exists():
+        print(f"goldens: no manifest at {manifest_path} — skipping "
+              "golden-store validation")
+        return []
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as exc:
+        return [f"goldens: corrupt manifest {manifest_path}: {exc}"]
+    experiments = manifest.get("experiments")
+    if not isinstance(experiments, dict):
+        return [f"goldens: manifest {manifest_path} has no 'experiments' "
+                "mapping"]
+    findings = []
+    for exp_id, fname in sorted(experiments.items()):
+        if not (goldens_dir / fname).exists():
+            findings.append(
+                f"goldens: manifest references {fname} for {exp_id}, but "
+                f"{goldens_dir / fname} does not exist — restore it or "
+                "regenerate with `repro verify --update-golden`")
+    if not findings:
+        print(f"goldens: manifest OK ({len(experiments)} experiments, "
+              "all files present)")
+    return findings
 
 
 def parse_goals(pairs):
@@ -73,13 +116,24 @@ def main(argv=None) -> int:
                         metavar="NAME=FACTOR",
                         help="fail unless NAME is at least FACTOR times "
                              "faster than the baseline (repeatable)")
+    parser.add_argument("--goldens", type=Path,
+                        default=REPO_ROOT / "goldens",
+                        help="golden artifact directory to validate "
+                             "(default: <repo>/goldens)")
     args = parser.parse_args(argv)
+
+    golden_failures = check_golden_store(args.goldens)
 
     if args.baseline is None or args.candidate is None:
         snapshots = existing_snapshots(args.dir)
         if len(snapshots) < 2:
             print("fewer than two BENCH snapshots — nothing to compare "
                   "(run benchmarks/run_bench.py twice)")
+            if golden_failures:
+                print("\nFAIL:")
+                for failure in golden_failures:
+                    print(f"  - {failure}")
+                return 1
             return 0
         baseline_path = args.baseline or snapshots[-2][1]
         candidate_path = args.candidate or snapshots[-1][1]
@@ -140,6 +194,7 @@ def main(argv=None) -> int:
         failures.append(f"{name}: --require-speedup target not found "
                         "in the candidate snapshot")
 
+    failures.extend(golden_failures)
     if failures:
         print("\nFAIL:")
         for failure in failures:

@@ -16,6 +16,10 @@ Commands:
   chunk-granular checkpointing, per-sample retry/timeout, graceful
   degradation (see ``docs/robustness.md``), a live progress heartbeat
   on stderr and optional JSONL trace export (``docs/observability.md``);
+* ``verify [--goldens DIR] [--update-golden] [--quick]`` — the standing
+  correctness gate: differential checks of every solver path against
+  analytic oracles plus a tolerance-banded diff of the E1–E14 golden
+  artifacts (see ``docs/verification.md``);
 * ``trace <file>`` — summarise a JSONL trace written by ``mc --trace``:
   top time sinks, convergence-strategy breakdown, slowest and
   quarantined samples;
@@ -279,6 +283,55 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 2 if result.is_degraded else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.report import render_golden_drift, render_verification_report
+    from repro.verify import (
+        diff_goldens,
+        load_goldens,
+        run_differential,
+        run_experiments,
+        write_goldens,
+    )
+
+    sections: List[str] = []
+    failed = False
+    meta = {"command": "verify", "quick": args.quick,
+            "update_golden": args.update_golden}
+    with telemetry.session(meta=meta) as session:
+        if not args.skip_differential:
+            report = run_differential(quick=args.quick)
+            sections.append(render_verification_report(report))
+            failed = failed or not report.passed
+
+        results = run_experiments(include_slow=not args.quick)
+        if args.update_golden:
+            written = write_goldens(results, args.goldens)
+            sections.append(render_section(
+                "golden artifacts",
+                render_key_values(
+                    [("updated", len(written) - 1),
+                     ("manifest", written[-1])]
+                    + [(path.rsplit("/", 1)[-1], "written")
+                       for path in written[:-1]])))
+        else:
+            drifts = diff_goldens(results, load_goldens(args.goldens))
+            sections.append(render_golden_drift(drifts, args.goldens))
+            failed = failed or bool(drifts)
+
+        if args.trace:
+            count = session.write_trace(args.trace)
+            print(f"trace: {count} records -> {args.trace}",
+                  file=sys.stderr)
+
+    text = "\n".join(sections)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 2 if failed else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.report import render_trace_summary
@@ -416,6 +469,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--quiet", action="store_true",
                       help="suppress the stderr progress heartbeat")
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential verification against analytic oracles and "
+             "committed golden artifacts",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes:\n"
+               "  0    all checks pass and no golden drift\n"
+               "  2    a differential check failed or a golden "
+               "quantity drifted\n"
+               "  1    hard failure (missing/corrupt goldens, bad "
+               "arguments)\n")
+    p_verify.add_argument("--goldens", default="goldens", metavar="DIR",
+                          help="golden artifact directory "
+                               "(default: goldens)")
+    p_verify.add_argument("--update-golden", action="store_true",
+                          help="regenerate golden files from this run "
+                               "instead of diffing against them")
+    p_verify.add_argument("--quick", action="store_true",
+                          help="skip the slow experiment tier and the "
+                               "process-backend MC check")
+    p_verify.add_argument("--skip-differential", action="store_true",
+                          help="golden diff only (no oracle/cross-path "
+                               "checks)")
+    p_verify.add_argument("--report", default=None, metavar="FILE",
+                          help="also write the report text to FILE")
+    p_verify.add_argument("--trace", default=None, metavar="FILE",
+                          help="write a JSONL telemetry trace")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_trace = sub.add_parser(
         "trace", help="summarise a JSONL telemetry trace")

@@ -236,3 +236,63 @@ def render_trace_summary(trace, top: int = 8) -> str:
         sections.append(render_section("engine",
                                        render_key_values(engine)))
     return "\n".join(sections)
+
+
+def render_verification_report(report, max_rows: int = 12) -> str:
+    """Human-readable summary of a differential :class:`VerificationReport`.
+
+    Shows the verdict, every failure, and the tightest-margin check per
+    subject so a passing run still reveals how much headroom each
+    solver path has.
+    """
+    sections: List[str] = []
+    verdict = "PASS" if report.passed else "FAIL"
+    sections.append(render_section(
+        "differential verification",
+        render_key_values([
+            ("checks", report.n_checks),
+            ("failures", len(report.failures)),
+            ("verdict", verdict),
+        ])))
+
+    if report.failures:
+        rows = [[d.subject, d.path, d.quantity, d.reference, d.measured,
+                 d.error, d.bound]
+                for d in report.failures]
+        sections.append(render_section(
+            "failed checks",
+            render_table(["subject", "path", "quantity", "reference",
+                          "measured", "|error|", "bound"], rows)))
+
+    worst = sorted(report.worst_per_subject().items(),
+                   key=lambda kv: -kv[1].margin)[:max_rows]
+    if worst:
+        rows = [[subject, d.path, d.error, d.bound,
+                 f"{d.margin:.3g}" if d.bound else "-"]
+                for subject, d in worst]
+        sections.append(render_section(
+            "tightest margin per subject (|error| / bound)",
+            render_table(["subject", "path", "|error|", "bound",
+                          "margin"], rows)))
+    return "\n".join(sections)
+
+
+def render_golden_drift(drifts, goldens_dir: str) -> str:
+    """Drift report for ``repro verify`` against committed goldens.
+
+    Empty drift list renders a one-line clean verdict; otherwise every
+    drifted quantity is named with its golden value, fresh value and
+    the stored band it escaped.
+    """
+    if not drifts:
+        return render_section(
+            "golden artifacts",
+            render_key_values([("goldens", goldens_dir),
+                               ("verdict", "PASS (no drift)")]))
+    lines = [d.describe() for d in drifts]
+    body = render_key_values([
+        ("goldens", goldens_dir),
+        ("drifted", len(lines)),
+        ("verdict", "FAIL"),
+    ]) + "\n\n" + "\n".join("  " + line for line in lines)
+    return render_section("golden artifacts", body)

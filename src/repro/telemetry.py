@@ -11,7 +11,13 @@ observability layer the engines and solvers emit into:
   each span carrying structured attributes (sample index, convergence
   strategy, Newton iterations, worker identity, queue wait).  Span
   timestamps use the epoch clock so spans recorded in different
-  processes land on one comparable timeline.
+  processes land on one comparable timeline.  The verification gate
+  (:mod:`repro.verify`) emits its own family on the same seams —
+  ``verify.differential → verify.oracle / verify.corpus`` and
+  ``verify.experiments → verify.experiment`` — plus the
+  ``verify.checks`` / ``verify.failures`` counters, so a traced
+  ``repro verify --trace`` run is inspectable with ``repro trace``
+  exactly like an ``mc`` campaign.
 * **Metrics registry** — thread-safe counters, gauges and fixed-bucket
   histograms instrumented at the hot seams: Newton iterations per
   solve, DC-ladder strategy used, transient step rejections, matrix

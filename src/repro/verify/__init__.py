@@ -1,0 +1,58 @@
+"""Differential verification: analytic oracles, cross-path agreement
+checks, and golden paper-figure artifacts (the `repro verify` gate)."""
+
+from repro.verify.differential import (
+    BATCH_AGREEMENT_FACTORS,
+    Deviation,
+    VerificationReport,
+    batch_state_bound,
+    check_oracle,
+    run_corpus,
+    run_differential,
+    run_oracles,
+    ulp_diff,
+)
+from repro.verify.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    Quantity,
+    experiment_index,
+    run_experiments,
+)
+from repro.verify.golden import (
+    GOLDEN_SCHEMA,
+    GoldenDrift,
+    GoldenError,
+    diff_goldens,
+    load_goldens,
+    load_manifest,
+    write_goldens,
+)
+from repro.verify.oracles import Oracle, Tolerance, default_oracles
+
+__all__ = [
+    "BATCH_AGREEMENT_FACTORS",
+    "Deviation",
+    "VerificationReport",
+    "batch_state_bound",
+    "check_oracle",
+    "run_corpus",
+    "run_differential",
+    "run_oracles",
+    "ulp_diff",
+    "EXPERIMENTS",
+    "Experiment",
+    "Quantity",
+    "experiment_index",
+    "run_experiments",
+    "GOLDEN_SCHEMA",
+    "GoldenDrift",
+    "GoldenError",
+    "diff_goldens",
+    "load_goldens",
+    "load_manifest",
+    "write_goldens",
+    "Oracle",
+    "Tolerance",
+    "default_oracles",
+]

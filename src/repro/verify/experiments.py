@@ -1,0 +1,499 @@
+"""Golden-quantity functions for every EXPERIMENTS.md entry (E1–E14).
+
+Each experiment exposes a *cheap, deterministic* subset of the headline
+quantities its benchmark measures — small fixed seeds, reduced grids and
+shortened transients, so the whole registry runs in seconds while still
+pinning the physics every figure/equation claim rests on.  The values
+are NOT asserted against the paper here (the benches do that); they are
+snapshotted by ``repro verify --update-golden`` and diffed on every
+subsequent ``repro verify`` run within the per-quantity bands declared
+below.
+
+Band policy:
+
+* ``BAND_EXACT`` — pure closed-form arithmetic, seeded numpy sampling
+  and pure-array pipelines: 1e-9 relative (the numpy Generator stream
+  is stable across platforms by policy);
+* ``BAND_SOLVER`` — quantities that go through the MNA engine (Newton
+  iterates depend on the BLAS): 2e-3 relative, far below the ≥ 1 %
+  movement any genuine model/solver change produces;
+* statistical fits keep ``BAND_EXACT`` because their seeds are fixed.
+
+Experiments marked ``cost="slow"`` run transient/MC workloads (a few
+seconds each); ``repro verify --quick`` skips them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry, units
+from repro.verify.oracles import Tolerance
+
+BAND_EXACT = Tolerance(rtol=1e-9, atol=1e-12, note="deterministic")
+BAND_SOLVER = Tolerance(rtol=2e-3, atol=1e-12, note="MNA-path (BLAS-dependent)")
+
+#: Quantity name → (value, band); what every experiment function returns.
+Quantities = Dict[str, "Quantity"]
+
+
+class Quantity:
+    """A golden-tracked value with its drift band."""
+
+    __slots__ = ("value", "tol")
+
+    def __init__(self, value: float, tol: Tolerance = BAND_EXACT):
+        self.value = float(value)
+        self.tol = tol
+
+    def __repr__(self) -> str:
+        return f"Quantity({self.value:g}, {self.tol!r})"
+
+
+class Experiment:
+    """One EXPERIMENTS.md entry: id, title, cost tier and a compute fn."""
+
+    def __init__(self, exp_id: str, title: str, cost: str,
+                 compute: Callable[[], Quantities]):
+        if cost not in ("fast", "slow"):
+            raise ValueError(f"cost must be fast|slow, got {cost!r}")
+        self.id = exp_id
+        self.title = title
+        self.cost = cost
+        self.compute = compute
+
+    def run(self) -> Quantities:
+        with telemetry.span("verify.experiment", experiment=self.id,
+                            cost=self.cost):
+            return self.compute()
+
+
+# ----------------------------------------------------------------------
+# E1–E7, E11, E12: closed forms, samplers and array pipelines (fast)
+# ----------------------------------------------------------------------
+def _e1_avt_vs_tox() -> Quantities:
+    from repro.technology import get_node, modeled_avt, tuinhout_benchmark_avt
+    from repro.variability import decompose_avt
+
+    out = {}
+    for tox in (25.0, 2.6, 1.1):
+        out[f"avt_ratio_tox{tox:g}nm"] = Quantity(
+            modeled_avt(tox) / tuinhout_benchmark_avt(tox))
+    for name in ("350nm", "32nm"):
+        out[f"nonoxide_share_{name}"] = Quantity(
+            decompose_avt(get_node(name)).floor_fraction)
+    return out
+
+
+def _e2_pelgrom() -> Quantities:
+    from repro.technology import get_node
+    from repro.variability import MismatchSampler, PelgromModel
+
+    tech = get_node("90nm")
+    model = PelgromModel.for_technology(tech)
+    out = {
+        "sigma_1um2_v": Quantity(model.sigma_delta_vt_v(1e-6, 1e-6)),
+        "sigma_64um2_v": Quantity(model.sigma_delta_vt_v(8e-6, 8e-6)),
+        "sigma_d2mm_v": Quantity(model.sigma_delta_vt_v(1e-6, 1e-6, 2e-3)),
+    }
+    sampler = MismatchSampler(tech, np.random.default_rng(1))
+    draws = sampler.sample_pair_delta_vt_batch_v(1e-6, 1e-6, 1200)
+    out["sampled_over_analytic_1um2"] = Quantity(
+        float(np.std(draws, ddof=1)) / out["sigma_1um2_v"].value)
+    return out
+
+
+def _e3_iv_degradation() -> Quantities:
+    from repro.aging import DeviceStress, HciModel
+    from repro.aging.base import MechanismState
+    from repro.circuit import Mosfet
+    from repro.technology import get_node
+
+    tech = get_node("90nm")
+    device = Mosfet.from_technology("m1", "d", "g", "0", "0", tech, "n",
+                                    w_m=1e-6, l_m=tech.lmin_m)
+    fresh = device.drain_current(1.2, tech.vdd, 0.0)
+    hci = HciModel(tech.aging)
+    stress = DeviceStress.static(0.5 * 1.4 * tech.vdd, 1.4 * tech.vdd,
+                                 units.celsius_to_kelvin(125.0))
+    state = MechanismState()
+    hci.advance(device, stress, state, units.years_to_seconds(1.0))
+    hci.contribute(device, state)
+    device.degradation.delta_vt_v += 0.03
+    device.degradation.beta_factor *= 0.95
+    aged = device.drain_current(1.2, tech.vdd, 0.0)
+    return {
+        "hci_dvt_v": Quantity(state.delta_vt_v),
+        "fresh_isat_a": Quantity(fresh),
+        "aged_isat_a": Quantity(aged),
+        "isat_drop_frac": Quantity(1.0 - aged / fresh),
+    }
+
+
+def _e4_tddb() -> Quantities:
+    from repro.aging import BreakdownMode, TddbModel, weibit
+    from repro.technology import get_node
+
+    tech = get_node("90nm")
+    model = TddbModel(tech.aging)
+    eox = tech.nominal_oxide_field()
+    rng = np.random.default_rng(3)
+    samples = np.sort([model.sample_breakdown(rng, tech.tox_nm, eox, 1.0)
+                       .t_first_bd_s for _ in range(300)])
+    ranks = (np.arange(1, len(samples) + 1) - 0.3) / (len(samples) + 0.4)
+    slope = float(np.polyfit(np.log(samples),
+                             [weibit(r) for r in ranks], 1)[0])
+    return {
+        "weibull_slope_fit": Quantity(slope),
+        "model_shape": Quantity(tech.aging.tddb_weibull_shape),
+        "modes_tox6nm": Quantity(len(model.mode_sequence(6.0))),
+        "modes_tox4nm": Quantity(len(model.mode_sequence(4.0))),
+        "modes_tox2nm": Quantity(len(model.mode_sequence(2.0))),
+        "eta_nominal_s": Quantity(model.characteristic_life_s(eox, 1.0)),
+    }
+
+
+def _e5_hci() -> Quantities:
+    from repro.aging import HciModel
+    from repro.circuit import Mosfet
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    hci = HciModel(tech.aging)
+    ten_years = units.years_to_seconds(10.0)
+    vgs_wc = tech.vdd / 2.0
+
+    def device(polarity, l_factor=1.0):
+        return Mosfet.from_technology("m", "d", "g", "s", "b", tech,
+                                      polarity, w_m=1e-6,
+                                      l_m=l_factor * tech.lmin_m)
+
+    nmos, pmos = device("n"), device("p")
+    long_n = device("n", 10.0)
+    d_n = hci.delta_vt_v(nmos, vgs_wc, tech.vdd, 300.0, ten_years)
+    return {
+        "nmos_10yr_dvt_v": Quantity(d_n),
+        "pmos_over_nmos": Quantity(
+            hci.delta_vt_v(pmos, vgs_wc, tech.vdd, 300.0, ten_years) / d_n),
+        "long_channel_over_min": Quantity(
+            hci.delta_vt_v(long_n, vgs_wc, tech.vdd, 300.0, ten_years) / d_n),
+        "vds_acceleration": Quantity(
+            hci.delta_vt_v(nmos, vgs_wc, 1.5, 300.0, 1e6)
+            / hci.delta_vt_v(nmos, vgs_wc, 0.7, 300.0, 1e6)),
+        "time_exponent": Quantity(tech.aging.hci_time_exponent),
+    }
+
+
+def _e6_nbti() -> Quantities:
+    from repro.aging import NbtiModel
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    nbti = NbtiModel(tech.aging)
+    eox = tech.nominal_oxide_field()
+    t_hot = units.celsius_to_kelvin(125.0)
+    ten_years = units.years_to_seconds(10.0)
+    total = nbti.delta_vt_v(eox, t_hot, 1e3)
+    return {
+        "dvt_10yr_v": Quantity(nbti.delta_vt_v(eox, t_hot, ten_years)),
+        "remaining_1us": Quantity(
+            nbti.relaxed_delta_vt_v(total, 1e3, 1e-6) / total),
+        "remaining_1e5s": Quantity(
+            nbti.relaxed_delta_vt_v(total, 1e3, 1e5) / total),
+        "ac50_over_dc": Quantity(
+            nbti.delta_vt_v(eox, t_hot, 1e6, duty=0.5)
+            / nbti.delta_vt_v(eox, t_hot, 1e6)),
+        "time_exponent": Quantity(tech.aging.nbti_time_exponent),
+    }
+
+
+def _e7_em() -> Quantities:
+    from repro.aging import ElectromigrationModel, WireSegment
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    em = ElectromigrationModel(tech.aging)
+    hot = units.celsius_to_kelvin(105.0)
+    year = units.years_to_seconds(1.0)
+    out = {}
+    for j_ma in (0.5, 1.0, 2.0):
+        out[f"mttf_{j_ma:g}ma_cm2_yr"] = Quantity(
+            em.black_mttf_s(j_ma * 1e10, hot) / year)
+    out["temp_accel_27_125"] = Quantity(
+        em.black_mttf_s(1e10, units.celsius_to_kelvin(27.0))
+        / em.black_mttf_s(1e10, units.celsius_to_kelvin(125.0)))
+    # J = 1e9 A/m² on a 0.2×0.2 µm wire: J·L crosses the Blech product
+    # (2e5 A/m) between 10 µm and 1000 µm.
+    current_a = 1e9 * 0.2e-6 * 0.2e-6
+    short = WireSegment("w", "a", "b", 0.2e-6, 10e-6, 0.2e-6)
+    long = WireSegment("w", "a", "b", 0.2e-6, 1000e-6, 0.2e-6)
+    out["blech_immune_10um"] = Quantity(
+        float(em.is_blech_immune(short, current_a)))
+    out["blech_immune_1000um"] = Quantity(
+        float(em.is_blech_immune(long, current_a)))
+    return out
+
+
+def _e11_ler() -> Quantities:
+    from repro.technology import get_node
+    from repro.variability import LerModel, PelgromModel
+
+    out = {}
+    tech65 = get_node("65nm")
+    ler = LerModel.for_technology(tech65)
+    w = 0.5e-6
+    out["sigma_lmin_over_8lmin"] = Quantity(
+        ler.sigma_vt_v(w, tech65.lmin_m) / ler.sigma_vt_v(w, 8 * tech65.lmin_m))
+    for name in ("350nm", "65nm", "32nm"):
+        tech = get_node(name)
+        lm = LerModel.for_technology(tech)
+        pm = PelgromModel.for_technology(tech)
+        s_l = lm.sigma_vt_v(4 * tech.wmin_m, tech.lmin_m)
+        s_p = pm.sigma_single_vt_v(4 * tech.wmin_m, tech.lmin_m)
+        out[f"ler_share_{name}"] = Quantity(s_l / math.hypot(s_p, s_l))
+    return out
+
+
+def _e12_ablations() -> Quantities:
+    from repro.aging import ElectromigrationModel, NbtiModel, WireSegment
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    nbti = NbtiModel(tech.aging)
+    eox = tech.nominal_oxide_field()
+    t_hot = units.celsius_to_kelvin(125.0)
+    day = 86400.0
+    total = nbti.delta_vt_v(eox, t_hot, day)
+    rested = nbti.relaxed_delta_vt_v(total, day, day)
+    em = ElectromigrationModel(tech.aging)
+    # Two wires at identical J = 1 MA/cm²: a via-terminated spine vs a
+    # sub-grain-width bamboo wire — naive Black cannot tell them apart.
+    hot = units.celsius_to_kelvin(105.0)
+    spine = WireSegment("spine", "a", "b", 1e-6, 200e-6, 0.2e-6,
+                        has_via=True)
+    bamboo = WireSegment("bamboo", "a", "b", 0.1e-6, 200e-6, 0.2e-6)
+    j = 1e10
+    return {
+        "norelax_over_relax_1day": Quantity(total / rested),
+        "em_corrected_spread": Quantity(
+            em.segment_mttf_s(bamboo, j * bamboo.cross_section_m2, hot)
+            / em.segment_mttf_s(spine, j * spine.cross_section_m2, hot)),
+        "analytic_4sigma_tail": Quantity(math.erfc(4.0 / math.sqrt(2.0))),
+    }
+
+
+# ----------------------------------------------------------------------
+# E9: DAC calibration (fast — pure array pipeline)
+# ----------------------------------------------------------------------
+def _e9_dac() -> Quantities:
+    from repro.solutions import (
+        CurrentSteeringDac,
+        DacConfig,
+        area_tradeoff,
+        calibrate,
+        intrinsic_sigma_for_inl,
+    )
+    from repro.technology import get_node
+
+    config = DacConfig(n_bits=14, n_unary_bits=6)
+    intrinsic = intrinsic_sigma_for_inl(config)
+    dac = CurrentSteeringDac(config, 3.0 * intrinsic,
+                             np.random.default_rng(9))
+    result = calibrate(dac)
+    trade = area_tradeoff(config, get_node("90nm"), n_samples=60, seed=0)
+    return {
+        "intrinsic_sigma": Quantity(intrinsic),
+        "inl_before_lsb": Quantity(result.inl_before_lsb),
+        "inl_after_lsb": Quantity(result.inl_after_lsb),
+        "area_ratio": Quantity(trade.area_ratio),
+    }
+
+
+# ----------------------------------------------------------------------
+# E8, E10, E13, E14: MNA-backed (slow tier)
+# ----------------------------------------------------------------------
+def _e8_emc() -> Quantities:
+    from repro.circuits import filtered_current_reference, resistor_divider_bias
+    from repro.core import EmcAnalyzer
+    from repro.emc import add_dpi_injection
+    from repro.technology import get_node
+
+    tech = get_node("90nm")
+    fx = filtered_current_reference(tech, filtered=True)
+    injection = add_dpi_injection(fx.circuit, fx.nodes["diode"],
+                                  coupling_c_f=500e-15)
+    analyzer = EmcAnalyzer(fx.circuit, injection,
+                           lambda r: -r.source_current("vout"),
+                           n_periods=8, samples_per_period=24,
+                           settle_periods=3)
+    nominal = analyzer.nominal_value()
+    shift = analyzer.measure_point(0.4, 50e6, nominal).relative_shift
+
+    div = resistor_divider_bias(tech)
+    inj = add_dpi_injection(div.circuit, "mid", coupling_c_f=500e-15)
+    linear = EmcAnalyzer(div.circuit, inj, lambda r: r.voltage("mid"),
+                         n_periods=8, samples_per_period=24,
+                         settle_periods=3)
+    linear_shift = linear.measure_point(
+        0.4, 50e6, linear.nominal_value()).relative_shift
+    return {
+        "iout_nominal_a": Quantity(nominal, BAND_SOLVER),
+        "rel_shift_0v4_50mhz": Quantity(shift, BAND_SOLVER),
+        "linear_victim_shift": Quantity(linear_shift,
+                                        Tolerance(rtol=2e-3, atol=1e-5)),
+    }
+
+
+def _ring_frequency(circuit) -> float:
+    from repro.circuit import transient
+
+    result = transient(circuit, t_stop=1.0e-9, dt=4e-12)
+    return result.voltage("s0").dominant_frequency()
+
+
+def _e10_knobs() -> Quantities:
+    from repro.aging import NbtiModel
+    from repro.circuits import ring_oscillator
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    fx = ring_oscillator(tech, n_stages=3)
+    fresh = _ring_frequency(fx.circuit)
+    nbti = NbtiModel(tech.aging)
+    dvt = nbti.delta_vt_v(tech.nominal_oxide_field(),
+                          units.celsius_to_kelvin(105.0),
+                          units.years_to_seconds(10.0), duty=0.5)
+    pmos = [m for m in fx.circuit.mosfets if m.params.polarity == "p"]
+    for device in pmos:
+        device.degradation.delta_vt_v += dvt
+    try:
+        aged = _ring_frequency(fx.circuit)
+    finally:
+        for device in pmos:
+            device.degradation.delta_vt_v -= dvt
+    return {
+        "fresh_freq_hz": Quantity(fresh, BAND_SOLVER),
+        "aged_freq_hz": Quantity(aged, BAND_SOLVER),
+        "freq_drop_frac": Quantity(1.0 - aged / fresh,
+                                   Tolerance(rtol=5e-2, atol=1e-4)),
+        "nbti_10yr_dvt_v": Quantity(dvt),
+    }
+
+
+def _e13_guardband() -> Quantities:
+    from repro.aging import HciModel, NbtiModel
+    from repro.circuit import dc_operating_point
+    from repro.circuits import simple_current_mirror
+    from repro.core import MissionProfile, guardband_analysis
+    from repro.technology import get_node
+
+    def iout(fixture):
+        return -dc_operating_point(fixture.circuit).source_current("vout")
+
+    out = {}
+    for name in ("180nm", "45nm"):
+        tech = get_node(name)
+        fx = simple_current_mirror(tech, w_m=4 * tech.wmin_m,
+                                   l_m=tech.lmin_m, v_out_v=0.9 * tech.vdd)
+        report = guardband_analysis(
+            fx, iout, tech,
+            mechanisms=[NbtiModel(tech.aging), HciModel(tech.aging)],
+            profile=MissionProfile(n_epochs=2), n_mc_samples=16,
+            sigma_level=3.0, seed=7)
+        out[f"guardband_{name}"] = Quantity(report.total_fraction,
+                                            BAND_SOLVER)
+        out[f"overdesign_{name}"] = Quantity(
+            report.design_target / report.nominal, BAND_SOLVER)
+    return out
+
+
+def _e14_timing() -> Quantities:
+    from repro.aging import NbtiModel
+    from repro.circuits import inverter
+    from repro.digitalflow import TimingGraph, characterize_cell, path_derate
+    from repro.technology import get_node
+
+    tech = get_node("65nm")
+    fx = inverter(tech, load_c_f=2e-15)
+    slews, loads = [20e-12, 80e-12], [1e-15, 6e-15]
+    fresh = characterize_cell(fx, tech, slews, loads, rising_input=False)
+    nbti = NbtiModel(tech.aging)
+    dvt = nbti.delta_vt_v(tech.nominal_oxide_field(),
+                          units.celsius_to_kelvin(105.0),
+                          units.years_to_seconds(10.0), duty=0.5)
+    pmos = fx.circuit["mp_inv"]
+    pmos.degradation.delta_vt_v += dvt
+    try:
+        aged = characterize_cell(fx, tech, slews, loads, rising_input=False)
+    finally:
+        pmos.degradation.delta_vt_v -= dvt
+
+    def chain(table, n=5):
+        graph = TimingGraph()
+        graph.add_input("a", slew_s=30e-12)
+        prev = "a"
+        for k in range(n):
+            graph.add_cell(f"u{k}", table, inputs=[prev], output=f"n{k}")
+            prev = f"n{k}"
+        graph.add_output(prev, load_f=4e-15)
+        return graph
+
+    graph_fresh = chain(fresh)
+    graph_aged = graph_fresh.with_tables({f"u{k}": aged for k in range(5)})
+    return {
+        "fresh_path_s": Quantity(graph_fresh.critical_path()[0],
+                                 BAND_SOLVER),
+        "aged_path_s": Quantity(graph_aged.critical_path()[0], BAND_SOLVER),
+        "path_derate": Quantity(path_derate(graph_fresh, graph_aged),
+                                Tolerance(rtol=5e-3, atol=1e-6)),
+        "pmos_dvt_v": Quantity(dvt),
+    }
+
+
+#: The registry, in EXPERIMENTS.md order.
+EXPERIMENTS: List[Experiment] = [
+    Experiment("E1", "Fig 1: A_VT vs gate-oxide thickness", "fast",
+               _e1_avt_vs_tox),
+    Experiment("E2", "Eq 1: Pelgrom mismatch law", "fast", _e2_pelgrom),
+    Experiment("E3", "Fig 2: fresh vs degraded I-V", "fast",
+               _e3_iv_degradation),
+    Experiment("E4", "S3.1: TDDB Weibull statistics", "fast", _e4_tddb),
+    Experiment("E5", "Eq 2: HCI dVT", "fast", _e5_hci),
+    Experiment("E6", "Eq 3: NBTI dVT and relaxation", "fast", _e6_nbti),
+    Experiment("E7", "Eq 4: electromigration", "fast", _e7_em),
+    Experiment("E8", "Figs 3-4: EMI rectification", "slow", _e8_emc),
+    Experiment("E9", "Fig 5 / S5.1: SSPA-calibrated DAC", "fast", _e9_dac),
+    Experiment("E10", "Fig 6 / S5.2: knobs and monitors", "slow",
+               _e10_knobs),
+    Experiment("E11", "S2: line-edge roughness", "fast", _e11_ler),
+    Experiment("E12", "Ablations (DESIGN.md S6)", "fast", _e12_ablations),
+    Experiment("E13", "S5: over-design penalty", "slow", _e13_guardband),
+    Experiment("E14", "S2/S3.2: digital timing", "slow", _e14_timing),
+]
+
+
+def experiment_index() -> Dict[str, Experiment]:
+    return {e.id: e for e in EXPERIMENTS}
+
+
+def run_experiments(include_slow: bool = True,
+                    ids: Optional[List[str]] = None
+                    ) -> Dict[str, Quantities]:
+    """Run the registry (optionally the fast tier only) in order."""
+    index = experiment_index()
+    if ids is not None:
+        unknown = [i for i in ids if i not in index]
+        if unknown:
+            raise KeyError(f"unknown experiment ids: {unknown}")
+    results: Dict[str, Quantities] = {}
+    with telemetry.span("verify.experiments", include_slow=include_slow):
+        for exp in EXPERIMENTS:
+            if ids is not None and exp.id not in ids:
+                continue
+            if exp.cost == "slow" and not include_slow:
+                continue
+            results[exp.id] = exp.run()
+    return results

@@ -1,0 +1,232 @@
+"""Golden artifact store: tolerance-banded snapshots of E1–E14 results.
+
+Layout under the goldens directory (committed to the repo)::
+
+    goldens/
+      manifest.json     {"schema": 1, "experiments": {"E1": "E1.json", ...}}
+      E1.json           {"schema": 1, "id": "E1", "title": ..., "cost": ...,
+                         "quantities": {"name": {"value": v, "tol": {...}}}}
+
+``repro verify --update-golden`` rewrites the files from a fresh run
+(merging, so ``--quick`` refreshes only the fast tier and keeps the
+committed slow-tier entries); plain ``repro verify`` recomputes and
+diffs within each quantity's *stored* band, so tolerance policy is
+versioned together with the values it protects.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.verify.experiments import EXPERIMENTS, Quantities, Quantity
+from repro.verify.oracles import Tolerance
+
+GOLDEN_SCHEMA = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class GoldenError(ValueError):
+    """Malformed or incomplete golden store (corrupt JSON, bad schema,
+    manifest pointing at missing files)."""
+
+
+class GoldenDrift:
+    """One divergence between a fresh run and the committed goldens."""
+
+    #: kinds, in decreasing severity
+    DRIFT = "drift"
+    MISSING_EXPERIMENT = "missing-experiment"
+    MISSING_QUANTITY = "missing-quantity"
+    NEW_QUANTITY = "new-quantity"
+
+    __slots__ = ("kind", "experiment", "quantity", "golden", "measured",
+                 "bound")
+
+    def __init__(self, kind: str, experiment: str, quantity: str = "",
+                 golden: float = math.nan, measured: float = math.nan,
+                 bound: float = math.nan):
+        self.kind = kind
+        self.experiment = experiment
+        self.quantity = quantity
+        self.golden = golden
+        self.measured = measured
+        self.bound = bound
+
+    @property
+    def error(self) -> float:
+        return abs(self.measured - self.golden)
+
+    def describe(self) -> str:
+        where = (f"{self.experiment}.{self.quantity}" if self.quantity
+                 else self.experiment)
+        if self.kind == self.DRIFT:
+            return (f"{where}: golden {self.golden:.9g} vs measured "
+                    f"{self.measured:.9g} (|err| {self.error:.3g} "
+                    f"> bound {self.bound:.3g})")
+        if self.kind == self.MISSING_EXPERIMENT:
+            return f"{where}: experiment has no committed golden"
+        if self.kind == self.MISSING_QUANTITY:
+            return f"{where}: golden quantity no longer produced"
+        return f"{where}: new quantity not in goldens (run --update-golden)"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind,
+                                  "experiment": self.experiment}
+        if self.quantity:
+            out["quantity"] = self.quantity
+        if not math.isnan(self.golden):
+            out.update(golden=self.golden, measured=self.measured,
+                       bound=self.bound)
+        return out
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _experiment_payload(exp_id: str, quantities: Quantities) -> dict:
+    index = {e.id: e for e in EXPERIMENTS}
+    exp = index.get(exp_id)
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "id": exp_id,
+        "title": exp.title if exp else "",
+        "cost": exp.cost if exp else "fast",
+        "quantities": {
+            name: {"value": q.value, "tol": q.tol.to_dict()}
+            for name, q in sorted(quantities.items())
+        },
+    }
+
+
+def write_goldens(results: Dict[str, Quantities], directory: str) -> List[str]:
+    """Write/refresh golden files for ``results``; returns written paths.
+
+    Merge semantics: experiments already in the manifest but absent from
+    ``results`` (e.g. the slow tier under ``--quick``) keep their files
+    and manifest entries untouched.
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    experiments: Dict[str, str] = {}
+    if os.path.exists(manifest_path):
+        experiments = dict(load_manifest(directory))
+    written = []
+    for exp_id, quantities in results.items():
+        fname = f"{exp_id}.json"
+        path = os.path.join(directory, fname)
+        _atomic_write_json(path, _experiment_payload(exp_id, quantities))
+        experiments[exp_id] = fname
+        written.append(path)
+    _atomic_write_json(manifest_path, {
+        "schema": GOLDEN_SCHEMA,
+        "experiments": dict(sorted(experiments.items())),
+    })
+    written.append(manifest_path)
+    return written
+
+
+def load_manifest(directory: str) -> Dict[str, str]:
+    """``{experiment id: file name}`` from ``manifest.json``."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise GoldenError(
+            f"no golden manifest at {manifest_path}; "
+            f"generate one with `repro verify --update-golden`")
+    try:
+        with open(manifest_path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise GoldenError(f"corrupt golden manifest {manifest_path}: {exc}")
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise GoldenError(
+            f"golden manifest {manifest_path} has schema "
+            f"{payload.get('schema')!r}, expected {GOLDEN_SCHEMA}")
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, dict):
+        raise GoldenError(f"golden manifest {manifest_path} has no "
+                          f"'experiments' mapping")
+    return experiments
+
+
+def load_goldens(directory: str) -> Dict[str, Quantities]:
+    """All golden quantities keyed by experiment id.
+
+    Raises :class:`GoldenError` when the manifest references a file that
+    does not exist — a silently-dropped artifact must fail loudly.
+    """
+    out: Dict[str, Quantities] = {}
+    for exp_id, fname in load_manifest(directory).items():
+        path = os.path.join(directory, fname)
+        if not os.path.exists(path):
+            raise GoldenError(
+                f"golden manifest references {fname} for {exp_id}, "
+                f"but {path} does not exist")
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GoldenError(f"corrupt golden file {path}: {exc}")
+        if payload.get("schema") != GOLDEN_SCHEMA:
+            raise GoldenError(f"golden file {path} has schema "
+                              f"{payload.get('schema')!r}, expected "
+                              f"{GOLDEN_SCHEMA}")
+        quantities: Quantities = {}
+        for name, entry in payload.get("quantities", {}).items():
+            quantities[name] = Quantity(
+                float(entry["value"]), Tolerance.from_dict(entry["tol"]))
+        out[exp_id] = quantities
+    return out
+
+
+def diff_goldens(results: Dict[str, Quantities],
+                 goldens: Dict[str, Quantities],
+                 ids: Optional[List[str]] = None) -> List[GoldenDrift]:
+    """Compare a fresh run against loaded goldens within stored bands.
+
+    Only experiments present in ``results`` are compared (a ``--quick``
+    run must not flag the skipped slow tier), unless ``ids`` names a
+    subset explicitly.
+    """
+    drifts: List[GoldenDrift] = []
+    for exp_id in sorted(results):
+        if ids is not None and exp_id not in ids:
+            continue
+        fresh = results[exp_id]
+        if exp_id not in goldens:
+            drifts.append(GoldenDrift(GoldenDrift.MISSING_EXPERIMENT, exp_id))
+            continue
+        stored = goldens[exp_id]
+        for name in sorted(set(fresh) | set(stored)):
+            if name not in fresh:
+                drifts.append(GoldenDrift(
+                    GoldenDrift.MISSING_QUANTITY, exp_id, name,
+                    golden=stored[name].value))
+                continue
+            if name not in stored:
+                drifts.append(GoldenDrift(
+                    GoldenDrift.NEW_QUANTITY, exp_id, name,
+                    measured=fresh[name].value))
+                continue
+            ref = stored[name]
+            bound = ref.tol.bound(ref.value)
+            err = abs(fresh[name].value - ref.value)
+            if not err <= bound:  # catches NaN too
+                drifts.append(GoldenDrift(
+                    GoldenDrift.DRIFT, exp_id, name, golden=ref.value,
+                    measured=fresh[name].value, bound=bound))
+    return drifts

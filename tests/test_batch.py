@@ -2,10 +2,14 @@
 
 The contract under test: batched and scalar solves iterate to the same
 fixed point with the same stopping criterion, so their answers agree
-within (a small multiple of) the Newton tolerance — across the circuits
+within a small multiple of the Newton tolerance — across the circuits
 library, under forced lane fallback, in dies-as-lanes per-lane mode,
 and end-to-end through ``MonteCarloYield(batch_size=)`` on every
-backend.
+backend.  The multiple is no longer a blanket 10x: each circuit class
+carries the measured factor documented in
+``repro.verify.differential.BATCH_AGREEMENT_FACTORS`` (worst observed
+gaps are ~1e-6x the criterion — see docs/verification.md), so a real
+divergence between the paths can no longer hide under a loose bound.
 """
 
 import numpy as np
@@ -33,26 +37,30 @@ from repro.circuits import (
 )
 from repro.core import MonteCarloYield, Specification
 from repro.variability.sampler import MismatchSampler
+from repro.verify.differential import BATCH_AGREEMENT_FACTORS, batch_state_bound
 
-#: ISSUE acceptance bar: batched == scalar within 10x Newton tolerance.
-_TOL_FACTOR = 10.0
-
-
-def _assert_states_close(x_batch, x_scalar, options=None):
-    """Per-unknown |Δx| ≤ 10·(vtol + reltol·scale) — the solver's own
-    convergence criterion, relaxed by the agreed factor."""
-    opts = options if options is not None else NewtonOptions()
-    scale = np.maximum(np.abs(x_scalar), 1.0)
-    limit = _TOL_FACTOR * (opts.vtol + opts.reltol * scale)
-    np.testing.assert_array_less(np.abs(x_batch - x_scalar), limit)
+#: Dies-as-lanes / forced-fallback paths re-enter the scalar ladder from
+#: a pilot-seeded start, so they get the differential pair's sweep
+#: factor with the same measured headroom (worst observed ~4e-6x).
+_LANE_FACTOR = BATCH_AGREEMENT_FACTORS["differential_pair"]
 
 
-def _compare_sweep(circuit, source, values):
+def _assert_states_close(x_batch, x_scalar, factor, options=None):
+    """Per-unknown |Δx| ≤ factor·(vtol + reltol·scale) — the solver's
+    own convergence criterion scaled by the documented per-class
+    factor."""
+    limit = batch_state_bound(x_scalar, factor, options)
+    np.testing.assert_array_less(np.abs(np.asarray(x_batch) - x_scalar),
+                                 limit)
+
+
+def _compare_sweep(circuit, source, values, class_key):
+    factor = BATCH_AGREEMENT_FACTORS[class_key]
     scalar = dc_sweep(circuit, source, values, batch=False)
     batched = dc_sweep(circuit, source, values, batch=True)
     assert len(scalar) == len(batched) == len(values)
     for sol_b, sol_s in zip(batched, scalar):
-        _assert_states_close(sol_b.x, sol_s.x)
+        _assert_states_close(sol_b.x, sol_s.x, factor)
 
 
 # ----------------------------------------------------------------------
@@ -63,30 +71,34 @@ class TestBatchedSweepCorpus:
         fx = differential_pair(tech90)
         vcm = fx.circuit["vinp"].spec.dc_value()
         _compare_sweep(fx.circuit, "vinp",
-                       np.linspace(vcm - 0.2, vcm + 0.2, 41))
+                       np.linspace(vcm - 0.2, vcm + 0.2, 41),
+                       "differential_pair")
 
     def test_five_transistor_ota(self, tech90):
         fx = five_transistor_ota(tech90)
         vcm = fx.circuit["vinp"].spec.dc_value()
         _compare_sweep(fx.circuit, "vinp",
-                       np.linspace(vcm - 0.1, vcm + 0.1, 21))
+                       np.linspace(vcm - 0.1, vcm + 0.1, 21),
+                       "five_transistor_ota")
 
     def test_simple_current_mirror(self, tech90):
         fx = simple_current_mirror(tech90)
         _compare_sweep(fx.circuit, "vout",
-                       np.linspace(0.05, tech90.vdd, 33))
+                       np.linspace(0.05, tech90.vdd, 33),
+                       "simple_current_mirror")
 
     def test_inverter_full_vtc(self, tech90):
         # The full VTC crosses the high-gain transition region — the
         # hardest stretch for a shared pilot seed.
         fx = inverter(tech90)
         _compare_sweep(fx.circuit, "vin",
-                       np.linspace(0.0, tech90.vdd, 41))
+                       np.linspace(0.0, tech90.vdd, 41), "inverter_vtc")
 
     def test_beta_multiplier_supply_sweep(self, tech90):
         fx = beta_multiplier_reference(tech90)
         _compare_sweep(fx.circuit, "vdd",
-                       np.linspace(0.8 * tech90.vdd, 1.1 * tech90.vdd, 13))
+                       np.linspace(0.8 * tech90.vdd, 1.1 * tech90.vdd, 13),
+                       "beta_multiplier_reference")
 
     def test_multiple_slabs(self, tech90):
         # More points than max_lanes → several slabs with x-carry.
@@ -96,7 +108,8 @@ class TestBatchedSweepCorpus:
         from repro.circuit import batched_dc_sweep
         batched = batched_dc_sweep(fx.circuit, "vin", values, max_lanes=8)
         for sol_b, sol_s in zip(batched, scalar):
-            _assert_states_close(sol_b.x, sol_s.x)
+            _assert_states_close(sol_b.x, sol_s.x,
+                                 BATCH_AGREEMENT_FACTORS["inverter_vtc"])
 
     def test_single_point_stays_scalar(self, tech90):
         fx = inverter(tech90)
@@ -113,7 +126,8 @@ class TestBatchedSweepCorpus:
         from repro.technology import get_node
 
         fx = inverter(get_node("90nm"))
-        _compare_sweep(fx.circuit, "vin", np.linspace(start, start + span, n))
+        _compare_sweep(fx.circuit, "vin",
+                       np.linspace(start, start + span, n), "inverter_vtc")
 
 
 # ----------------------------------------------------------------------
@@ -190,7 +204,7 @@ class TestLaneFallback:
             assert span["attrs"]["fallback_lanes"] == 2
             # Ladder-solved lanes obey the same agreement contract.
             for sol_b, sol_s in zip(batched, scalar):
-                _assert_states_close(sol_b.x, sol_s.x)
+                _assert_states_close(sol_b.x, sol_s.x, _LANE_FACTOR)
         finally:
             faultinject.clear_batch_lane_fallback(fx.circuit)
 
@@ -237,7 +251,7 @@ class TestDiesAsLanes:
             for m in fx.circuit.mosfets:
                 m.variation = dies[lane][m.name]
             reference = dc_operating_point(fx.circuit)
-            _assert_states_close(X[lane], reference.x, opts)
+            _assert_states_close(X[lane], reference.x, _LANE_FACTOR, opts)
 
     def test_params_object_swap_raises(self, tech90):
         from dataclasses import replace

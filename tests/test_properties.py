@@ -257,6 +257,71 @@ class TestSpectrumProperties:
         assert np.all(amps[1:] < 1e-9)
 
 
+class TestOracleProperties:
+    """Solver-vs-analytic error stays inside the documented bands over
+    randomly drawn oracle parameters (see docs/verification.md)."""
+
+    @given(n_rungs=st.integers(2, 8),
+           r_ohms=st.floats(10.0, 1e6),
+           vdd=st.floats(0.5, 5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ladder_within_band_for_any_geometry(self, n_rungs, r_ohms,
+                                                 vdd):
+        from repro.verify import check_oracle
+        from repro.verify.oracles import ResistiveLadderOracle
+
+        oracle = ResistiveLadderOracle(n_rungs=n_rungs, r_ohms=r_ohms,
+                                       vdd_v=vdd)
+        for dev in check_oracle(oracle):
+            assert dev.passed, (f"{dev.path}:{dev.quantity} "
+                                f"err={dev.error:.3g} bound={dev.bound:.3g}")
+
+    @given(region=st.sampled_from(["subthreshold", "triode", "saturation"]),
+           w_factor=st.floats(1.0, 40.0),
+           tech_name=st.sampled_from(["180nm", "90nm", "65nm"]))
+    @settings(max_examples=12, deadline=None)
+    def test_mosfet_op_within_newton_band(self, region, w_factor,
+                                          tech_name):
+        from repro.verify import check_oracle
+        from repro.verify.oracles import MosfetRegionOracle
+
+        tech = get_node(tech_name)
+        oracle = MosfetRegionOracle(region, tech_name=tech_name,
+                                    w_m=w_factor * tech.wmin_m)
+        for dev in check_oracle(oracle, paths=["dc.scalar"]):
+            assert dev.passed, (f"{dev.quantity} err={dev.error:.3g} "
+                                f"bound={dev.bound:.3g}")
+
+    @given(r_ohms=st.floats(100.0, 1e5),
+           c_f=st.floats(1e-12, 1e-9),
+           vstep=st.floats(0.5, 3.0),
+           points_per_tau=st.sampled_from([25, 50]))
+    @settings(max_examples=10, deadline=None)
+    def test_rc_integrators_hold_their_order_bands(self, r_ohms, c_f,
+                                                   vstep, points_per_tau):
+        from repro.verify import check_oracle
+        from repro.verify.oracles import RcStepOracle
+
+        oracle = RcStepOracle(r_ohms=r_ohms, c_f=c_f, vstep_v=vstep,
+                              points_per_tau=points_per_tau)
+        for dev in check_oracle(oracle):
+            assert dev.passed, (f"{dev.path}:{dev.quantity} "
+                                f"err={dev.error:.3g} bound={dev.bound:.3g}")
+
+    @given(w_um=st.floats(0.5, 8.0), l_um=st.floats(0.5, 8.0),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_pelgrom_sampler_within_sampling_band(self, w_um, l_um, seed):
+        from repro.verify import check_oracle
+        from repro.verify.oracles import PelgromSigmaOracle
+
+        oracle = PelgromSigmaOracle(w_um=w_um, l_um=l_um,
+                                    n_samples=800, seed=seed)
+        for dev in check_oracle(oracle):
+            assert dev.passed, (f"{dev.quantity} err={dev.error:.3g} "
+                                f"bound={dev.bound:.3g}")
+
+
 class TestLifetimeCrossingProperties:
     @given(seed=st.integers(0, 10_000),
            bound=st.floats(0.1, 0.9))
