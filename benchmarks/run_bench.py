@@ -136,10 +136,31 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
 
         run_oracles(default_oracles())
 
+    def transient_ring_batched():
+        from repro.circuit import batched_transient
+
+        batched_transient(ring.circuit, 4, t_stop=0.5e-9, dt=5e-12)
+
+    def dc_sweep_sparse():
+        from repro.circuit import dc_sweep
+
+        dc_sweep(ladder, "vdd", sweep_values, batch=False)
+
+    from repro.circuit import Circuit
+
+    ladder = Circuit("bench-ladder-96")
+    ladder.voltage_source("vdd", "n0", "0", 1.2)
+    for k in range(96):
+        lower = f"n{k + 1}" if k < 95 else "0"
+        ladder.resistor(f"r{k}", f"n{k}", lower, 1e3)
+    sweep_values = np.linspace(0.6, tech.vdd, 13)
+
     workloads = {
         "dc_operating_point": lambda: dc_operating_point(mirror.circuit),
         "transient_ring": lambda: transient(ring.circuit,
                                             t_stop=0.5e-9, dt=5e-12),
+        "transient_ring_batched": transient_ring_batched,
+        "dc_sweep_sparse": dc_sweep_sparse,
         "mc_yield_sample": mc_sample,
         "mc_yield_batched": mc_sample_batched,
         "verify_oracles": verify_oracles,

@@ -10,6 +10,10 @@ numbers, not as mysteriously slower experiment benches:
 * one Monte-Carlo yield sample (sampling + sweep-based metric);
 * the same sample on the batched ensemble engine (sweep points as
   lanes of one Newton loop — see ``repro.circuit.batch``);
+* the ring transient as a 4-lane lockstep batch (the per-die cost the
+  batched transient MC / aging modes pay — ``batched_transient``);
+* a DC sweep over a system large enough to route through the sparse
+  (CSC/splu) factorisation path instead of dense LAPACK;
 * compact-model evaluation (drain_current + linearize).
 """
 
@@ -54,6 +58,48 @@ def test_perf_transient_ring(benchmark, tech90):
 
     result = benchmark(run)
     assert result.states.shape[0] == 101
+
+
+def test_perf_transient_ring_batched(benchmark, tech90):
+    # The transient_ring workload solved for four identical dies as one
+    # lockstep batch — amortises assembly and factorisation per step.
+    from repro.circuit import batched_transient
+
+    fx = ring_oscillator(tech90, n_stages=3)
+
+    def run():
+        return batched_transient(fx.circuit, 4, t_stop=0.5e-9, dt=5e-12)
+
+    results = benchmark(run)
+    assert len(results) == 4
+    assert results[0].states.shape[0] == 101
+
+
+def _sparse_ladder(n_rungs=96, r_ohms=1e3, vdd_v=1.2):
+    """A resistive ladder big enough (97 unknowns) to clear the default
+    sparse-path threshold, so the sweep below measures the splu path."""
+    from repro.circuit import Circuit
+
+    ckt = Circuit(f"bench-ladder-{n_rungs}")
+    ckt.voltage_source("vdd", "n0", "0", vdd_v)
+    for k in range(n_rungs):
+        lower = f"n{k + 1}" if k < n_rungs - 1 else "0"
+        ckt.resistor(f"r{k}", f"n{k}", lower, r_ohms)
+    return ckt
+
+
+def test_perf_dc_sweep_sparse(benchmark, tech90):
+    from repro.circuit.dc import dc_engine
+
+    ckt = _sparse_ladder()
+    values = np.linspace(0.6, tech90.vdd, 13)
+
+    def sweep():
+        return dc_sweep(ckt, "vdd", values, batch=False)
+
+    sols = benchmark(sweep)
+    assert len(sols) == 13
+    assert dc_engine(ckt).sparsity_plan is not None
 
 
 def test_perf_mc_yield_sample(benchmark, tech90):

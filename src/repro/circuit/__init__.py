@@ -29,6 +29,7 @@ from repro.circuit.batch import (
     batched_sweeps,
     can_batch,
 )
+from repro.circuit.batch_transient import batched_transient
 from repro.circuit.hierarchy import clone_element, flatten_instance_names, instantiate
 from repro.circuit.parser import (
     NetlistError,
@@ -65,8 +66,10 @@ from repro.circuit.mna import (
     ConvergenceReport,
     SingularCircuitError,
     SolverError,
+    SparsityPlan,
     Stamper,
     StrategyAttempt,
+    sparse_mode,
 )
 from repro.circuit.mosfet import (
     DeviceDegradation,
@@ -74,6 +77,7 @@ from repro.circuit.mosfet import (
     Mosfet,
     MosfetParams,
     OperatingPoint,
+    fd_jacobians,
 )
 from repro.circuit.netlist import Circuit, is_ground
 from repro.circuit.transient import TransientResult, transient
@@ -109,6 +113,7 @@ __all__ = [
     "SingularCircuitError",
     "SolverError",
     "SourceSpec",
+    "SparsityPlan",
     "Stamper",
     "StrategyAttempt",
     "TransientResult",
@@ -120,9 +125,11 @@ __all__ = [
     "batch_engine",
     "batched_dc_sweep",
     "batched_sweeps",
+    "batched_transient",
     "can_batch",
     "clone_element",
     "dc_operating_point",
+    "fd_jacobians",
     "flatten_instance_names",
     "format_value",
     "dc_sweep",
@@ -132,6 +139,7 @@ __all__ = [
     "newton_solve",
     "parse_netlist",
     "parse_value",
+    "sparse_mode",
     "transient",
     "write_netlist",
 ]

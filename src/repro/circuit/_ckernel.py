@@ -1,0 +1,205 @@
+"""Optional compiled stamp kernel for the analytic MOSFET model pass.
+
+The vectorized :class:`~repro.circuit.mosfet.MosfetGroup` pays one numpy
+ufunc dispatch (~0.7 µs) per arithmetic step; on the tiny analog cells
+this library solves (3–20 devices) that dispatch — not the arithmetic —
+is the entire cost of a Newton iteration.  This module compiles the
+analytic model pass (same closed-form equations as
+``Mosfet._linearize_nmos``) into a small C shared library at first use
+and stamps Jacobian + companion entries directly into the dense MNA
+arrays, replacing ~50 ufunc dispatches with one foreign call.
+
+Design constraints:
+
+* **Optional everywhere.**  No compiler, a failed build, or the
+  ``REPRO_NO_CKERNEL=1`` kill switch all degrade silently to the pure
+  numpy analytic path — results are identical to rounding (the C and
+  numpy passes evaluate the same expressions; Newton converges to the
+  same fixed point well inside its 1e-9 tolerance either way).
+* **Build once per machine.**  The library is compiled into the system
+  temp directory keyed by a hash of the C source, so process-pool
+  workers and repeated test sessions reuse one artifact; the build is
+  written to a unique name and atomically renamed to survive races.
+* **No new dependencies.**  Plain ``gcc -O2 -shared`` + ``ctypes``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+_C_SOURCE = r"""
+#include <math.h>
+
+static double log1pexp(double v) {
+    if (v > 40.0) return v;
+    if (v < -40.0) return 0.0;
+    return log1p(exp(v));
+}
+
+static double sigmoid(double v) {
+    return 0.5 * (1.0 + tanh(0.5 * v));
+}
+
+/* Stamp the linearized companion models of B lanes x n devices into B
+ * stacked dense MNA systems.  Mirrors Mosfet._linearize_nmos /
+ * MosfetGroup._stamp_analytic: NMOS-frame closed-form (ids, gm, gds,
+ * gmb), polarity by reflection (conductances frame-invariant, current
+ * carries the sign).
+ *
+ * XE: (B, size+1) solution vectors whose trailing slot is 0 — ground
+ * nodes are encoded as index `size`.  A is the row-major dense
+ * (B, size, size) stack, BV the (B, size) RHS stack.  The dynamic
+ * parameters vt0p/gamma/c0/lam are either shared across lanes
+ * (dyn_stride = 0, arrays of length n) or per-lane snapshots
+ * (dyn_stride = n, arrays of shape (B, n)); the statics (phi...) are
+ * always shared.  clm_v is the CLM softplus scale.
+ */
+void repro_stamp_mosfets_batch(
+    long n_lanes, long n, long size, const double *XE, const long *dgsb,
+    const double *sign, const double *vt0p, const double *gamma,
+    const double *phi, const double *phi_cap, const double *inv_nphit,
+    const double *theta_nphit, const double *inv_ns2, const double *inv_s2,
+    const double *theta_eff, const double *c0, const double *lam,
+    long dyn_stride, double clm_v, double *A, double *BV)
+{
+    double inv_clm = 1.0 / clm_v;
+    for (long k = 0; k < n_lanes; k++) {
+    const double *xe = XE + k * (size + 1);
+    const double *vt0p_k = vt0p + k * dyn_stride;
+    const double *gamma_k = gamma + k * dyn_stride;
+    const double *c0_k = c0 + k * dyn_stride;
+    const double *lam_k = lam + k * dyn_stride;
+    double *a = A + k * size * size;
+    double *bv = BV + k * size;
+    for (long i = 0; i < n; i++) {
+        long d = dgsb[4 * i], g = dgsb[4 * i + 1];
+        long s = dgsb[4 * i + 2], b = dgsb[4 * i + 3];
+        double vs = xe[s];
+        double vgs_o = xe[g] - vs, vds_o = xe[d] - vs, vbs_o = xe[b] - vs;
+        double sgn = sign[i];
+        double vgs = sgn * vgs_o, vds = sgn * vds_o, vbs = sgn * vbs_o;
+        int clamped = vbs >= phi_cap[i];
+        double vbs_c = clamped ? phi_cap[i] : vbs;
+        double sq = sqrt(phi[i] - vbs_c);
+        double ov = vgs - (vt0p_k[i] + gamma_k[i] * sq);
+        double xf = ov * inv_ns2[i];
+        double xr = xf - vds * inv_s2[i];
+        double lf = log1pexp(xf), lr = log1pexp(xr);
+        double sf = sigmoid(xf), sr = sigmoid(xr);
+        double den = 1.0 + theta_nphit[i] * log1pexp(ov * inv_nphit[i]);
+        double dden = theta_eff[i] * sigmoid(ov * inv_nphit[i]);
+        double F = lf * lf - lr * lr;
+        double dF_dov = 2.0 * inv_ns2[i] * (lf * sf - lr * sr);
+        double dF_dvds = 2.0 * inv_s2[i] * lr * sr;
+        double c0invD = c0_k[i] / den;
+        double ids0 = F * c0invD;
+        double z = vds * inv_clm;
+        double clm = 1.0 + lam_k[i] * clm_v * log1pexp(z);
+        double dclm = lam_k[i] * sigmoid(z);
+        double gm = (dF_dov - F / den * dden) * c0invD * clm;
+        double gds = dF_dvds * c0invD * clm + ids0 * dclm;
+        double gmb = clamped ? 0.0 : gm * gamma_k[i] / (2.0 * sq);
+        double ids = sgn * ids0 * clm;
+        double ieq = ids - gm * vgs_o - gds * vds_o - gmb * vbs_o;
+        double gsum = gm + gds + gmb;
+        if (d < size) {
+            if (g < size) a[d * size + g] += gm;
+            a[d * size + d] += gds;
+            if (b < size) a[d * size + b] += gmb;
+            if (s < size) a[d * size + s] -= gsum;
+            bv[d] -= ieq;
+        }
+        if (s < size) {
+            if (g < size) a[s * size + g] -= gm;
+            if (d < size) a[s * size + d] -= gds;
+            if (b < size) a[s * size + b] -= gmb;
+            a[s * size + s] += gsum;
+            bv[s] += ieq;
+        }
+    }
+    }
+}
+
+/* The scalar entry point: one lane, shared dynamic parameters. */
+void repro_stamp_mosfets(
+    long n, long size, const double *xe, const long *dgsb,
+    const double *sign, const double *vt0p, const double *gamma,
+    const double *phi, const double *phi_cap, const double *inv_nphit,
+    const double *theta_nphit, const double *inv_ns2, const double *inv_s2,
+    const double *theta_eff, const double *c0, const double *lam,
+    double clm_v, double *a, double *bv)
+{
+    repro_stamp_mosfets_batch(1, n, size, xe, dgsb, sign, vt0p, gamma,
+                              phi, phi_cap, inv_nphit, theta_nphit,
+                              inv_ns2, inv_s2, theta_eff, c0, lam,
+                              0, clm_v, a, bv);
+}
+"""
+
+_DISABLED = os.environ.get("REPRO_NO_CKERNEL", "") not in ("", "0")
+
+_lib: Optional[ctypes.CDLL] = None
+_build_attempted = False
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    """Build (or reuse) the shared library; None when impossible."""
+    cc = shutil.which("gcc") or shutil.which("cc")
+    if cc is None:
+        return None
+    tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cached = os.path.join(tempfile.gettempdir(), f"repro_ckernel_{tag}.so")
+    if not os.path.exists(cached):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "kernel.c")
+            out = os.path.join(tmp, "kernel.so")
+            with open(src, "w") as fh:
+                fh.write(_C_SOURCE)
+            result = subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", out, src, "-lm"],
+                capture_output=True)
+            if result.returncode != 0:
+                return None
+            # Atomic publish: concurrent builders race benignly.
+            os.replace(out, cached)
+    lib = ctypes.CDLL(cached)
+    fn = lib.repro_stamp_mosfets
+    fn.restype = None
+    fn.argtypes = [ctypes.c_long, ctypes.c_long] + \
+        [ctypes.c_void_p] * 14 + [ctypes.c_double] + [ctypes.c_void_p] * 2
+    bfn = lib.repro_stamp_mosfets_batch
+    bfn.restype = None
+    bfn.argtypes = [ctypes.c_long, ctypes.c_long, ctypes.c_long] + \
+        [ctypes.c_void_p] * 14 + [ctypes.c_long, ctypes.c_double] + \
+        [ctypes.c_void_p] * 2
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, building it on first call.
+
+    Returns None when disabled (``REPRO_NO_CKERNEL=1``), when no C
+    compiler is available, or when the build failed — callers fall back
+    to the numpy analytic pass.
+    """
+    global _lib, _build_attempted
+    if _DISABLED:
+        return None
+    if not _build_attempted:
+        _build_attempted = True
+        try:
+            _lib = _compile()
+        except Exception:
+            _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled stamp kernel can be used."""
+    return load() is not None

@@ -55,6 +55,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import telemetry
+from repro.circuit import _ckernel
 from repro.circuit.dc import (
     DcSolution,
     NewtonOptions,
@@ -63,7 +64,7 @@ from repro.circuit.dc import (
 )
 from repro.circuit.elements import CurrentSource, DcSpec, VoltageSource
 from repro.circuit.mna import Stamper
-from repro.circuit.mosfet import _CLM_SMOOTH_V, MosfetGroup
+from repro.circuit.mosfet import _CLM_SMOOTH_V, _FD_JACOBIANS, MosfetGroup
 from repro.circuit.netlist import Circuit
 
 #: Default cap on lanes per batched solve.  A (128, n, n) stack of the
@@ -236,6 +237,17 @@ class BatchMosfetGroup:
         self._vals8 = np.empty((n_lanes, 8, n))
         self._rhs2 = np.empty((n_lanes, 2, n))
         self._vn = np.empty((n_lanes, n))
+        # Analytic-pass extras: fused 4-row transcendental buffers and
+        # the (B, n) scratch set, mirroring MosfetGroup._stamp_analytic.
+        self._VN = np.empty((n_lanes, 3, n))
+        self._A4 = np.empty((n_lanes, 4, n))
+        self._L4 = np.empty((n_lanes, 4, n))
+        self._P4 = np.empty((n_lanes, 4, n))
+        self._mask = np.empty((n_lanes, n), dtype=bool)
+        self._wn = [np.empty((n_lanes, n)) for _ in range(5)]
+        # Compiled stamp kernel (lane-batched entry point), when built.
+        lib = _ckernel.load()
+        self._ck_fn = None if lib is None else lib.repro_stamp_mosfets_batch
 
     @property
     def lane_mode(self) -> bool:
@@ -295,6 +307,14 @@ class BatchMosfetGroup:
         return (dyn["vt0p"][:, None, :], dyn["gamma"][:, None, :],
                 dyn["c0"][:, None, :], dyn["lam"][:, None, :])
 
+    def _dynamic_bn(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray]:
+        """(vt0p, gamma, c0, lam) broadcastable to ``(B, n)``."""
+        dyn = self._lane_dyn
+        if dyn is None:
+            return self.group.dynamic_arrays()
+        return dyn["vt0p"], dyn["gamma"], dyn["c0"], dyn["lam"]
+
     def stamp_gate_leaks(self, bst: BatchStamper) -> None:
         """Stamp the linear post-BD gate-leak paths (per-lane mode).
 
@@ -315,14 +335,161 @@ class BatchMosfetGroup:
             bst.conductance(gg, d, leak * pos)
             bst.conductance(gg, s, leak * (1.0 - pos))
 
+    def stamp_gate_leaks_lane(self, st: Stamper, lane: int) -> None:
+        """Stamp ONE lane's post-BD gate-leak paths into a scalar stamper.
+
+        The batched transient integrator assembles its base system lane
+        by lane (each lane's companion models read that lane's state),
+        so it needs the scalar-shaped variant of
+        :meth:`stamp_gate_leaks`.  Uniform mode defers to the live
+        scalar group.
+        """
+        dyn = self._lane_dyn
+        if dyn is None:
+            self.group.stamp_gate_leaks(st)
+            return
+        leak = dyn["leak"][lane]
+        pos = dyn["pos"][lane]
+        g = self.group
+        for j in np.flatnonzero(leak > 0.0):
+            st.conductance(g.g[j], g.d[j], leak[j] * pos[j])
+            st.conductance(g.g[j], g.s[j], leak[j] * (1.0 - pos[j]))
+
     def stamp(self, bst: BatchStamper, X: np.ndarray) -> None:
         """Stamp every lane's linearized channels at guesses ``X (B,n)``.
 
         The arithmetic mirrors :meth:`MosfetGroup.stamp` step for step
-        (same folded constants, same stencil ordering), just with the
-        extra leading lane axis — so batched and scalar solves agree to
-        rounding on each Newton iterate.
+        (same folded constants, same closed-form derivatives), just with
+        the extra leading lane axis — so batched and scalar solves agree
+        to rounding on each Newton iterate.  Dispatches on the active
+        Jacobian mode: fused analytic pass by default, 7-point FD
+        stencil when forced via :func:`repro.circuit.mosfet.fd_jacobians`.
         """
+        if _FD_JACOBIANS[0]:
+            self._stamp_fd(bst, X)
+        elif self._ck_fn is not None and bst.a.dtype == np.float64:
+            self._stamp_ckernel(bst, X)
+        else:
+            self._stamp_analytic(bst, X)
+
+    def _stamp_ckernel(self, bst: BatchStamper, X: np.ndarray) -> None:
+        """One compiled stamp call for every lane × device.
+
+        Same closed forms as :meth:`_stamp_analytic`; the C loop
+        replaces ~40 ufunc dispatches on small ``(B, 4, n)`` tensors,
+        which dominate the per-iteration cost for the few-lane batches
+        the lockstep transient integrator runs.  Dynamic parameters are
+        fetched per call (they are reallocated by ``refresh`` in
+        uniform mode and rewritten by ``load_lane`` in lane mode);
+        ``dyn_stride`` tells the kernel whether they carry a lane axis.
+        """
+        g = self.group
+        xe = self._xe
+        xe[:, :-1] = X
+        vt0p, gamma, c0, lam = self._dynamic_bn()
+        stride = self.n_devices if self._lane_dyn is not None else 0
+        self._ck_fn(
+            self.n_lanes, self.n_devices, g.size,
+            xe.ctypes.data, g._nodes_c.ctypes.data, g.sign.ctypes.data,
+            vt0p.ctypes.data, gamma.ctypes.data,
+            g._phi.ctypes.data, g._phi_cap.ctypes.data,
+            g._inv_nphit.ctypes.data, g._theta_nphit.ctypes.data,
+            g._inv_ns2.ctypes.data, g._inv_s2.ctypes.data,
+            g._theta_eff.ctypes.data, c0.ctypes.data, lam.ctypes.data,
+            stride, _CLM_SMOOTH_V,
+            bst.a.ctypes.data, bst.b.ctypes.data)
+
+    def _stamp_analytic(self, bst: BatchStamper, X: np.ndarray) -> None:
+        """One fused analytic model pass for every lane × device.
+
+        Lane-axis mirror of :meth:`MosfetGroup._stamp_analytic`: the
+        four transcendental arguments stack into one ``(B, 4, n)``
+        buffer so a single ``logaddexp`` dispatch covers lf/ln(1+eᵘ)/
+        lr/CLM for the whole ensemble, and dynamic parameters come from
+        per-lane snapshots (lane mode) or the live circuit (uniform).
+        """
+        g = self.group
+        xe = self._xe
+        xe[:, :-1] = X
+        V = self._V
+        # Original-frame terminal voltages (for the companion current).
+        np.subtract(xe[:, g._gdb], xe[:, g.s][:, None, :], out=V)
+        VN = np.multiply(g.sign, V, out=self._VN)  # NMOS frame
+        vg_n = VN[:, 0, :]
+        vd_n = VN[:, 1, :]
+        vb_n = VN[:, 2, :]
+        vt0p, gamma, c0, lam = self._dynamic_bn()
+        w = self._wn
+        # Body effect: sq = √(φ − clamp(vbs)); gmb vanishes past the clamp.
+        unclamped = np.less(vb_n, g._phi_cap, out=self._mask)
+        sq = np.minimum(vb_n, g._phi_cap, out=w[0])
+        np.subtract(g._phi, sq, out=sq)
+        np.sqrt(sq, out=sq)
+        ov = np.multiply(gamma, sq, out=w[1])
+        np.add(vt0p, ov, out=ov)
+        np.subtract(vg_n, ov, out=ov)
+        # Stack the four transcendental arguments: xf, u, xr, z.
+        A = self._A4
+        np.multiply(ov[:, None, :], g._ovd_scale, out=A[:, 0:2, :])
+        np.multiply(vd_n[:, None, :], g._vds_scale, out=A[:, 2:4, :])
+        np.subtract(A[:, 0, :], A[:, 2, :], out=A[:, 2, :])
+        L = np.logaddexp(0.0, A, out=self._L4)
+        S = A                                    # reuse as the sigmoids
+        np.multiply(S, 0.5, out=S)
+        np.tanh(S, out=S)
+        np.multiply(S, 0.5, out=S)
+        np.add(S, 0.5, out=S)                    # σ(xf), σ(u), σ(xr), σ(z)
+        P = np.multiply(L, S, out=self._P4)
+        # F-derivatives → G rows 0/1; F, 1/D, c0/D in the (B, n) temps.
+        G = self._G
+        g0 = G[:, 0, :]
+        g1 = G[:, 1, :]
+        np.subtract(P[:, 0, :], P[:, 2, :], out=g0)
+        np.multiply(g._two_inv_ns2, g0, out=g0)
+        np.multiply(g._two_inv_s2, P[:, 2, :], out=g1)
+        big_f = np.subtract(L[:, 0, :], L[:, 2, :], out=w[2])
+        tmp = np.add(L[:, 0, :], L[:, 2, :], out=w[3])
+        np.multiply(big_f, tmp, out=big_f)       # F = (lf−lr)(lf+lr)
+        inv_d = np.multiply(g._theta_nphit, L[:, 1, :], out=w[3])
+        np.add(1.0, inv_d, out=inv_d)
+        np.divide(1.0, inv_d, out=inv_d)
+        c0_inv_d = np.multiply(c0, inv_d, out=w[4])
+        dden = np.multiply(g._theta_eff, S[:, 1, :], out=L[:, 1, :])
+        quot = np.multiply(big_f, inv_d, out=L[:, 0, :])
+        np.multiply(quot, dden, out=quot)
+        np.subtract(g0, quot, out=g0)
+        np.multiply(g0, c0_inv_d, out=g0)
+        np.multiply(g1, c0_inv_d, out=g1)
+        ids0 = np.multiply(big_f, c0_inv_d, out=w[2])
+        # CLM factor and its derivative close out gm/gds/gmb.
+        clm = np.multiply(lam, L[:, 3, :], out=L[:, 3, :])
+        np.multiply(clm, _CLM_SMOOTH_V, out=clm)
+        np.add(1.0, clm, out=clm)
+        dclm = np.multiply(lam, S[:, 3, :], out=S[:, 3, :])
+        np.multiply(G[:, 0:2, :], clm[:, None, :], out=G[:, 0:2, :])
+        np.multiply(ids0, dclm, out=dclm)
+        np.add(g1, dclm, out=g1)
+        np.divide(gamma, sq, out=sq)
+        np.multiply(sq, 0.5, out=sq)
+        np.multiply(g0, sq, out=G[:, 2, :])
+        np.multiply(G[:, 2, :], unclamped, out=G[:, 2, :])
+        ids_n = np.multiply(ids0, clm, out=w[2])
+        # Scatter — identical tail to the FD pass.
+        vals8 = np.matmul(g._pmat, G, out=self._vals8)
+        np.add.at(bst.a.reshape(-1), self._a_flat,
+                  vals8.reshape(self.n_lanes, -1)[:, self._a_keep].ravel())
+        ids = np.multiply(g.sign, ids_n, out=self._vn)
+        GV = np.multiply(G, V, out=self._GV)
+        ieq = np.sum(GV, axis=1)
+        np.subtract(ids, ieq, out=ieq)
+        rhs2 = self._rhs2
+        np.negative(ieq, out=rhs2[:, 0, :])
+        rhs2[:, 1, :] = ieq
+        np.add.at(bst.b.reshape(-1), self._b_idx,
+                  rhs2.reshape(self.n_lanes, -1)[:, self._b_keep].ravel())
+
+    def _stamp_fd(self, bst: BatchStamper, X: np.ndarray) -> None:
+        """7-point finite-difference stamp (legacy/debug reference)."""
         g = self.group
         xe = self._xe
         xe[:, :-1] = X

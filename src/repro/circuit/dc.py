@@ -35,10 +35,15 @@ from repro.circuit.elements import CurrentSource, VoltageSource
 from repro.circuit.mna import (
     ConvergenceError,
     ConvergenceReport,
+    CoordinateRecorder,
+    SparsityPlan,
     Stamper,
     StrategyAttempt,
+    sparse_available,
+    sparse_min_size,
 )
-from repro.circuit.mosfet import Mosfet, MosfetGroup, OperatingPoint
+from repro.circuit.mosfet import Mosfet, MosfetGroup, OperatingPoint, \
+    jacobian_mode
 from repro.circuit.netlist import Circuit
 
 #: Maximum per-iteration node-voltage update [V] (NR damping).
@@ -252,9 +257,50 @@ class DcEngine:
                                 if not isinstance(e, Mosfet)]
         self.mosfet_group = MosfetGroup(mosfets, self.size) if mosfets else None
         self.workspace = NewtonWorkspace(self.size)
+        #: Symbolic sparsity plan for large systems, or None (dense).
+        #: Built once per engine — i.e. cached and reused per circuit
+        #: ``topology_version``, since ``dc_engine`` rebuilds the engine
+        #: exactly when the topology changes.
+        self.sparsity_plan: Optional[SparsityPlan] = None
+        if sparse_available() and self.size >= sparse_min_size():
+            self.sparsity_plan = self._build_sparsity_plan()
+            self.workspace.st.plan = self.sparsity_plan
+            session = telemetry.active()
+            if session is not None:
+                session.metrics.inc("solver.sparse.plan_builds")
         #: When True, the previous solution seeds the next solve.
         self.warm_start_enabled = False
         self.last_x: Optional[np.ndarray] = None
+
+    def _build_sparsity_plan(self) -> SparsityPlan:
+        """Record the union of every stamp's matrix positions.
+
+        One structural pass over all element stamps — DC *and* transient
+        (charge-storage companions only appear in the latter), MOSFET
+        scatter plans, unconditional gate-leak paths, and the full
+        diagonal (gmin shunts plus pseudo-transient anchors) — so the
+        plan covers every position any analysis can write into the
+        shared workspace.
+        """
+        recorder = CoordinateRecorder(self.size)
+        x0 = np.zeros(self.size)
+        for element in self.circuit.elements:
+            if isinstance(element, Mosfet):
+                continue
+            element.stamp_dc(recorder, x0)
+            state: dict = {}
+            element.init_state(x0, state)
+            element.stamp_transient(recorder, x0, state, 0.0, 1.0,
+                                    "trapezoidal")
+        group = self.mosfet_group
+        if group is not None:
+            recorder.add_flat(group._a_flat)
+            for mosfet in group.mosfets:
+                d, g, s, b = mosfet.nodes
+                recorder.conductance(g, d)
+                recorder.conductance(g, s)
+        recorder.add_diagonal()
+        return SparsityPlan(self.size, recorder.rows, recorder.cols)
 
     def stamp_base(self, st: Stamper) -> None:
         """Stamp every solution-independent contribution (called once per
@@ -534,7 +580,11 @@ def dc_operating_point(circuit: Circuit,
     session = telemetry.active()
     if session is None:
         return _solve_ladder(circuit, x0, options)[0]
-    with session.tracer.span("solve.dc") as sp:
+    # Sparse solves get their own span name so trace reports separate
+    # the splu path from the dense LAPACK path at a glance.
+    sparse = dc_engine(circuit).sparsity_plan is not None
+    span_name = "solve.dc.sparse" if sparse else "solve.dc"
+    with session.tracer.span(span_name) as sp:
         metrics = session.metrics
         try:
             solution, strategy, iterations = _solve_ladder(circuit, x0,
@@ -553,6 +603,15 @@ def dc_operating_point(circuit: Circuit,
         metrics.inc("solver.dc.solves")
         metrics.inc("solver.dc.strategy." + strategy)
         metrics.inc("solver.factorizations", iterations)
+        # Analytic-vs-FD device-evaluation tally (one count per solve —
+        # the mode cannot change mid-solve).
+        metrics.inc("solver.dc.jacobian." + jacobian_mode())
+        if sparse:
+            # Each Newton iteration refactorizes numerically while
+            # reusing the cached symbolic plan.
+            metrics.inc("solver.sparse.solves")
+            metrics.inc("solver.sparse.factorizations", iterations)
+            metrics.inc("solver.sparse.plan_reuses", iterations)
         metrics.observe("solver.dc.newton_iterations", iterations,
                         telemetry.ITERATION_BUCKETS)
         return solution

@@ -14,8 +14,10 @@ Sign conventions:
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -25,6 +27,182 @@ try:
     from scipy.linalg.lapack import dgesv as _dgesv
 except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
     _dgesv = None
+
+try:
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
+    _csc_matrix = None
+    _splu = None
+
+#: Below this system size the dense LAPACK path wins: `splu` pays ~100 µs
+#: of scipy overhead per factorization, dgesv on a 64-unknown dense
+#: system costs single-digit µs.  Override with ``REPRO_SPARSE_MIN_SIZE``
+#: or scope with :func:`sparse_mode`.
+DEFAULT_SPARSE_MIN_SIZE = 64
+
+_sparse_min_size = [int(os.environ.get("REPRO_SPARSE_MIN_SIZE",
+                                       DEFAULT_SPARSE_MIN_SIZE))]
+
+
+def sparse_min_size() -> int:
+    """Current system-size threshold for the sparse solve path.
+
+    Engines built while the threshold is ``t`` use `splu` when their
+    system has ≥ ``t`` unknowns (and scipy.sparse is importable);
+    smaller systems keep the dense LAPACK path.  A non-positive value
+    means "always sparse"; a very large one effectively forces dense.
+    """
+    return _sparse_min_size[0]
+
+
+@contextmanager
+def sparse_mode(min_size: int) -> Iterator[None]:
+    """Scope a different sparse-path threshold.
+
+    The threshold is read when a DC engine is *built*, so wrap circuit
+    construction + solve (engines are cached per circuit topology).
+    ``sparse_mode(1)`` forces sparse for differential verification;
+    ``sparse_mode(10**9)`` forces dense for debugging.
+    """
+    previous = _sparse_min_size[0]
+    _sparse_min_size[0] = int(min_size)
+    try:
+        yield
+    finally:
+        _sparse_min_size[0] = previous
+
+
+def sparse_available() -> bool:
+    """Whether scipy's sparse LU path can be used at all."""
+    return _csc_matrix is not None and _splu is not None
+
+
+class CoordinateRecorder:
+    """Stamper lookalike that records *where* stamps land, not values.
+
+    Drives one structural pass over every element stamp to learn the
+    MNA sparsity pattern.  Implements the full primitive surface of
+    :class:`Stamper` (including the composite helpers, which funnel
+    into :meth:`matrix`/:meth:`rhs`) but accumulates coordinates only —
+    element stamps run against it unmodified.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+
+    def matrix(self, row: int, col: int, value: complex = 1.0) -> None:
+        """Record one A[row, col] stamp position (ground rows skipped)."""
+        if row < 0 or col < 0:
+            return
+        self.rows.append(row)
+        self.cols.append(col)
+
+    def rhs(self, row: int, value: complex = 1.0) -> None:
+        """RHS writes carry no structure — a recording no-op."""
+        return None
+
+    def conductance(self, node_a: int, node_b: int, g: complex = 1.0) -> None:
+        """Record the four positions of a two-terminal conductance."""
+        self.matrix(node_a, node_a, g)
+        self.matrix(node_b, node_b, g)
+        self.matrix(node_a, node_b, g)
+        self.matrix(node_b, node_a, g)
+
+    def current(self, node: int, value: complex = 1.0) -> None:
+        """Current injections are RHS-only — a recording no-op."""
+        return None
+
+    def transconductance(self, out_a: int, out_b: int,
+                         ctrl_a: int, ctrl_b: int,
+                         gm: complex = 1.0) -> None:
+        """Record the four positions of a VCCS stamp."""
+        self.matrix(out_a, ctrl_a, gm)
+        self.matrix(out_a, ctrl_b, gm)
+        self.matrix(out_b, ctrl_a, gm)
+        self.matrix(out_b, ctrl_b, gm)
+
+    def branch_voltage(self, node_a: int, node_b: int, branch: int,
+                       rhs: complex = 0.0) -> None:
+        """Record the branch-row/column positions of a voltage source."""
+        self.matrix(node_a, branch, 1.0)
+        self.matrix(node_b, branch, 1.0)
+        self.matrix(branch, node_a, 1.0)
+        self.matrix(branch, node_b, 1.0)
+
+    def add_gmin(self, n_nodes: int, gmin: float = 0.0) -> None:
+        """Record the node-diagonal positions the gmin shunt touches."""
+        for i in range(n_nodes):
+            self.matrix(i, i, gmin)
+
+    def add_flat(self, flat: np.ndarray) -> None:
+        """Record row-major flat positions (MosfetGroup scatter plans)."""
+        self.rows.extend((flat // self.size).tolist())
+        self.cols.extend((flat % self.size).tolist())
+
+    def add_diagonal(self) -> None:
+        """Record the full diagonal (gmin + pseudo-transient anchors)."""
+        for i in range(self.size):
+            self.matrix(i, i, 0.0)
+
+
+class SparsityPlan:
+    """Cached symbolic structure of one circuit topology's MNA matrix.
+
+    Built once per (engine, ``topology_version``) from a structural
+    recording pass; afterwards every Newton iteration reuses the plan:
+    gather the dense stamp buffer at the precomputed flat positions
+    (CSC order), wrap as ``csc_matrix`` with the cached index arrays,
+    and numerically factorize with ``splu``.  Only the numeric
+    factorization repeats — the symbolic work (pattern dedup, CSC
+    ordering) is paid once, which is what the
+    ``solver.sparse.plan_reuses`` counter tracks.
+
+    The dense stamp buffer stays the assembly target: element stamps
+    and the vectorized MosfetGroup scatter are unchanged, and every
+    position they write is part of the recorded pattern, so the gather
+    loses nothing.
+    """
+
+    def __init__(self, size: int, rows, cols):
+        if not sparse_available():  # pragma: no cover - scipy is present
+            raise RuntimeError("scipy.sparse is not available")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size == 0:
+            raise ValueError("empty sparsity pattern")
+        # Dedup in CSC order: key = col·size + row.
+        csc_keys = np.unique(cols * size + rows)
+        self.size = size
+        self.nnz = int(csc_keys.size)
+        self._indices = (csc_keys % size).astype(np.int32)  # row indices
+        csc_cols = csc_keys // size
+        self._indptr = np.searchsorted(
+            csc_cols, np.arange(size + 1)).astype(np.int32)
+        # Gather map from the row-major dense buffer into CSC data order.
+        self._gather = (csc_keys % size) * size + csc_cols
+        self.factorizations = 0
+
+    def fill_ratio(self) -> float:
+        """Pattern nonzeros as a fraction of the dense size² budget."""
+        return self.nnz / float(self.size * self.size)
+
+    def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Factorize the current values of ``a`` and solve against ``b``.
+
+        Raises ``RuntimeError`` on an exactly singular matrix (mapped to
+        :class:`SingularCircuitError` by :meth:`Stamper.solve`).
+        """
+        data = a.ravel()[self._gather]
+        matrix = _csc_matrix((data, self._indices, self._indptr),
+                             shape=(self.size, self.size))
+        lu = _splu(matrix)
+        self.factorizations += 1
+        return lu.solve(b)
+
+
 
 
 class Stamper:
@@ -42,6 +220,9 @@ class Stamper:
         self.a = np.zeros((size, size), dtype=dtype)
         self.b = np.zeros(size, dtype=dtype)
         self._gmin_idx: Optional[np.ndarray] = None
+        #: Optional :class:`SparsityPlan`; when set (large circuits —
+        #: see the DC engine), :meth:`solve` routes through scipy splu.
+        self.plan: Optional["SparsityPlan"] = None
 
     def clear(self) -> None:
         """Zero the matrix and RHS for re-stamping."""
@@ -123,6 +304,14 @@ class Stamper:
 
     def solve(self, x0: Optional[np.ndarray] = None) -> np.ndarray:
         """Solve ``A·x = b``; raises ``SingularCircuitError`` when singular."""
+        if self.plan is not None and self.a.dtype == np.float64:
+            try:
+                return self.plan.solve(self.a, self.b)
+            except RuntimeError as exc:
+                self._record_singular()
+                raise SingularCircuitError(
+                    "singular MNA matrix — floating node or voltage-source "
+                    "loop?") from exc
         # Calling LAPACK ``dgesv`` directly skips ~4 µs of np.linalg
         # dispatch per solve — material on the Newton inner loop.  The
         # complex (AC) path keeps the numpy front end.

@@ -31,12 +31,15 @@ how the degradation literature (and the paper) quotes shifts.
 from __future__ import annotations
 
 import math
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro import units
+from repro.circuit import _ckernel
 from repro.circuit.elements import Element
 from repro.circuit.mna import Stamper
 from repro.technology.node import TechnologyNode
@@ -46,6 +49,42 @@ _FD_STEP_V = 1e-6
 
 #: Smoothing scale of the CLM softplus [V].
 _CLM_SMOOTH_V = 0.05
+
+_F64 = np.dtype(np.float64)
+
+# Jacobian-mode switch.  The analytic derivatives are the default (one
+# model pass per Newton iteration instead of seven); the legacy 7-point
+# finite-difference stencil stays available for debugging and as the
+# differential-verification reference.  ``REPRO_FD_JACOBIANS=1`` forces
+# FD process-wide; :func:`fd_jacobians` scopes it to a block.
+_FD_JACOBIANS = [os.environ.get("REPRO_FD_JACOBIANS", "") not in ("", "0")]
+
+
+def fd_jacobians_active() -> bool:
+    """True when finite-difference Jacobians are currently forced."""
+    return _FD_JACOBIANS[0]
+
+
+def jacobian_mode() -> str:
+    """``"analytic"`` or ``"fd"`` — the mode the next stamp will use."""
+    return "fd" if _FD_JACOBIANS[0] else "analytic"
+
+
+@contextmanager
+def fd_jacobians(enabled: bool = True) -> Iterator[None]:
+    """Force 7-point finite-difference device Jacobians inside a block.
+
+    The FD stencil is the model-agnostic reference the analytic
+    derivatives are verified against (property tests and the
+    ``dc.fd`` differential path); it is also the escape hatch if an
+    analytic derivative is ever suspected of being wrong.
+    """
+    previous = _FD_JACOBIANS[0]
+    _FD_JACOBIANS[0] = bool(enabled)
+    try:
+        yield
+    finally:
+        _FD_JACOBIANS[0] = previous
 
 
 def _softplus(x: float, scale: float = 1.0) -> float:
@@ -65,6 +104,11 @@ def _log1pexp(x: float) -> float:
     if x < -40.0:
         return 0.0
     return math.log1p(math.exp(x))
+
+
+def _sigmoid(x: float) -> float:
+    """Logistic function via tanh — stable for any argument."""
+    return 0.5 * (1.0 + math.tanh(0.5 * x))
 
 
 def _softplus_np(x: np.ndarray, scale: float = 1.0) -> np.ndarray:
@@ -431,16 +475,90 @@ class Mosfet(Element):
         vb = x[b] if b >= 0 else 0.0
         return float(vg - vs), float(vd - vs), float(vb - vs)
 
+    def _linearize_nmos(self, vgs: float, vds: float, vbs: float
+                        ) -> Tuple[float, float, float, float]:
+        """Exact ``(ids, gm, gds, gmb)`` of :meth:`_ids_nmos`.
+
+        Closed-form derivatives of the EKV interpolation.  With
+        ``F = lf² − lr²``, ``D = 1 + θ_eff·vov`` and ``ov = v_GS − V_T``:
+
+            ∂F/∂ov   = (2/(n·s))·(lf·σ(x_f) − lr·σ(x_r))
+            ∂F/∂vds  = (2/s)·lr·σ(x_r)
+            ∂D/∂ov   = θ_eff·σ(ov/(n·φt))
+            gm  = c0·(F'_ov·D − F·D'_ov)/D² · clm
+            gds = c0·F'_vds/D · clm + ids0·λ·σ(v_DS/0.05)
+            gmb = gm·γ/(2√(φ−v_BS))          (0 where the √ is clamped)
+
+        σ is the logistic function — the derivative of ``ln(1+eˣ)``.
+        The body-effect clamp at ``v_BS = φ − 0.05`` makes V_T constant
+        beyond it, hence the hard zero in gmb (matching the FD stencil
+        away from the ±h neighbourhood of the clamp).
+        """
+        p = self.params
+        phit = units.thermal_voltage(p.temperature_k)
+        n = p.n_slope
+        phi = p.phi_v
+        gamma = self.gamma_effective
+        cap = phi - 0.05
+        clamped = vbs >= cap
+        sq = math.sqrt(phi - (cap if clamped else vbs))
+        vt_thermal = p.vt_tempco_v_per_k * (p.temperature_k - units.T_ROOM)
+        vt = self.vt_effective_v + vt_thermal + gamma * (sq - math.sqrt(phi))
+        ov = vgs - vt
+        inv_s = 1.0 / (2.0 * phit)
+        inv_ns = inv_s / n
+        xf = ov * inv_ns
+        xr = xf - vds * inv_s
+        lf, lr = _log1pexp(xf), _log1pexp(xr)
+        sf, sr = _sigmoid(xf), _sigmoid(xr)
+        u = ov / (n * phit)
+        theta_eff = p.theta_per_v + 1.0 / p.esat_l_v
+        den = 1.0 + theta_eff * n * phit * _log1pexp(u)
+        dden = theta_eff * _sigmoid(u)
+        big_f = lf * lf - lr * lr
+        df_dov = 2.0 * inv_ns * (lf * sf - lr * sr)
+        df_dvds = 2.0 * inv_s * lr * sr
+        c0_inv_d = 2.0 * n * self.beta_effective * phit * phit / den
+        ids0 = big_f * c0_inv_d
+        lam = self.lambda_effective
+        z = vds / _CLM_SMOOTH_V
+        clm = 1.0 + lam * _CLM_SMOOTH_V * _log1pexp(z)
+        gm = (df_dov - big_f / den * dden) * c0_inv_d * clm
+        gds = df_dvds * c0_inv_d * clm + ids0 * lam * _sigmoid(z)
+        gmb = 0.0 if clamped else gm * gamma / (2.0 * sq)
+        return ids0 * clm, gm, gds, gmb
+
     def linearize(self, vgs: float, vds: float, vbs: float
                   ) -> Tuple[float, float, float, float]:
         """Return ``(ids, gm, gds, gmb)`` at the given bias.
 
-        Derivatives are central finite differences of the polarity-aware
-        current — exact signs for both device types without chain-rule
-        bookkeeping.  Scalar math on purpose: circuits solve through the
-        vectorized :class:`MosfetGroup`, so this entry point serves
-        single-device queries (operating points, characterization)
-        where 7-element numpy arrays cost more than they save.
+        Uses the exact analytic derivatives of the model — one model
+        pass instead of the seven the FD stencil needs.  Polarity is
+        handled by reflection: the conductances are frame-invariant
+        (each picks up two compensating sign flips), only the current
+        carries the device sign.  Scalar math on purpose: circuits
+        solve through the vectorized :class:`MosfetGroup`, so this
+        entry point serves single-device queries (operating points,
+        characterization) where numpy arrays cost more than they save.
+
+        Under :func:`fd_jacobians` the legacy central-difference
+        stencil (:meth:`linearize_fd`) is used instead.
+        """
+        if _FD_JACOBIANS[0]:
+            return self.linearize_fd(vgs, vds, vbs)
+        if self.params.polarity == "n":
+            return self._linearize_nmos(vgs, vds, vbs)
+        ids, gm, gds, gmb = self._linearize_nmos(-vgs, -vds, -vbs)
+        return -ids, gm, gds, gmb
+
+    def linearize_fd(self, vgs: float, vds: float, vbs: float
+                     ) -> Tuple[float, float, float, float]:
+        """Reference ``(ids, gm, gds, gmb)`` by central finite difference.
+
+        Model-agnostic 7-point stencil of the polarity-aware current —
+        kept as the verification reference for the analytic derivatives
+        (property tests, the ``dc.fd`` differential path) and as the
+        debugging fallback behind :func:`fd_jacobians`.
         """
         h = _FD_STEP_V
         ids = self.drain_current(vgs, vds, vbs)
@@ -617,6 +735,19 @@ class MosfetGroup:
         self._vals8 = np.empty((8, n))
         self._rhs2 = np.empty((2, n))
         self._vn = [np.empty(n) for _ in range(5)]
+        # Analytic-pass extras: stacked gather index and fused 4-row
+        # buffers (one transcendental dispatch covers lf/lu/lr/lz and
+        # one covers all four sigmoids).
+        self._gdb = np.vstack((self.g, self.d, self.b))
+        self._VN = np.empty((3, n))
+        self._A4 = np.empty((4, n))
+        self._L4 = np.empty((4, n))
+        self._P4 = np.empty((4, n))
+        self._mask = np.empty(n, dtype=bool)
+        # Compiled-kernel node map: ground (-1) → the trailing zero slot.
+        self._nodes_c = np.where(idx < 0, size, idx).astype(np.int64).ravel()
+        self._ck_fn = None
+        self._ck_args: Optional[tuple] = None
         self._pcache: Optional[list] = None
         self.refresh()
 
@@ -647,6 +778,16 @@ class MosfetGroup:
         self._inv_s2 = 1.0 / (2.0 * phit)
         self._inv_ns2 = self._inv_s2 / n_slope
         self._c0s = 2.0 * n_slope * phit * phit
+        # Analytic-pass extras: derivative prefactors and the stacked
+        # scale rows that turn (ov, vds) into all four transcendental
+        # arguments with two broadcasts.
+        self._theta_eff = theta_eff
+        self._two_inv_ns2 = 2.0 * self._inv_ns2
+        self._two_inv_s2 = 2.0 * self._inv_s2
+        nn = len(params)
+        self._ovd_scale = np.stack((self._inv_ns2, self._inv_nphit))
+        self._vds_scale = np.stack(
+            (self._inv_s2, np.full(nn, 1.0 / _CLM_SMOOTH_V)))
 
     def refresh(self) -> None:
         """Re-read per-device effective parameters (call once per solve;
@@ -664,6 +805,33 @@ class MosfetGroup:
                       - gamma * self._sqrt_phi)
         self._c0 = self._c0s * np.array([m.beta_effective for m in ms])
         self._lam = np.array([m.lambda_effective for m in ms])
+        self._half_gamma = 0.5 * gamma
+        self._lam_clm = self._lam * _CLM_SMOOTH_V
+        self._refresh_ckernel()
+
+    def _refresh_ckernel(self) -> None:
+        """Rebind the compiled-kernel argument tuple to current arrays.
+
+        The dynamic arrays are reallocated by every :meth:`refresh`, so
+        the raw pointers handed to the C kernel must be recaptured here.
+        All referenced arrays stay alive as attributes of ``self``.
+        """
+        lib = _ckernel.load()
+        if lib is None:
+            self._ck_fn = None
+            self._ck_args = None
+            return
+        self._ck_fn = lib.repro_stamp_mosfets
+        self._ck_args = (
+            len(self.mosfets), self.size,
+            self._xe.ctypes.data, self._nodes_c.ctypes.data,
+            self.sign.ctypes.data, self._vt0p.ctypes.data,
+            self._gamma.ctypes.data, self._phi.ctypes.data,
+            self._phi_cap.ctypes.data, self._inv_nphit.ctypes.data,
+            self._theta_nphit.ctypes.data, self._inv_ns2.ctypes.data,
+            self._inv_s2.ctypes.data, self._theta_eff.ctypes.data,
+            self._c0.ctypes.data, self._lam.ctypes.data,
+            _CLM_SMOOTH_V)
 
     def dynamic_arrays(self) -> Tuple[np.ndarray, np.ndarray,
                                       np.ndarray, np.ndarray]:
@@ -677,7 +845,106 @@ class MosfetGroup:
         return self._vt0p, self._gamma, self._c0, self._lam
 
     def stamp(self, st: Stamper, x: np.ndarray) -> None:
-        """Stamp every channel's linearized companion model at guess ``x``."""
+        """Stamp every channel's linearized companion model at guess ``x``.
+
+        Dispatches on the active Jacobian mode: compiled analytic kernel
+        (when available) → fused numpy analytic pass → 7-point FD
+        stencil (only when forced via :func:`fd_jacobians`).  All three
+        produce the same linearization to rounding; Newton converges to
+        the same fixed point either way.
+        """
+        if _FD_JACOBIANS[0]:
+            self._stamp_fd(st, x)
+        elif self._ck_args is not None and st.a.dtype is _F64:
+            xe = self._xe
+            xe[:-1] = x
+            self._ck_fn(*self._ck_args, st.a.ctypes.data, st.b.ctypes.data)
+        else:
+            self._stamp_analytic(st, x)
+
+    def _stamp_analytic(self, st: Stamper, x: np.ndarray) -> None:
+        """One fused analytic model pass for all devices (numpy).
+
+        Same closed-form derivatives as :meth:`Mosfet._linearize_nmos`,
+        vectorized with the four transcendental arguments stacked into
+        one ``(4, n)`` buffer so a single ``logaddexp`` dispatch covers
+        lf/ln(1+eᵘ)/lr/CLM and a single ``tanh`` chain covers all four
+        sigmoids — the dispatch count, not the flops, is what a tiny
+        analog cell pays for.
+        """
+        xe = self._xe  # ground (index -1) reads the trailing 0
+        xe[:-1] = x
+        vn = self._vn
+        V = self._V
+        # Original-frame terminal voltages (for the companion current).
+        np.subtract(xe[self._gdb], xe[self.s], out=V)
+        VN = np.multiply(self.sign, V, out=self._VN)  # NMOS frame
+        vg_n, vd_n, vb_n = VN
+        # Body effect: sq = √(φ − clamp(vbs)); gmb vanishes past the clamp.
+        unclamped = np.less(vb_n, self._phi_cap, out=self._mask)
+        sq = np.minimum(vb_n, self._phi_cap, out=vn[0])
+        np.subtract(self._phi, sq, out=sq)
+        np.sqrt(sq, out=sq)
+        ov = np.multiply(self._gamma, sq, out=vn[1])
+        np.add(self._vt0p, ov, out=ov)
+        np.subtract(vg_n, ov, out=ov)
+        # Stack the four transcendental arguments: xf, u, xr, z.
+        A = self._A4
+        np.multiply(ov, self._ovd_scale, out=A[0:2])
+        np.multiply(vd_n, self._vds_scale, out=A[2:4])
+        np.subtract(A[0], A[2], out=A[2])
+        L = np.logaddexp(0.0, A, out=self._L4)   # lf, ln(1+eᵘ), lr, CLM log
+        S = A                                    # reuse as the sigmoids
+        np.multiply(S, 0.5, out=S)
+        np.tanh(S, out=S)
+        np.multiply(S, 0.5, out=S)
+        np.add(S, 0.5, out=S)                    # σ(xf), σ(u), σ(xr), σ(z)
+        P = np.multiply(L, S, out=self._P4)
+        # F-derivatives → G rows 0/1; F, 1/D, c0/D in the (n,) temps.
+        G = self._G
+        np.subtract(P[0], P[2], out=G[0])
+        np.multiply(self._two_inv_ns2, G[0], out=G[0])
+        np.multiply(self._two_inv_s2, P[2], out=G[1])
+        big_f = np.subtract(L[0], L[2], out=vn[2])
+        tmp = np.add(L[0], L[2], out=vn[3])
+        np.multiply(big_f, tmp, out=big_f)       # F = (lf−lr)(lf+lr)
+        inv_d = np.multiply(self._theta_nphit, L[1], out=vn[3])
+        np.add(1.0, inv_d, out=inv_d)
+        np.divide(1.0, inv_d, out=inv_d)
+        c0_inv_d = np.multiply(self._c0, inv_d, out=vn[4])
+        dden = np.multiply(self._theta_eff, S[1], out=L[1])
+        quot = np.multiply(big_f, inv_d, out=L[0])
+        np.multiply(quot, dden, out=quot)
+        np.subtract(G[0], quot, out=G[0])
+        np.multiply(G[0], c0_inv_d, out=G[0])
+        np.multiply(G[1], c0_inv_d, out=G[1])
+        ids0 = np.multiply(big_f, c0_inv_d, out=vn[2])
+        # CLM factor and its derivative close out gm/gds/gmb.
+        clm = np.multiply(self._lam_clm, L[3], out=L[3])
+        np.add(1.0, clm, out=clm)
+        dclm = np.multiply(self._lam, S[3], out=S[3])
+        np.multiply(G[0:2], clm, out=G[0:2])
+        np.multiply(ids0, dclm, out=dclm)
+        np.add(G[1], dclm, out=G[1])
+        np.divide(self._half_gamma, sq, out=sq)
+        np.multiply(G[0], sq, out=G[2])
+        np.multiply(G[2], unclamped, out=G[2])
+        ids_n = np.multiply(ids0, clm, out=vn[2])
+        # Scatter — identical tail to the FD pass.
+        vals8 = np.matmul(self._pmat, G, out=self._vals8)
+        np.add.at(st.a.reshape(-1), self._a_flat,
+                  vals8.reshape(-1)[self._a_keep])
+        ids = np.multiply(self.sign, ids_n, out=vn[3])
+        GV = np.multiply(G, V, out=self._GV)
+        ieq = np.sum(GV, axis=0, out=vn[4])
+        np.subtract(ids, ieq, out=ieq)
+        rhs2 = self._rhs2
+        np.negative(ieq, out=rhs2[0])
+        rhs2[1] = ieq
+        np.add.at(st.b, self._b_idx, rhs2.reshape(-1)[self._b_keep])
+
+    def _stamp_fd(self, st: Stamper, x: np.ndarray) -> None:
+        """7-point finite-difference stamp (legacy/debug reference)."""
         xe = self._xe  # ground (index -1) reads the trailing 0
         xe[:-1] = x
         vn = self._vn

@@ -9,10 +9,12 @@ Commands:
   operating point (node voltages, source currents, device bias);
 * ``tran <netlist> --tstop T --dt DT [--tech NODE] [--nodes a,b]`` —
   transient analysis; prints summary statistics per requested node;
-* ``mc [--tech NODE] [--samples N] [--jobs J] [--checkpoint DIR
-  [--resume]] [--retries N --timeout SEC] [--trace FILE] [--quiet]`` —
-  Monte-Carlo offset yield of a differential pair (the §2 demo),
-  parallelised over the :mod:`repro.parallel` backends, with
+* ``mc [--workload offset|ring] [--tech NODE] [--samples N] [--jobs J]
+  [--batch-size B] [--checkpoint DIR [--resume]] [--retries N
+  --timeout SEC] [--trace FILE] [--quiet]`` — Monte-Carlo yield of a
+  differential-pair offset spec (the §2 demo) or a transient ring-
+  oscillator swing spec, parallelised over the
+  :mod:`repro.parallel` backends, with
   chunk-granular checkpointing, per-sample retry/timeout, graceful
   degradation (see ``docs/robustness.md``), a live progress heartbeat
   on stderr and optional JSONL trace export (``docs/observability.md``);
@@ -159,7 +161,50 @@ def _offset_extractor(fixture) -> float:
     return input_referred_offset_v(fixture)
 
 
-def _print_mc_result(result, args, tech, partial: bool = False) -> None:
+def _ring_swing_metric(result, fixture) -> float:
+    """Stage-1 output swing of the ring workload (peak minus trough).
+
+    Module-level so the ``process`` backend can pickle the transient
+    specification that carries it.
+    """
+    wave = result.voltage(fixture.nodes["stage1"])
+    return float(wave.peak() - wave.trough())
+
+
+def _mc_workload(args, tech):
+    """Build the (fixture, spec, spec_text) triple for ``mc --workload``.
+
+    ``offset`` is the §2 differential-pair DC demo; ``ring`` is a
+    transient-dominated 3-stage ring-oscillator swing spec that
+    exercises the batched lockstep transient integrator when
+    ``--batch-size`` is given.
+    """
+    from repro.core import Specification, transient_specification
+
+    if args.workload == "ring":
+        from repro.circuits import ring_oscillator
+
+        fx = ring_oscillator(tech, n_stages=3)
+        lower = args.swing_min_v if args.swing_min_v is not None \
+            else 0.5 * tech.vdd
+        spec = transient_specification(
+            "swing", _ring_swing_metric, t_stop_s=args.ring_tstop,
+            dt_s=args.ring_dt, lower=lower)
+        spec_text = f"stage-1 swing > {lower:g} V"
+        return fx, spec, spec_text
+
+    from repro.circuits import differential_pair
+
+    limit_v = args.limit_mv * units.MILLI
+    fx = differential_pair(tech, w_m=args.w_um * units.MICRO,
+                           l_m=args.l_um * units.MICRO)
+    spec = Specification("offset", _offset_extractor,
+                         lower=-limit_v, upper=limit_v)
+    spec_text = f"|offset| < {args.limit_mv:g} mV"
+    return fx, spec, spec_text
+
+
+def _print_mc_result(result, args, tech, spec_text, partial=False) -> None:
     """Render a (possibly partial/degraded) yield result."""
     from repro.report import render_failure_ledger
 
@@ -167,15 +212,23 @@ def _print_mc_result(result, args, tech, partial: bool = False) -> None:
     rows = [
         ("samples", f"{result.n_samples} (jobs={args.jobs}, "
                     f"backend={args.backend})"),
-        ("spec", f"|offset| < {args.limit_mv:g} mV"),
+        ("spec", spec_text),
     ]
     if partial:
         rows.append(("evaluated", f"{result.n_evaluated} of "
                                   f"{result.n_samples} (PARTIAL)"))
-    try:
-        rows.append(("offset sigma", f"{result.sigma('offset') * 1e3:.2f} mV"))
-    except ValueError:
-        rows.append(("offset sigma", "n/a (too few valid samples)"))
+    if args.workload == "ring":
+        try:
+            rows.append(("swing sigma",
+                         f"{result.sigma('swing') * 1e3:.2f} mV"))
+        except ValueError:
+            rows.append(("swing sigma", "n/a (too few valid samples)"))
+    else:
+        try:
+            rows.append(("offset sigma",
+                         f"{result.sigma('offset') * 1e3:.2f} mV"))
+        except ValueError:
+            rows.append(("offset sigma", "n/a (too few valid samples)"))
     rows += [
         ("yield", f"{result.yield_fraction * 100:.1f} %"),
         ("95% CI", f"[{lo * 100:.1f}, {hi * 100:.1f}] %"
@@ -190,7 +243,11 @@ def _print_mc_result(result, args, tech, partial: bool = False) -> None:
     ledger_text = render_failure_ledger(result.ledger)
     if ledger_text:
         body = body + "\n\n" + ledger_text
-    title = "Monte-Carlo offset yield: differential pair, " + tech.name
+    if args.workload == "ring":
+        title = ("Monte-Carlo swing yield: 3-stage ring oscillator, "
+                 + tech.name)
+    else:
+        title = "Monte-Carlo offset yield: differential pair, " + tech.name
     if partial:
         title += " [INTERRUPTED]"
     print(render_section(title, body))
@@ -223,17 +280,12 @@ def _mc_heartbeat(session, stream):
 def _cmd_mc(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.checkpoint import RunInterrupted
-    from repro.circuits import differential_pair
-    from repro.core import MonteCarloYield, Specification
+    from repro.core import MonteCarloYield
     from repro.parallel import RetryPolicy
     from repro.technology import get_node
 
     tech = get_node(args.tech)
-    limit_v = args.limit_mv * units.MILLI
-    fx = differential_pair(tech, w_m=args.w_um * units.MICRO,
-                           l_m=args.l_um * units.MICRO)
-    spec = Specification("offset", _offset_extractor,
-                         lower=-limit_v, upper=limit_v)
+    fx, spec, spec_text = _mc_workload(args, tech)
     retry = None
     if args.retries > 1 or args.timeout is not None:
         retry = RetryPolicy(max_attempts=args.retries,
@@ -246,7 +298,8 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     # heartbeat reads its metrics registry and --trace serialises it.
     # Library callers without a session keep the zero-overhead path.
     meta = {"command": "mc", "tech": args.tech, "samples": args.samples,
-            "seed": args.seed, "jobs": args.jobs, "backend": args.backend}
+            "seed": args.seed, "jobs": args.jobs, "backend": args.backend,
+            "workload": args.workload}
     with telemetry.session(meta=meta) as session:
         progress = None if args.quiet else _mc_heartbeat(session,
                                                          sys.stderr)
@@ -272,14 +325,14 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             write_trace()
             if exc.partial_result is not None:
                 _print_mc_result(exc.partial_result, args, tech,
-                                 partial=True)
+                                 spec_text, partial=True)
             print(f"interrupted: {exc}", file=sys.stderr)
             print(f"resume with: repro mc --checkpoint "
                   f"{exc.checkpoint_path} --resume --samples "
                   f"{args.samples} --seed {args.seed}", file=sys.stderr)
             return 130
         write_trace()
-    _print_mc_result(result, args, tech)
+    _print_mc_result(result, args, tech, spec_text)
     return 2 if result.is_degraded else 0
 
 
@@ -427,7 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tran.set_defaults(func=_cmd_tran)
 
     p_mc = sub.add_parser(
-        "mc", help="Monte-Carlo offset yield of a differential pair",
+        "mc", help="Monte-Carlo yield: differential-pair offset or "
+                   "transient ring swing",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=EXIT_CODE_DOC)
     p_mc.add_argument("--tech", default="90nm",
@@ -439,10 +493,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--backend", default="auto",
                       choices=("auto", "serial", "thread", "process"))
     p_mc.add_argument("--batch-size", type=int, default=None, metavar="B",
-                      help="solve each die's DC sweep as lanes of one "
-                           "batched Newton ensemble (up to B points per "
-                           "solve); sampled variates and pass/fail "
-                           "verdicts are unchanged")
+                      help="solve up to B dies as lanes of one batched "
+                           "Newton ensemble (DC sweeps for the offset "
+                           "workload, lockstep transient for ring); "
+                           "sampled variates and pass/fail verdicts are "
+                           "unchanged")
+    p_mc.add_argument("--workload", default="offset",
+                      choices=("offset", "ring"),
+                      help="offset: DC input-referred offset of a "
+                           "differential pair (default); ring: transient "
+                           "stage-1 swing of a 3-stage ring oscillator")
+    p_mc.add_argument("--ring-tstop", type=float, default=0.3e-9,
+                      metavar="SEC",
+                      help="ring workload transient stop time "
+                           "(default 0.3 ns)")
+    p_mc.add_argument("--ring-dt", type=float, default=5e-12, metavar="SEC",
+                      help="ring workload time step (default 5 ps)")
+    p_mc.add_argument("--swing-min-v", type=float, default=None, metavar="V",
+                      help="ring workload swing spec lower bound "
+                           "(default 0.5*VDD)")
     p_mc.add_argument("--limit-mv", type=float, default=5.0,
                       help="offset spec window [mV]")
     p_mc.add_argument("--w-um", type=float, default=4.0,

@@ -40,7 +40,9 @@ from repro.core.yield_analysis import (
     MonteCarloYield,
     SampleEvaluationError,
     Specification,
+    TransientSpecification,
     YieldResult,
+    transient_specification,
     wilson_interval,
 )
 
@@ -66,6 +68,7 @@ __all__ = [
     "ReliabilitySimulator",
     "SampleEvaluationError",
     "Specification",
+    "TransientSpecification",
     "SusceptibilityMap",
     "SweepResult",
     "YieldResult",
@@ -77,5 +80,6 @@ __all__ = [
     "sweep",
     "tddb_survival_fn",
     "time_to_spec_violation",
+    "transient_specification",
     "wilson_interval",
 ]

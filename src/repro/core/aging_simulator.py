@@ -181,13 +181,8 @@ class ReliabilitySimulator:
                            t_stop=profile.transient_t_stop_s,
                            dt=profile.transient_dt_s,
                            method=profile.transient_method)
-        stresses = {}
-        for device in self.fixture.circuit.mosfets:
-            bias = result.device_bias(device.name)
-            stresses[device.name] = DeviceStress.from_waveforms(
-                bias["vgs"], bias["vds"], bias["ids"],
-                temperature_k=profile.temperature_k)
-        return stresses
+        return _transient_stresses(self.fixture.circuit, result,
+                                   profile.temperature_k)
 
     def extract_stresses(self, profile: MissionProfile
                          ) -> Dict[str, DeviceStress]:
@@ -228,6 +223,52 @@ class ReliabilitySimulator:
                    for (dev, _), state in self._states.items()
                    if dev == device_name)
 
+    def apply_epoch(self, profile: MissionProfile, dt_s: float,
+                    operating_stresses: Dict[str, DeviceStress]) -> None:
+        """Advance every mechanism by one ``dt_s``-second epoch under the
+        extracted stresses (honouring the duty-cycle phases) and re-apply
+        the accumulated degradation to the devices.
+
+        This is the degrade half of the simulate→stress→degrade loop,
+        shared by :meth:`run` and the batched ensemble driver (which
+        extracts the stresses of many dies in one lockstep transient).
+        """
+        devices = self.fixture.circuit.mosfets
+        if profile.phases is None:
+            schedule = [(dt_s, operating_stresses)]
+        else:
+            # Duty-cycled epoch: powered phases see the extracted
+            # stress (at the phase temperature); unpowered phases see
+            # zero bias — NBTI relaxes, HCI freezes.
+            schedule = []
+            for phase in profile.phases:
+                if phase.powered:
+                    phase_stresses = {
+                        name: DeviceStress(
+                            vgs_v=s.vgs_v, vds_v=s.vds_v,
+                            temperature_k=phase.temperature_k,
+                            vgs_waveform=s.vgs_waveform,
+                            vds_waveform=s.vds_waveform,
+                            ids_waveform=s.ids_waveform)
+                        for name, s in operating_stresses.items()
+                    }
+                else:
+                    phase_stresses = {
+                        device.name: DeviceStress.static(
+                            0.0, 0.0, phase.temperature_k)
+                        for device in devices
+                    }
+                schedule.append((phase.fraction * dt_s, phase_stresses))
+        for dt_phase, stresses in schedule:
+            for device in devices:
+                stress = stresses[device.name]
+                for mechanism in self.mechanisms:
+                    if not mechanism.affects(device):
+                        continue
+                    state = self._state(device.name, mechanism)
+                    mechanism.advance(device, stress, state, dt_phase)
+        self._apply_degradation()
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -262,44 +303,7 @@ class ReliabilitySimulator:
                                     t_end_s=float(t_end)):
                     dt = t_end - t_prev
                     operating_stresses = self.extract_stresses(profile)
-                    if profile.phases is None:
-                        schedule = [(dt, operating_stresses)]
-                    else:
-                        # Duty-cycled epoch: powered phases see the
-                        # extracted stress (at the phase temperature);
-                        # unpowered phases see zero bias — NBTI
-                        # relaxes, HCI freezes.
-                        schedule = []
-                        for phase in profile.phases:
-                            if phase.powered:
-                                phase_stresses = {
-                                    name: DeviceStress(
-                                        vgs_v=s.vgs_v, vds_v=s.vds_v,
-                                        temperature_k=phase.temperature_k,
-                                        vgs_waveform=s.vgs_waveform,
-                                        vds_waveform=s.vds_waveform,
-                                        ids_waveform=s.ids_waveform)
-                                    for name, s
-                                    in operating_stresses.items()
-                                }
-                            else:
-                                phase_stresses = {
-                                    device.name: DeviceStress.static(
-                                        0.0, 0.0, phase.temperature_k)
-                                    for device in devices
-                                }
-                            schedule.append(
-                                (phase.fraction * dt, phase_stresses))
-                    for dt_phase, stresses in schedule:
-                        for device in devices:
-                            stress = stresses[device.name]
-                            for mechanism in self.mechanisms:
-                                if not mechanism.affects(device):
-                                    continue
-                                state = self._state(device.name, mechanism)
-                                mechanism.advance(device, stress, state,
-                                                  dt_phase)
-                    self._apply_degradation()
+                    self.apply_epoch(profile, dt, operating_stresses)
                     for device in devices:
                         delta_vt[device.name][k] = \
                             self.total_delta_vt(device.name)
@@ -309,6 +313,18 @@ class ReliabilitySimulator:
 
         return AgingReport(times_s=times, metrics=trajectories,
                            device_delta_vt_v=delta_vt)
+
+
+def _transient_stresses(circuit: Circuit, result: TransientResult,
+                        temperature_k: float) -> Dict[str, DeviceStress]:
+    """Per-device waveform stresses from one transient record."""
+    stresses = {}
+    for device in circuit.mosfets:
+        bias = result.device_bias(device.name)
+        stresses[device.name] = DeviceStress.from_waveforms(
+            bias["vgs"], bias["vds"], bias["ids"],
+            temperature_k=temperature_k)
+    return stresses
 
 
 def aging_ensemble(fixture: CircuitFixture,
@@ -321,7 +337,8 @@ def aging_ensemble(fixture: CircuitFixture,
                    jobs: int = 1,
                    backend: str = "auto",
                    include_ler: bool = False,
-                   quarantine: bool = False):
+                   quarantine: bool = False,
+                   batch_size: Optional[int] = None):
     """Monte-Carlo aging: mission trajectories over sampled mismatch.
 
     The paper's §2 and §3 interact — a die's time-zero mismatch shifts
@@ -342,6 +359,17 @@ def aging_ensemble(fixture: CircuitFixture,
     ensemble, and the :class:`~repro.parallel.FailureLedger` records the
     sample index and diagnostics.  The default (``False``) keeps the
     historical contract: a plain report list, failures propagate.
+
+    ``batch_size`` (transient stress mode only) runs the dies of each
+    slab in LOCKSTEP: every epoch's stress-extraction transient
+    advances up to ``batch_size`` dies as lanes of one batched
+    integration (:func:`~repro.circuit.batch_transient.
+    batched_transient`) instead of die-by-die.  The sampled variates
+    are bit-identical to a scalar run (each die keeps its own spawned
+    seed and draw order) and the extracted stresses agree within
+    solver tolerance; lanes the batch cannot carry fall back to the
+    scalar integrator with its full error semantics.  Requires
+    ``jobs=1`` — the lockstep driver is already the parallelism.
     """
     from repro.core.yield_analysis import QUARANTINE_ERRORS
     from repro.faultinject import set_current_sample
@@ -349,6 +377,18 @@ def aging_ensemble(fixture: CircuitFixture,
 
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1 (or None)")
+        if profile.stress_mode != "transient":
+            raise ValueError(
+                "batch_size requires stress_mode='transient' (the batched "
+                "driver accelerates the per-epoch stress transients)")
+        if jobs != 1:
+            raise ValueError("batch_size requires jobs=1")
+        return _aging_ensemble_batched(
+            fixture, mechanisms, profile, metrics, tech, n_samples,
+            seed, batch_size, include_ler, quarantine)
     seeds = spawn_seed_sequences(seed, n_samples)
 
     def run_sample(task) -> AgingReport:
@@ -416,3 +456,151 @@ def aging_ensemble(fixture: CircuitFixture,
             else:
                 reports.append(outcome)
         return reports, ledger
+
+
+def _aging_ensemble_batched(fixture: CircuitFixture,
+                            mechanisms: Sequence[AgingMechanism],
+                            profile: MissionProfile,
+                            metrics: Dict[str, MetricFn],
+                            tech,
+                            n_samples: int,
+                            seed: int,
+                            batch_size: int,
+                            include_ler: bool,
+                            quarantine: bool):
+    """Dies-as-lanes aging ensemble (see :func:`aging_ensemble`).
+
+    One private fixture replica hosts every die: per slab of up to
+    ``batch_size`` dies, the mission epochs run in LOCKSTEP — each die's
+    variation + accumulated degradation is snapshotted into a lane, one
+    batched transient extracts all stresses, then each die's mechanisms
+    advance independently.  The simulate→stress→degrade semantics per
+    die are identical to the scalar path; only the integration is
+    shared.
+    """
+    from repro.circuit.batch_transient import batched_transient
+    from repro.core.yield_analysis import QUARANTINE_ERRORS
+    from repro.faultinject import set_current_sample
+    from repro.variability.sampler import MismatchSampler
+
+    fx, _ = replicate((fixture, ()))
+    circuit = fx.circuit
+    devices = circuit.mosfets
+    seeds = spawn_seed_sequences(seed, n_samples)
+    epoch_ends = profile.epoch_times_s()
+    times = np.concatenate(([0.0], epoch_ends))
+    session = telemetry.active()
+    reports: List[Optional[AgingReport]] = [None] * n_samples
+    failures: List[Tuple[int, BaseException]] = []
+
+    run_ctx = telemetry.NULL_SPAN if session is None else \
+        session.tracer.span("run", kind="aging-ensemble",
+                            n_samples=n_samples, jobs=1,
+                            batch_size=batch_size)
+    with run_ctx:
+        for slab_start in range(0, n_samples, batch_size):
+            slab = list(range(slab_start,
+                              min(slab_start + batch_size, n_samples)))
+            B = len(slab)
+            # Sample every die's variation in index order — the same
+            # per-die seed streams (and thus variates) as a scalar run.
+            variations: List[list] = []
+            sims: List[ReliabilitySimulator] = []
+            for index in slab:
+                rng = np.random.default_rng(seeds[index])
+                sampler = MismatchSampler(tech, rng,
+                                          include_ler=include_ler)
+                set_current_sample(index)
+                try:
+                    sampler.assign(circuit)
+                finally:
+                    set_current_sample(None)
+                variations.append([m.variation for m in devices])
+                sims.append(ReliabilitySimulator(fx, replicate(
+                    list(mechanisms))))
+                if session is not None:
+                    session.metrics.inc("engine.samples")
+
+            def configure(j: int) -> None:
+                # Lane j's die: its sampled variation plus whatever
+                # degradation its mechanisms have accumulated so far.
+                for m, v in zip(devices, variations[j]):
+                    m.variation = v
+                sims[j]._apply_degradation()
+
+            trajectories = [{name: np.empty(len(times)) for name in metrics}
+                            for _ in slab]
+            delta_vt = [{d.name: np.zeros(len(times)) for d in devices}
+                        for _ in slab]
+            for j in range(B):
+                configure(j)
+                for name, fn in metrics.items():
+                    trajectories[j][name][0] = fn(fx)
+
+            alive = [True] * B
+            t_prev = 0.0
+            for k, t_end in enumerate(epoch_ends, start=1):
+                live = [j for j in range(B) if alive[j]]
+                if not live:
+                    break
+                dt = t_end - t_prev
+                if session is not None:
+                    session.metrics.inc("engine.aging_epochs")
+                with telemetry.span("aging.epoch", epoch=k,
+                                    t_end_s=float(t_end), lanes=len(live)):
+                    try:
+                        results, errors = batched_transient(
+                            circuit, len(live),
+                            profile.transient_t_stop_s,
+                            profile.transient_dt_s,
+                            configure=lambda i: configure(live[i]),
+                            method=profile.transient_method,
+                            quarantine=True)
+                    except QUARANTINE_ERRORS:
+                        # A lane's t=0 operating point failed; retry the
+                        # slab die-by-die so only the bad die is lost.
+                        results, errors = [], []
+                        for j in live:
+                            try:
+                                configure(j)
+                                sim_result = transient(
+                                    circuit, profile.transient_t_stop_s,
+                                    profile.transient_dt_s,
+                                    method=profile.transient_method)
+                                results.append(sim_result)
+                                errors.append(None)
+                            except QUARANTINE_ERRORS as exc:
+                                results.append(None)
+                                errors.append(exc)
+                    for i, j in enumerate(live):
+                        if errors[i] is not None:
+                            if not quarantine:
+                                raise errors[i]
+                            alive[j] = False
+                            failures.append((slab[j], errors[i]))
+                            continue
+                        configure(j)
+                        stresses = _transient_stresses(
+                            circuit, results[i], profile.temperature_k)
+                        sims[j].apply_epoch(profile, dt, stresses)
+                        for device in devices:
+                            delta_vt[j][device.name][k] = \
+                                sims[j].total_delta_vt(device.name)
+                        for name, fn in metrics.items():
+                            trajectories[j][name][k] = fn(fx)
+                t_prev = t_end
+            for j, index in enumerate(slab):
+                if alive[j]:
+                    reports[index] = AgingReport(
+                        times_s=times.copy(), metrics=trajectories[j],
+                        device_delta_vt_v=delta_vt[j])
+    if not quarantine:
+        return [r for r in reports]
+
+    from repro.parallel import FailureLedger
+
+    ledger = FailureLedger()
+    for index, exc in failures:
+        ledger.add(index, exc, label="mission")
+    ledger.sort()
+    return reports, ledger

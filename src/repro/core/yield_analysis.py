@@ -28,9 +28,10 @@ import numpy as np
 
 from repro import telemetry
 from repro.checkpoint import CheckpointError, McCheckpointStore, RunInterrupted
-from repro.circuit.batch import batched_sweeps
+from repro.circuit.batch import batched_sweeps, can_batch
 from repro.circuit.dc import warm_start
 from repro.circuit.mna import ConvergenceError, SingularCircuitError
+from repro.circuit.transient import TransientResult, transient
 from repro.circuits.references import CircuitFixture
 from repro.faultinject import WorkerKilledError, set_current_sample
 from repro.parallel import (
@@ -118,6 +119,73 @@ class Specification:
         if self.upper is not None and value > self.upper:
             return False
         return True
+
+
+@dataclass(frozen=True)
+class _TransientExtractor:
+    """Picklable scalar-path extractor of a :class:`TransientSpecification`.
+
+    A plain dataclass (not a closure) so the ``process`` backend can
+    ship chunks containing transient specs to workers.
+    """
+
+    metric: Callable[[TransientResult, CircuitFixture], float]
+    t_stop_s: float
+    dt_s: float
+    method: str
+    lte_rtol: Optional[float]
+
+    def __call__(self, fixture: CircuitFixture) -> float:
+        result = transient(fixture.circuit, self.t_stop_s, self.dt_s,
+                           method=self.method, lte_rtol=self.lte_rtol)
+        return float(self.metric(result, fixture))
+
+
+@dataclass(frozen=True)
+class TransientSpecification(Specification):
+    """A pass/fail criterion computed from a transient record.
+
+    The metric maps ``(TransientResult, fixture) → float``; the scalar
+    path runs one :func:`~repro.circuit.transient.transient` per die,
+    while ``MonteCarloYield(batch_size=)`` advances the dies of each
+    chunk in lockstep through the batched integrator
+    (:func:`~repro.circuit.batch_transient.batched_transient`) — the
+    transient-dominated analogue of the batched DC sweep.  Build with
+    :func:`transient_specification`.
+    """
+
+    t_stop_s: float = 0.0
+    dt_s: float = 0.0
+    method: str = "trapezoidal"
+    lte_rtol: Optional[float] = None
+    metric: Optional[Callable[[TransientResult, CircuitFixture], float]] \
+        = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.metric is None:
+            raise ValueError(
+                f"spec {self.name!r}: use transient_specification() to "
+                f"build a TransientSpecification (metric is required)")
+        if self.t_stop_s <= 0.0 or self.dt_s <= 0.0:
+            raise ValueError(
+                f"spec {self.name!r}: t_stop_s and dt_s must be positive")
+
+
+def transient_specification(
+        name: str,
+        metric: Callable[[TransientResult, CircuitFixture], float],
+        *, t_stop_s: float, dt_s: float, method: str = "trapezoidal",
+        lte_rtol: Optional[float] = None,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None) -> TransientSpecification:
+    """Build a :class:`TransientSpecification` (extractor derived)."""
+    extractor = _TransientExtractor(metric, t_stop_s, dt_s, method,
+                                    lte_rtol)
+    return TransientSpecification(name, extractor, lower, upper,
+                                  t_stop_s=t_stop_s, dt_s=dt_s,
+                                  method=method, lte_rtol=lte_rtol,
+                                  metric=metric)
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple:
@@ -285,6 +353,13 @@ class MonteCarloYield:
         circuit = fixture.circuit
         rng = np.random.default_rng(seed_seq)
         sampler = MismatchSampler(self.tech, rng, include_ler=self.include_ler)
+        if (batch_size and self.specs
+                and all(isinstance(s, TransientSpecification)
+                        for s in self.specs)
+                and can_batch(circuit)):
+            return self._evaluate_chunk_transient_batched(
+                start, stop, fixture, sampler, trace, t_enqueued,
+                batch_size)
         values = {s.name: np.full(n, np.nan) for s in self.specs}
         spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
         passes = np.zeros(n, dtype=bool)
@@ -351,6 +426,112 @@ class MonteCarloYield:
                             tsession.metrics.observe(
                                 "engine.sample_duration_s",
                                 time.perf_counter() - t_sample)
+            finally:
+                set_current_sample(None)
+            payload = {"start": start, "stop": stop, "values": values,
+                       "spec_passes": spec_passes, "passes": passes,
+                       "failure_counts": failure_counts,
+                       "ledger": ledger.to_list()}
+            if tsession is not None:
+                payload["telemetry"] = tsession.export()
+            return payload
+
+    def _evaluate_chunk_transient_batched(self, start: int, stop: int,
+                                          fixture: CircuitFixture,
+                                          sampler: MismatchSampler,
+                                          trace: bool, t_enqueued: float,
+                                          batch_size: int) -> dict:
+        """Dies-as-lanes evaluation of an all-transient-spec chunk.
+
+        Per slab of up to ``batch_size`` dies: the sampler assigns every
+        die's variation first (same calls in the same order as the
+        scalar loop, so the variates are bit-identical), then each
+        spec's transient advances the whole slab in lockstep through
+        :func:`~repro.circuit.batch_transient.batched_transient`.
+        Lanes the batch cannot carry fall back to the scalar
+        integrator; dies whose fallback also fails are quarantined as
+        NaN with full diagnostics — the same degraded-result contract
+        as the scalar chunk.  RetryPolicy (if any) is not consulted on
+        this path; persistent per-die failures quarantine directly.
+        """
+        from repro.circuit.batch_transient import batched_transient
+
+        n = stop - start
+        circuit = fixture.circuit
+        devices = circuit.mosfets
+        values = {s.name: np.full(n, np.nan) for s in self.specs}
+        spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
+        passes = np.zeros(n, dtype=bool)
+        failure_counts: Dict[str, int] = {}
+        ledger = FailureLedger()
+        with telemetry.worker_session(trace, f"c{start}.") as tsession:
+            if tsession is not None:
+                queue_wait_s = max(0.0, time.time() - t_enqueued)
+                tsession.metrics.inc("engine.chunks")
+                tsession.metrics.inc("engine.samples", n)
+                tsession.metrics.observe("engine.queue_wait_s", queue_wait_s)
+                chunk_ctx = tsession.tracer.span(
+                    "chunk", start=start, stop=stop,
+                    worker=telemetry.worker_label(),
+                    queue_wait_s=round(queue_wait_s, 6),
+                    batched="transient")
+            else:
+                chunk_ctx = telemetry.NULL_SPAN
+            try:
+                with chunk_ctx:
+                    for slab0 in range(0, n, batch_size):
+                        dies = list(range(slab0,
+                                          min(slab0 + batch_size, n)))
+                        variations = []
+                        for k in dies:
+                            set_current_sample(start + k)
+                            sampler.assign(circuit, self.placements)
+                            variations.append(
+                                [m.variation for m in devices])
+
+                        def configure(j: int) -> None:
+                            for m, v in zip(devices, variations[j]):
+                                m.variation = v
+
+                        slab_ok = np.ones(len(dies), dtype=bool)
+                        for spec in self.specs:
+                            results, errors = batched_transient(
+                                circuit, len(dies), spec.t_stop_s,
+                                spec.dt_s, configure=configure,
+                                method=spec.method,
+                                lte_rtol=spec.lte_rtol, quarantine=True)
+                            for j, k in enumerate(dies):
+                                set_current_sample(start + k)
+                                if errors[j] is not None:
+                                    value = float("nan")
+                                    name = type(errors[j]).__name__
+                                    failure_counts[name] = \
+                                        failure_counts.get(name, 0) + 1
+                                    ledger.add(start + k, errors[j],
+                                               label=spec.name, attempts=1)
+                                else:
+                                    configure(j)
+                                    try:
+                                        value = float(
+                                            spec.metric(results[j],
+                                                        fixture))
+                                    except QUARANTINE_ERRORS as exc:
+                                        value = float("nan")
+                                        name = type(exc).__name__
+                                        failure_counts[name] = \
+                                            failure_counts.get(name, 0) + 1
+                                        ledger.add(start + k, exc,
+                                                   label=spec.name,
+                                                   attempts=1)
+                                    except Exception as exc:
+                                        raise SampleEvaluationError(
+                                            start + k, spec.name,
+                                            exc) from exc
+                                values[spec.name][k] = value
+                                ok = spec.passes(value)
+                                spec_passes[spec.name][k] = ok
+                                slab_ok[j] = slab_ok[j] and ok
+                        passes[dies] = slab_ok
             finally:
                 set_current_sample(None)
             payload = {"start": start, "stop": stop, "values": values,

@@ -8,10 +8,12 @@ Two layers of checks feed one structured :class:`VerificationReport`:
 * **cross-path checks** — a corpus of paper circuits is pushed through
   redundant solver paths that must agree with *each other*: scalar vs
   batched DC sweeps (within the per-circuit-class factors below),
-  backward-Euler vs trapezoidal transient (within the BE band), and
-  serial/thread/process Monte-Carlo with identical seeds (bit-identical
-  by the repo's determinism contract; ``batch_size=`` within Newton
-  tolerance).
+  sparse-vs-dense factorisation and finite-difference-vs-analytic
+  Jacobians on the OTA operating point (within the Newton stopping
+  band), backward-Euler vs trapezoidal transient (within the BE band),
+  and serial/thread/process Monte-Carlo with identical seeds
+  (bit-identical by the repo's determinism contract; ``batch_size=``
+  within Newton tolerance).
 
 Deviations are ULP-aware: every record carries the distance in
 representable doubles alongside the absolute error, so "equal",
@@ -263,6 +265,42 @@ def _check_batch_vs_scalar(name, circuit, source, values) -> Deviation:
         note=f"per-class factor {factor:g}x Newton stopping criterion")
 
 
+def _check_solver_variants(tech) -> List[Deviation]:
+    """Linear-solver and Jacobian variants must share the fixed point.
+
+    The sparse (CSC/``splu``) factorisation and the finite-difference
+    Jacobian fallback run the same Newton loop with the same residual
+    and stopping criterion as the default dense/analytic path, so on
+    the five-transistor OTA each must land within the stopping band of
+    the dense/analytic solution (FD gets 2x: its Jacobian carries
+    O(h²) truncation error, which perturbs the final damped step).
+    """
+    from repro.circuit import dc_operating_point, fd_jacobians, sparse_mode
+    from repro.circuits import five_transistor_ota
+
+    fx = five_transistor_ota(tech)
+    base = dc_operating_point(fx.circuit)
+    # The threshold is read at engine *build* time and engines are
+    # cached per circuit object, so the sparse leg needs a fresh build.
+    with sparse_mode(1):
+        fx_sparse = five_transistor_ota(tech)
+        sparse = dc_operating_point(fx_sparse.circuit)
+    with fd_jacobians():
+        fd = dc_operating_point(fx.circuit)
+    out = []
+    for path, sol, factor in (("dc.sparse-vs-dense", sparse, 1.0),
+                              ("dc.fd-vs-analytic", fd, 2.0)):
+        bound = batch_state_bound(base.x, factor)
+        ratio = np.abs(sol.x - base.x) / bound
+        i = int(np.argmax(ratio))
+        out.append(Deviation(
+            subject="five_transistor_ota", path=path,
+            quantity="worst_state_delta", reference=float(base.x[i]),
+            measured=float(sol.x[i]), bound=float(bound[i]),
+            note=f"{factor:g}x Newton stopping criterion"))
+    return out
+
+
 def _check_transient_cross() -> Deviation:
     """BE vs trapezoidal on the RC oracle — must agree within BE's band."""
     oracle = RcStepOracle()
@@ -324,6 +362,7 @@ def run_corpus(quick: bool = False) -> List[Deviation]:
             with telemetry.span("verify.corpus.batch", circuit=name):
                 out.append(_check_batch_vs_scalar(name, circuit, source,
                                                  values))
+        out.extend(_check_solver_variants(tech))
         out.append(_check_transient_cross())
         out.extend(_check_mc_backends(tech, quick))
     for dev in out:

@@ -41,6 +41,8 @@ from repro.circuit import (
     PulseSpec,
     dc_operating_point,
     dc_sweep,
+    fd_jacobians,
+    sparse_mode,
     transient,
 )
 from repro.circuit.dc import GMIN_FLOOR
@@ -154,7 +156,7 @@ class ResistiveLadderOracle(Oracle):
         return ckt
 
     def paths(self) -> Sequence[str]:
-        return ("dc.scalar", "dc.batch")
+        return ("dc.scalar", "dc.sparse", "dc.batch")
 
     def analytic(self) -> Dict[str, float]:
         n = self.n_rungs
@@ -172,6 +174,11 @@ class ResistiveLadderOracle(Oracle):
         ckt = self.build()
         if path == "dc.scalar":
             return self._read(dc_operating_point(ckt))
+        if path == "dc.sparse":
+            # Forcing the threshold to 1 routes this (small) system
+            # through the CSC factorisation instead of dense LAPACK.
+            with sparse_mode(1):
+                return self._read(dc_operating_point(ckt))
         if path == "dc.batch":
             # Three lanes; the middle one is the nominal supply and the
             # first (the pilot) deliberately is not, so the measured
@@ -237,7 +244,7 @@ class MosfetRegionOracle(Oracle):
         return ckt
 
     def paths(self) -> Sequence[str]:
-        return ("dc.scalar", "dc.batch")
+        return ("dc.scalar", "dc.fd", "dc.sparse", "dc.batch")
 
     def analytic(self) -> Dict[str, float]:
         vgs, vds = self.bias()
@@ -248,6 +255,17 @@ class MosfetRegionOracle(Oracle):
         vgs, vds = self.bias()
         if path == "dc.scalar":
             sol = dc_operating_point(ckt)
+            return {"ids_a": -sol.source_current("vd")}
+        if path == "dc.fd":
+            # Finite-difference Jacobians: the debugging fallback for
+            # the analytic derivatives must land on the same fixed
+            # point (the residual — the stamped currents — is shared).
+            with fd_jacobians():
+                sol = dc_operating_point(ckt)
+            return {"ids_a": -sol.source_current("vd")}
+        if path == "dc.sparse":
+            with sparse_mode(1):
+                sol = dc_operating_point(ckt)
             return {"ids_a": -sol.source_current("vd")}
         if path == "dc.batch":
             # Sweep the drain through the bias point; the pilot lane is
@@ -264,7 +282,7 @@ class MosfetRegionOracle(Oracle):
         # gmin shunt at the forced drain node flows through the vd
         # source alongside the channel current.
         leak = 4.0 * GMIN_FLOOR * max(vds, 1.0)
-        factor = 1.0 if path == "dc.scalar" else 2.0
+        factor = 2.0 if path == "dc.batch" else 1.0
         return Tolerance(rtol=factor * opts.reltol,
                          atol=factor * (opts.vtol + leak),
                          note="Newton stopping criterion + drain gmin")

@@ -1,9 +1,14 @@
 """Unit tests for the MNA stamper and solvers."""
 
+import builtins
+import importlib
+import sys
+
 import numpy as np
 import pytest
 
-from repro.circuit import SingularCircuitError, Stamper
+from repro.circuit import SingularCircuitError, SparsityPlan, Stamper, sparse_mode
+from repro.circuit import mna as mna_module
 
 
 class TestStamperPrimitives:
@@ -100,3 +105,114 @@ class TestSolve:
         st.current(0, 1e-3)
         x = st.solve()
         assert x[0] == pytest.approx(1.0 / (1.0 + 1.0j))
+
+
+def _divider_stamper():
+    """The voltage-divider system from TestSolve, reusable."""
+    st = Stamper(3)
+    st.conductance(0, 1, 1e-3)
+    st.conductance(1, -1, 1e-3)
+    st.branch_voltage(0, -1, 2, rhs=1.0)
+    return st
+
+
+class TestDgesvFallback:
+    """The direct-LAPACK fast path must degrade to numpy when absent."""
+
+    def test_solve_without_dgesv(self, monkeypatch):
+        monkeypatch.setattr(mna_module, "_dgesv", None)
+        x = _divider_stamper().solve()
+        assert x[1] == pytest.approx(0.5)
+
+    def test_singular_without_dgesv(self, monkeypatch):
+        monkeypatch.setattr(mna_module, "_dgesv", None)
+        st = Stamper(2)
+        st.conductance(0, 1, 1.0)
+        with pytest.raises(SingularCircuitError):
+            st.solve()
+
+    def test_import_error_leaves_none(self, monkeypatch):
+        """Reimporting mna with scipy's LAPACK blocked sets _dgesv=None
+        and the module still solves via the numpy path."""
+        real_import = builtins.__import__
+
+        def blocked(name, *args, **kwargs):
+            if name.startswith("scipy.linalg"):
+                raise ImportError(f"blocked for test: {name}")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", blocked)
+        monkeypatch.delitem(sys.modules, "repro.circuit.mna")
+        try:
+            fresh = importlib.import_module("repro.circuit.mna")
+            assert fresh._dgesv is None
+            st = fresh.Stamper(3)
+            st.conductance(0, 1, 1e-3)
+            st.conductance(1, -1, 1e-3)
+            st.branch_voltage(0, -1, 2, rhs=1.0)
+            assert st.solve()[1] == pytest.approx(0.5)
+        finally:
+            # Restore the real module object for everyone else.
+            sys.modules["repro.circuit.mna"] = mna_module
+
+
+class TestSparsityPlan:
+    def _plan_for(self, st):
+        rec = mna_module.CoordinateRecorder(st.size)
+        nz = np.argwhere(st.a != 0.0)
+        for row, col in nz:
+            rec.matrix(int(row), int(col))
+        return SparsityPlan(st.size, rec.rows, rec.cols)
+
+    def test_sparse_matches_dense(self):
+        st = _divider_stamper()
+        dense = st.solve()
+        st.plan = self._plan_for(st)
+        sparse = st.solve()
+        assert np.allclose(sparse, dense, rtol=0, atol=1e-14)
+        assert st.plan.factorizations == 1
+
+    def test_singular_sparse_raises(self):
+        st = Stamper(2)
+        st.conductance(0, 1, 1.0)
+        st.plan = self._plan_for(st)
+        with pytest.raises(SingularCircuitError):
+            st.solve()
+
+    def test_fill_ratio_and_nnz(self):
+        plan = SparsityPlan(3, [0, 1, 0, 0], [0, 1, 2, 0])
+        assert plan.nnz == 3  # (0,0) deduped
+        assert plan.fill_ratio() == pytest.approx(3.0 / 9.0)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SparsityPlan(3, [], [])
+
+    def test_sparse_mode_scopes_threshold(self):
+        before = mna_module.sparse_min_size()
+        with sparse_mode(1):
+            assert mna_module.sparse_min_size() == 1
+            with sparse_mode(10**9):
+                assert mna_module.sparse_min_size() == 10**9
+            assert mna_module.sparse_min_size() == 1
+        assert mna_module.sparse_min_size() == before
+
+    def test_engine_routes_through_plan(self):
+        """A DC engine built under sparse_mode(1) factorizes via splu.
+
+        The threshold is read when the engine is built and engines are
+        cached per circuit object, so each leg builds its own fixture.
+        """
+        from repro.circuit.dc import dc_engine, dc_operating_point
+        from repro.circuits import five_transistor_ota
+        from repro.technology import get_node
+
+        tech = get_node("90nm")
+        dense = dc_operating_point(five_transistor_ota(tech).circuit)
+        with sparse_mode(1):
+            fx = five_transistor_ota(tech)
+            sparse = dc_operating_point(fx.circuit)
+            engine = dc_engine(fx.circuit)
+        assert engine.sparsity_plan is not None
+        assert engine.sparsity_plan.factorizations > 0
+        assert np.allclose(sparse.x, dense.x, rtol=0, atol=1e-9)

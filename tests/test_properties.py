@@ -83,6 +83,85 @@ class TestMosfetInvariants:
         assert aged <= fresh + 1e-15
 
 
+class TestAnalyticJacobianProperties:
+    """Analytic ``linearize`` agrees with the central-FD stencil.
+
+    Tolerance derivation: the model transcendentals vary on the
+    moderate-inversion scale ``s = 2·n·φt ≈ 70 mV``, so the central
+    difference with step ``h = _FD_STEP_V = 1e-6 V`` carries a relative
+    truncation error of order ``h²/(6·s²) ≈ 3e-11`` plus a subtraction
+    roundoff term of order ``ε·s/h ≈ 1e-11``.  A relative band of 1e-6
+    on the dominant conductance scale at the bias point leaves four
+    decades of safety while still failing loudly on a wrong derivative
+    (which would be off at O(1)).  The only analytic/FD disagreement by
+    construction is the hard gmb = 0 beyond the body clamp — the ±h
+    neighbourhood of the clamp kink is assumed away.
+    """
+
+    @given(polarity=st.sampled_from(["n", "p"]),
+           tech_name=st.sampled_from(["180nm", "90nm", "65nm"]),
+           vgs_n=st.floats(-0.5, 1.5), vds_n=st.floats(-1.0, 1.5),
+           vbs_n=st.floats(-1.2, 1.2))
+    @settings(max_examples=300, deadline=None)
+    def test_linearize_matches_central_fd(self, polarity, tech_name,
+                                          vgs_n, vds_n, vbs_n):
+        from repro.circuit.mosfet import _FD_STEP_V
+
+        tech = get_node(tech_name)
+        m = Mosfet.from_technology("m", "d", "g", "s", "b", tech, polarity,
+                                   w_m=12.0 * tech.wmin_m,
+                                   l_m=2.0 * tech.lmin_m)
+        # FD differentiates across the body-clamp kink within ±h of it;
+        # the analytic branch is exact on either side but not inside.
+        cap = m.params.phi_v - 0.05
+        assume(abs(vbs_n - cap) > 4.0 * _FD_STEP_V)
+
+        sign = 1.0 if polarity == "n" else -1.0
+        vgs, vds, vbs = sign * vgs_n, sign * vds_n, sign * vbs_n
+        ids_a, gm_a, gds_a, gmb_a = m.linearize(vgs, vds, vbs)
+        ids_f, gm_f, gds_f, gmb_f = m.linearize_fd(vgs, vds, vbs)
+
+        # Identical current expression, different evaluation order only.
+        assert ids_a == pytest.approx(ids_f, rel=1e-12, abs=1e-18)
+
+        phit = units.thermal_voltage(m.params.temperature_k)
+        s_v = 2.0 * m.params.n_slope * phit
+        g_scale = max(abs(ids_f) / s_v, abs(gm_f), abs(gds_f),
+                      abs(gmb_f), 1e-18)
+        for g_a, g_f, name in ((gm_a, gm_f, "gm"), (gds_a, gds_f, "gds"),
+                               (gmb_a, gmb_f, "gmb")):
+            assert abs(g_a - g_f) <= 1e-6 * g_scale, (
+                f"{name}: analytic={g_a:.12e} fd={g_f:.12e} "
+                f"scale={g_scale:.3e}")
+
+    @given(vgs_n=st.floats(-0.5, 1.5), vds_n=st.floats(0.0, 1.5),
+           vbs_n=st.floats(-1.2, 0.2), dvt=st.floats(0.0, 0.25),
+           beta_fac=st.floats(0.7, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_fd_agreement_survives_variation_and_aging(self, vgs_n, vds_n,
+                                                       vbs_n, dvt, beta_fac):
+        """The closed forms track the *effective* parameters — mismatch
+        offsets and degradation factors must not desynchronize them
+        from the underlying current equation."""
+        from repro.circuit.mosfet import _FD_STEP_V
+
+        m = make_nmos()
+        assume(abs(vbs_n - (m.params.phi_v - 0.05)) > 4.0 * _FD_STEP_V)
+        m.variation.delta_vt_v = dvt * 0.1
+        m.variation.beta_factor = beta_fac
+        m.degradation.delta_vt_v = dvt
+        m.degradation.beta_factor = beta_fac
+        ids_a, gm_a, gds_a, gmb_a = m.linearize(vgs_n, vds_n, vbs_n)
+        ids_f, gm_f, gds_f, gmb_f = m.linearize_fd(vgs_n, vds_n, vbs_n)
+        phit = units.thermal_voltage(m.params.temperature_k)
+        g_scale = max(abs(ids_f) / (2.0 * m.params.n_slope * phit),
+                      abs(gm_f), abs(gds_f), abs(gmb_f), 1e-18)
+        assert ids_a == pytest.approx(ids_f, rel=1e-12, abs=1e-18)
+        assert abs(gm_a - gm_f) <= 1e-6 * g_scale
+        assert abs(gds_a - gds_f) <= 1e-6 * g_scale
+        assert abs(gmb_a - gmb_f) <= 1e-6 * g_scale
+
+
 class TestPelgromInvariants:
     geometries = st.floats(min_value=0.13, max_value=100.0)
 
