@@ -54,14 +54,20 @@ class RunInterrupted(RuntimeError):
     """
 
     def __init__(self, message: str, checkpoint_path: Optional[Path] = None,
-                 partial_result=None):
+                 partial_result=None, reason: str = "interrupt"):
         super().__init__(message)
         self.checkpoint_path = checkpoint_path
         self.partial_result = partial_result
+        #: Why the run stopped: ``"interrupt"`` (SIGINT / injected
+        #: fault) or ``"budget"`` (wall-clock deadline).  The CLI exit
+        #: code hangs off this — 130 for interrupts, 2 for a degraded
+        #: budget stop.
+        self.reason = reason
 
     def __reduce__(self):
         return type(self), (self.args[0] if self.args else "",
-                            self.checkpoint_path, self.partial_result)
+                            self.checkpoint_path, self.partial_result,
+                            self.reason)
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -186,6 +192,27 @@ class McCheckpointStore:
                 f"checkpoint schema {manifest.get('schema')!r} not supported")
         for key, expected in expected_params.items():
             found = manifest.get(key)
+            if key == "accel":
+                # Accelerator/batch configuration: pre-resilience
+                # checkpoints (PR < 7) did not record it — accept them
+                # as-is.  A recorded mismatch is refused with the exact
+                # knobs that differ, because splicing chunks solved by
+                # different accelerator paths silently breaks the
+                # bit-identical-resume guarantee.
+                if found is None:
+                    continue
+                if found != expected:
+                    keys = sorted(set(found) | set(expected))
+                    diffs = ", ".join(
+                        f"{k}: checkpoint has {found.get(k)!r}, this run "
+                        f"has {expected.get(k)!r}"
+                        for k in keys if found.get(k) != expected.get(k))
+                    raise CheckpointError(
+                        "accelerator configuration mismatch — resuming "
+                        "would not be bit-identical (" + diffs + "). "
+                        "Rerun with the checkpoint's accelerator "
+                        "configuration, or start a fresh checkpoint.")
+                continue
             if found != expected:
                 raise CheckpointError(
                     f"checkpoint mismatch on {key!r}: checkpoint has "

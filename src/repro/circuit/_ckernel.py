@@ -147,9 +147,52 @@ _DISABLED = os.environ.get("REPRO_NO_CKERNEL", "") not in ("", "0")
 _lib: Optional[ctypes.CDLL] = None
 _build_attempted = False
 
+# Resilience hooks (see repro.resilience).  ``_veto`` is the breaker's
+# quarantine flag — pushed in by the supervisor, read here so hot paths
+# never call into the supervisor.  ``_force_fail`` makes _compile()
+# fail on demand (fault injection for the compile-failure chaos
+# scenario).  Both are list cells so tests and workers can flip them
+# without rebinding importers' references.
+_veto = [False]
+_force_fail = [False]
+
+
+def vetoed() -> bool:
+    """Whether the breaker has quarantined the compiled kernel."""
+    return _veto[0]
+
+
+def set_veto(flag: bool) -> None:
+    """Quarantine flag pushed by the resilience supervisor's breaker."""
+    _veto[0] = bool(flag)
+
+
+def force_compile_failure(enabled: bool = True) -> None:
+    """Make the next build attempt fail (fault injection); resets the
+    cached build state so the failure is actually exercised."""
+    _force_fail[0] = bool(enabled)
+    reset()
+
+
+def reset() -> None:
+    """Forget the cached library/build attempt (tests, chaos probes).
+    The on-disk ``.so`` cache survives, so a healthy re-load is an
+    instant dlopen, not a recompile."""
+    global _lib, _build_attempted
+    _lib = None
+    _build_attempted = False
+
+
+def active() -> bool:
+    """Cheap per-call gate for already-bound batch kernels: the library
+    is loaded, not disabled, and not quarantined by the breaker."""
+    return _lib is not None and not _veto[0] and not _DISABLED
+
 
 def _compile() -> Optional[ctypes.CDLL]:
     """Build (or reuse) the shared library; None when impossible."""
+    if _force_fail[0]:
+        return None
     cc = shutil.which("gcc") or shutil.which("cc")
     if cc is None:
         return None
@@ -189,7 +232,7 @@ def load() -> Optional[ctypes.CDLL]:
     to the numpy analytic pass.
     """
     global _lib, _build_attempted
-    if _DISABLED:
+    if _DISABLED or _veto[0]:
         return None
     if not _build_attempted:
         _build_attempted = True

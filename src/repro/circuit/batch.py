@@ -367,7 +367,8 @@ class BatchMosfetGroup:
         """
         if _FD_JACOBIANS[0]:
             self._stamp_fd(bst, X)
-        elif self._ck_fn is not None and bst.a.dtype == np.float64:
+        elif self._ck_fn is not None and _ckernel.active() \
+                and bst.a.dtype == np.float64:
             self._stamp_ckernel(bst, X)
         else:
             self._stamp_analytic(bst, X)
@@ -799,13 +800,20 @@ def batched_dc_sweep(circuit: Circuit, source_name: str,
     same stopping criterion, same fixed points — only the damped
     iteration path differs.
     """
-    from repro import faultinject
+    from repro import faultinject, resilience
 
     element = circuit[source_name]
     if not isinstance(element, (VoltageSource, CurrentSource)):
         raise TypeError(f"{source_name!r} is not an independent source")
     vals = np.asarray(values, dtype=float)
     opts = options if options is not None else NewtonOptions()
+    # Memory guard: shrink the slab (never the point list) so the
+    # (B, n, n) stacks fit the ceiling.  Smaller slabs change only the
+    # loop partitioning below — per-point results are unchanged.
+    circuit.compile()
+    max_lanes = resilience.admit_lanes(
+        min(max_lanes, max(1, len(vals))), circuit.n_unknowns,
+        where="dc_sweep")
     original_spec = element.spec
     solutions: List[DcSolution] = []
     x_carry: Optional[np.ndarray] = None
@@ -827,6 +835,8 @@ def _solve_slab(circuit: Circuit, element, slab: np.ndarray,
                 skip_lanes: Sequence[int]
                 ) -> Tuple[List[DcSolution], np.ndarray]:
     """One batched solve of ≤ max_lanes sweep points, with fallback."""
+    from repro import faultinject, resilience
+
     B = len(slab)
     engine = batch_engine(circuit, B)
     session = telemetry.active()
@@ -841,12 +851,30 @@ def _solve_slab(circuit: Circuit, element, slab: np.ndarray,
         element.spec = DcSpec(0.0)
         engine.stamp_base(opts.gmin, lane_sources=[(element, slab)])
         X0 = np.tile(pilot.x, (B, 1))
+        corrupt = faultinject.active_corrupt_batch_lanes(circuit, B)
+        if corrupt:
+            # Chaos scenario: poisoned seed lanes go non-finite on the
+            # first iteration, get deactivated, and are re-solved start
+            # to finish by the scalar fallback below.
+            X0[list(corrupt)] = np.nan
         X, converged, iters, factorizations = engine.solve(
             X0, options, skip_lanes=skip_lanes)
         # Scalar-ladder fallback for the stragglers, seeded from the
         # nearest converged lane (or the pilot).
         fallback = np.flatnonzero(~converged)
         ok_lanes = np.flatnonzero(converged)
+        # Breaker accounting: a slab where most lanes bailed out to the
+        # scalar ladder (a NaN storm, chronic divergence) is a batch
+        # failure; lanes the fault injector deliberately skipped don't
+        # count.  All-lane health resets the consecutive count.
+        organic = np.setdiff1d(fallback, np.asarray(list(skip_lanes),
+                                                    dtype=int))
+        if B >= 2 and 2 * organic.size >= B:
+            resilience.record_failure(
+                "batch", "%d/%d lanes fell back to the scalar ladder"
+                % (int(organic.size), B))
+        elif organic.size == 0:
+            resilience.record_success("batch")
         for lane in fallback:
             element.spec = DcSpec(float(slab[lane]))
             if ok_lanes.size:

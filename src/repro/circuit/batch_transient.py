@@ -84,7 +84,7 @@ def batched_transient(circuit: Circuit, n_lanes: int, t_stop: float,
     a lane whose scalar fallback ALSO fails gets ``None`` in ``results``
     and its exception in ``errors`` instead of aborting the ensemble.
     """
-    from repro import faultinject
+    from repro import faultinject, resilience
 
     _validate_transient_args(t_stop, dt, method, max_step_halvings)
     if n_lanes < 1:
@@ -92,9 +92,18 @@ def batched_transient(circuit: Circuit, n_lanes: int, t_stop: float,
     if not can_batch(circuit):
         raise TypeError("circuit has non-MOSFET nonlinear elements; "
                         "use the scalar transient() per lane")
+    if not resilience.allows("batch"):
+        # Breaker quarantined the batched engine: integrate the lanes
+        # one by one through the scalar path, same return contract.
+        return _scalar_ensemble(
+            circuit, n_lanes, t_stop, dt, configure=configure,
+            method=method, options=options,
+            max_step_halvings=max_step_halvings, lte_rtol=lte_rtol,
+            quarantine=quarantine)
     opts = options if options is not None else NewtonOptions()
     engine = batch_engine(circuit, n_lanes)
     forced = set(faultinject.active_batch_fallback_lanes(circuit, n_lanes))
+    corrupt = set(faultinject.active_corrupt_batch_lanes(circuit, n_lanes))
 
     session = telemetry.active()
     span_ctx = telemetry.NULL_SPAN if session is None else \
@@ -104,10 +113,22 @@ def batched_transient(circuit: Circuit, n_lanes: int, t_stop: float,
         runner = _BatchTransientRun(circuit, engine, t_stop, dt, method,
                                     opts, max_step_halvings, lte_rtol)
         runner.setup(configure, forced)
+        if corrupt:
+            # Chaos scenario: poisoned lanes go non-finite on the first
+            # grid step, leave the batch, and are re-run start to finish
+            # through the scalar fallback below.
+            runner.X[sorted(corrupt)] = np.nan
         if runner.alive.any():
             runner.integrate()
         results: List[Optional[TransientResult]] = runner.collect()
         stragglers = np.flatnonzero(~runner.alive)
+        organic = [int(k) for k in stragglers if int(k) not in forced]
+        if n_lanes >= 2 and 2 * len(organic) >= n_lanes:
+            resilience.record_failure(
+                "batch", "%d/%d transient lanes fell back to the scalar "
+                "integrator" % (len(organic), n_lanes))
+        elif not organic:
+            resilience.record_success("batch")
         if session is not None:
             sp.set(steps=runner.n_steps, iterations=runner.iterations,
                    fallback_lanes=int(stragglers.size),
@@ -134,6 +155,31 @@ def batched_transient(circuit: Circuit, n_lanes: int, t_stop: float,
                 if not quarantine:
                     raise
                 errors[lane] = exc
+    if quarantine:
+        return results, errors
+    return results
+
+
+def _scalar_ensemble(circuit: Circuit, n_lanes: int, t_stop: float,
+                     dt: float, *, configure: Optional[LaneConfigurator],
+                     method: str, options: Optional[NewtonOptions],
+                     max_step_halvings: int, lte_rtol: Optional[float],
+                     quarantine: bool):
+    """Per-lane scalar integration with :func:`batched_transient`'s
+    return contract — the degraded path when the batch breaker is open."""
+    results: List[Optional[TransientResult]] = [None] * n_lanes
+    errors: List[Optional[BaseException]] = [None] * n_lanes
+    for lane in range(n_lanes):
+        if configure is not None:
+            configure(lane)
+        try:
+            results[lane] = transient(
+                circuit, t_stop, dt, method=method, options=options,
+                max_step_halvings=max_step_halvings, lte_rtol=lte_rtol)
+        except ConvergenceError as exc:
+            if not quarantine:
+                raise
+            errors[lane] = exc
     if quarantine:
         return results, errors
     return results

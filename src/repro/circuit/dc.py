@@ -41,6 +41,7 @@ from repro.circuit.mna import (
     StrategyAttempt,
     sparse_available,
     sparse_min_size,
+    sparse_vetoed,
 )
 from repro.circuit.mosfet import Mosfet, MosfetGroup, OperatingPoint, \
     jacobian_mode
@@ -262,7 +263,8 @@ class DcEngine:
         #: ``topology_version``, since ``dc_engine`` rebuilds the engine
         #: exactly when the topology changes.
         self.sparsity_plan: Optional[SparsityPlan] = None
-        if sparse_available() and self.size >= sparse_min_size():
+        if sparse_available() and not sparse_vetoed() \
+                and self.size >= sparse_min_size():
             self.sparsity_plan = self._build_sparsity_plan()
             self.workspace.st.plan = self.sparsity_plan
             session = telemetry.active()
@@ -648,8 +650,11 @@ def dc_sweep(circuit: Circuit, source_name: str,
         max_lanes = None
     if max_lanes is not None and len(values) > 1 \
             and _batch.can_batch(circuit):
-        return _batch.batched_dc_sweep(circuit, source_name, values,
-                                       options, max_lanes=max_lanes)
+        from repro import resilience  # deferred: cold seam only
+
+        if resilience.allows("batch"):
+            return _batch.batched_dc_sweep(circuit, source_name, values,
+                                           options, max_lanes=max_lanes)
     from repro.circuit.elements import DcSpec  # local import to avoid cycle noise
 
     original_spec = element.spec

@@ -73,8 +73,49 @@ def sparse_mode(min_size: int) -> Iterator[None]:
         _sparse_min_size[0] = previous
 
 
+_SPARSE_DISABLED = os.environ.get("REPRO_NO_SPARSE", "") not in ("", "0")
+
+# Supervisor-pushed quarantine flag (list cell so workers and tests can
+# flip it without touching importers' references).  The resilience
+# breaker sets it after repeated splu failures; engines built afterwards
+# skip plan construction and live stampers drop their plan at the next
+# solve.  See repro.resilience.
+_sparse_veto = [False]
+
+
+def sparse_vetoed() -> bool:
+    """Whether the resilience breaker has quarantined the sparse path."""
+    return _sparse_veto[0]
+
+
+def set_sparse_veto(flag: bool) -> None:
+    """Quarantine flag pushed by the resilience supervisor's breaker;
+    vetoed solves skip ``splu`` and use the dense path directly."""
+    _sparse_veto[0] = bool(flag)
+
+
+# Fault injection: pending count of splu solves to fail artificially
+# (consumed by Stamper.solve before the real factorization).  Owned here
+# rather than in repro.faultinject to keep the solver core free of
+# upward imports; repro.faultinject wraps these.
+_forced_singular = [0]
+
+
+def force_singular_solves(n: int) -> None:
+    """Make the next ``n`` sparse factorizations raise (fault
+    injection for the singular-splu chaos scenario)."""
+    _forced_singular[0] = max(0, int(n))
+
+
+def forced_singular_remaining() -> int:
+    """How many injected singular solves are still pending."""
+    return _forced_singular[0]
+
+
 def sparse_available() -> bool:
     """Whether scipy's sparse LU path can be used at all."""
+    if _SPARSE_DISABLED:
+        return False
     return _csc_matrix is not None and _splu is not None
 
 
@@ -304,31 +345,65 @@ class Stamper:
 
     def solve(self, x0: Optional[np.ndarray] = None) -> np.ndarray:
         """Solve ``A·x = b``; raises ``SingularCircuitError`` when singular."""
+        sparse_exc: Optional[BaseException] = None
         if self.plan is not None and self.a.dtype == np.float64:
-            try:
-                return self.plan.solve(self.a, self.b)
-            except RuntimeError as exc:
-                self._record_singular()
-                raise SingularCircuitError(
-                    "singular MNA matrix — floating node or voltage-source "
-                    "loop?") from exc
+            if _sparse_veto[0]:
+                # Breaker quarantined the sparse path mid-run: drop the
+                # plan and continue on the dense ladder below.
+                self.plan = None
+            else:
+                try:
+                    if _forced_singular[0] > 0:
+                        _forced_singular[0] -= 1
+                        raise RuntimeError(
+                            "injected singular splu factorization "
+                            "(fault injection)")
+                    return self.plan.solve(self.a, self.b)
+                except RuntimeError as exc:
+                    # A failed sparse factorization is a *degradation*,
+                    # not a verdict: the dense path below retries this
+                    # solve, and only its failure proves singularity.
+                    sparse_exc = exc
+                    self._record_sparse_fallback(exc)
         # Calling LAPACK ``dgesv`` directly skips ~4 µs of np.linalg
         # dispatch per solve — material on the Newton inner loop.  The
         # complex (AC) path keeps the numpy front end.
         if _dgesv is not None and self.a.dtype == np.float64:
             _, _, x, info = _dgesv(self.a, self.b)
             if info == 0:
+                if sparse_exc is not None:
+                    self._report_sparse_failure(sparse_exc)
                 return x
             self._record_singular()
             raise SingularCircuitError(
                 "singular MNA matrix — floating node or voltage-source loop?")
         try:
-            return np.linalg.solve(self.a, self.b)
+            x = np.linalg.solve(self.a, self.b)
         except np.linalg.LinAlgError as exc:
             self._record_singular()
             raise SingularCircuitError(
                 "singular MNA matrix — floating node or voltage-source loop?"
             ) from exc
+        if sparse_exc is not None:
+            self._report_sparse_failure(sparse_exc)
+        return x
+
+    def _record_sparse_fallback(self, exc: BaseException) -> None:
+        """A splu failure fell back to dense (cold path only)."""
+        session = telemetry.active()
+        if session is not None:
+            session.metrics.inc("solver.sparse.fallbacks")
+            session.tracer.event("solver.sparse.fallback", size=self.size,
+                                 reason=str(exc))
+
+    def _report_sparse_failure(self, exc: BaseException) -> None:
+        """Feed the sparse breaker — only called when the dense retry
+        *succeeded*, i.e. splu failed on a solvable matrix.  A genuine
+        singular circuit fails both paths and must not poison the
+        breaker."""
+        from repro import resilience
+
+        resilience.record_failure("sparse", str(exc))
 
     def _record_singular(self) -> None:
         """Telemetry for a failed factorization (cold path only)."""

@@ -10,8 +10,9 @@ Commands:
 * ``tran <netlist> --tstop T --dt DT [--tech NODE] [--nodes a,b]`` —
   transient analysis; prints summary statistics per requested node;
 * ``mc [--workload offset|ring] [--tech NODE] [--samples N] [--jobs J]
-  [--batch-size B] [--checkpoint DIR [--resume]] [--retries N
-  --timeout SEC] [--trace FILE] [--quiet]`` — Monte-Carlo yield of a
+  [--batch-size B] [--budget SEC] [--checkpoint DIR [--resume]]
+  [--retries N --timeout SEC] [--trace FILE] [--quiet]`` — Monte-Carlo
+  yield of a
   differential-pair offset spec (the §2 demo) or a transient ring-
   oscillator swing spec, parallelised over the
   :mod:`repro.parallel` backends, with
@@ -26,7 +27,10 @@ Commands:
   top time sinks, convergence-strategy breakdown, slowest and
   quarantined samples;
 * ``aging <name>`` — the degradation outlook of a node: 10-year NBTI/
-  HCI shifts, TDDB characteristic life, EM MTTF at J_max.
+  HCI shifts, TDDB characteristic life, EM MTTF at J_max;
+* ``capabilities`` — probe the optional accelerators (C kernel, scipy
+  sparse, LAPACK dgesv, batched ensembles) and print availability and
+  circuit-breaker state (see ``docs/robustness.md``).
 
 The CLI is a thin veneer over the library; everything it prints is
 available programmatically.
@@ -209,6 +213,7 @@ def _print_mc_result(result, args, tech, spec_text, partial=False) -> None:
     from repro.report import render_failure_ledger
 
     lo, hi = result.confidence_interval()
+    partial = partial or result.n_evaluated < result.n_samples
     rows = [
         ("samples", f"{result.n_samples} (jobs={args.jobs}, "
                     f"backend={args.backend})"),
@@ -279,7 +284,7 @@ def _mc_heartbeat(session, stream):
 
 def _cmd_mc(args: argparse.Namespace) -> int:
     from repro import telemetry
-    from repro.checkpoint import RunInterrupted
+    from repro.checkpoint import CheckpointError, RunInterrupted
     from repro.core import MonteCarloYield
     from repro.parallel import RetryPolicy
     from repro.technology import get_node
@@ -316,21 +321,32 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                 n_samples=args.samples, seed=args.seed, jobs=args.jobs,
                 backend=args.backend, retry=retry,
                 checkpoint=args.checkpoint, resume=args.resume,
-                progress=progress, batch_size=args.batch_size)
+                progress=progress, batch_size=args.batch_size,
+                budget=args.budget)
+        except CheckpointError as exc:
+            # Refused resume (identity or accelerator-config mismatch):
+            # nothing has been computed; exit degraded with the reason.
+            if progress is not None:
+                sys.stderr.write("\n")
+            print(f"checkpoint refused: {exc}", file=sys.stderr)
+            return 2
         except RunInterrupted as exc:
-            # SIGINT mid-run: the engine has already written the final
-            # checkpoint; report the partial result and exit 130.
+            # The engine has already written the final checkpoint;
+            # report the partial result.  Exit 130 for SIGINT, 2 for a
+            # clean degraded stop on an expired --budget.
             if progress is not None:
                 sys.stderr.write("\n")
             write_trace()
             if exc.partial_result is not None:
                 _print_mc_result(exc.partial_result, args, tech,
                                  spec_text, partial=True)
-            print(f"interrupted: {exc}", file=sys.stderr)
+            budgeted = getattr(exc, "reason", "interrupt") == "budget"
+            label = "budget expired" if budgeted else "interrupted"
+            print(f"{label}: {exc}", file=sys.stderr)
             print(f"resume with: repro mc --checkpoint "
                   f"{exc.checkpoint_path} --resume --samples "
                   f"{args.samples} --seed {args.seed}", file=sys.stderr)
-            return 130
+            return 2 if budgeted else 130
         write_trace()
     _print_mc_result(result, args, tech, spec_text)
     return 2 if result.is_degraded else 0
@@ -434,13 +450,24 @@ def _cmd_aging(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capabilities(args: argparse.Namespace) -> int:
+    from repro import resilience
+    from repro.report import render_capabilities
+
+    print(render_capabilities(resilience.supervisor().snapshot()))
+    return 0
+
+
 #: Exit-code contract, shown in ``--help`` (main parser and ``mc``).
 EXIT_CODE_DOC = """\
 exit codes:
   0    success — every evaluation completed cleanly
   2    partial/degraded — the run completed, but some samples were
-       quarantined or skipped; results carry widened confidence
-       intervals and a failure ledger
+       quarantined or skipped, a --budget expired mid-run (a final
+       checkpoint is written first when --checkpoint is given), or a
+       --resume was refused because the checkpoint's run identity or
+       accelerator configuration does not match; results carry widened
+       confidence intervals and a failure ledger
   1    hard failure (bad arguments, unreadable netlist, engine bug)
   130  interrupted (Ctrl-C); with --checkpoint, a final checkpoint is
        written first so the run can be resumed with --resume
@@ -532,6 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--backoff", type=float, default=0.0, metavar="SEC",
                       help="delay before the first retry (doubles each "
                            "attempt)")
+    p_mc.add_argument("--budget", type=float, default=None, metavar="SEC",
+                      help="wall-clock budget [s]; when it expires the "
+                           "run stops cooperatively with a partial "
+                           "result (and, with --checkpoint, a final "
+                           "resumable checkpoint) instead of running on")
     p_mc.add_argument("--trace", default=None, metavar="FILE",
                       help="write a JSONL telemetry trace (inspect with "
                            "'repro trace FILE')")
@@ -577,6 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="degradation outlook of a node")
     p_aging.add_argument("name")
     p_aging.set_defaults(func=_cmd_aging)
+
+    p_caps = sub.add_parser(
+        "capabilities",
+        help="probe and report optional accelerators (ckernel, "
+             "scipy sparse, LAPACK dgesv, batched ensembles) and "
+             "circuit-breaker state")
+    p_caps.set_defaults(func=_cmd_capabilities)
     return parser
 
 

@@ -445,6 +445,7 @@ def aging_ensemble(fixture: CircuitFixture,
         if not quarantine:
             return outcomes
 
+        from repro import resilience
         from repro.parallel import FailureLedger
 
         reports: List[Optional[AgingReport]] = []
@@ -455,6 +456,8 @@ def aging_ensemble(fixture: CircuitFixture,
                 ledger.add(index, outcome, label="mission")
             else:
                 reports.append(outcome)
+        resilience.supervisor().drain_into(ledger)
+        ledger.dedupe_run_level()
         return reports, ledger
 
 
@@ -483,9 +486,17 @@ def _aging_ensemble_batched(fixture: CircuitFixture,
     from repro.faultinject import set_current_sample
     from repro.variability.sampler import MismatchSampler
 
+    from repro import resilience
+
     fx, _ = replicate((fixture, ()))
     circuit = fx.circuit
     devices = circuit.mosfets
+    # Resource guard: the lockstep epochs keep a (B, steps+1, n) state
+    # history per transient — re-admit the slab size under the ceiling.
+    circuit.compile()
+    batch_size = resilience.admit_lanes(
+        min(batch_size, n_samples), circuit.n_unknowns,
+        where="aging-ensemble")
     seeds = spawn_seed_sequences(seed, n_samples)
     epoch_ends = profile.epoch_times_s()
     times = np.concatenate(([0.0], epoch_ends))
@@ -602,5 +613,7 @@ def _aging_ensemble_batched(fixture: CircuitFixture,
     ledger = FailureLedger()
     for index, exc in failures:
         ledger.add(index, exc, label="mission")
+    resilience.supervisor().drain_into(ledger)
+    ledger.dedupe_run_level()
     ledger.sort()
     return reports, ledger

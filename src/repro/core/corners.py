@@ -170,6 +170,9 @@ class CornerAnalysis:
                             ledger.add(index, exc,
                                        label=f"{spec.name}@{point.label}")
                             a_sp.set(quarantined=type(exc).__name__)
+            from repro import resilience
+
+            resilience.supervisor().drain_into(ledger)
             payload = {"values": out, "ledger": ledger.to_list()}
             if tsession is not None:
                 payload["telemetry"] = tsession.export()
@@ -210,6 +213,7 @@ class CornerAnalysis:
                     for name, value in out["values"].items():
                         values[name][point.label] = value
                     ledger.merge(FailureLedger.from_list(out["ledger"]))
+                ledger.dedupe_run_level()
                 ledger.sort()
                 return CornerResult(values=values, points=points,
                                     ledger=ledger)
@@ -247,5 +251,9 @@ class CornerAnalysis:
                     from repro.circuit.mosfet import DeviceVariation
 
                     device.variation = DeviceVariation()
+            from repro import resilience
+
+            resilience.supervisor().drain_into(ledger)
+            ledger.dedupe_run_level()
             ledger.sort()
             return CornerResult(values=values, points=points, ledger=ledger)

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro import telemetry
+from repro import resilience, telemetry
 from repro.checkpoint import CheckpointError, McCheckpointStore, RunInterrupted
 from repro.circuit.batch import batched_sweeps, can_batch
 from repro.circuit.dc import warm_start
@@ -36,6 +36,7 @@ from repro.circuits.references import CircuitFixture
 from repro.faultinject import WorkerKilledError, set_current_sample
 from repro.parallel import (
     FailureLedger,
+    FailureRecord,
     ParallelMap,
     RetryPolicy,
     SampleTimeoutError,
@@ -44,6 +45,7 @@ from repro.parallel import (
     clone_fixture,
     spawn_seed_sequences,
 )
+from repro.resilience import BudgetExpiredError, DeadlineBudget
 from repro.technology.node import TechnologyNode
 from repro.variability.sampler import MismatchSampler, Placement
 
@@ -62,6 +64,28 @@ EXPECTED_EVALUATION_ERRORS = (ConvergenceError, SingularCircuitError,
 #: resilience-layer outcomes (timeout, simulated worker death).
 QUARANTINE_ERRORS = EXPECTED_EVALUATION_ERRORS + (SampleTimeoutError,
                                                   WorkerKilledError)
+
+
+def _accel_manifest(batch_size: Optional[int]) -> dict:
+    """Accelerator configuration that affects bit-identity of results.
+
+    Persisted in the checkpoint manifest so a ``--resume`` under a
+    different configuration fails loudly (exit 2) instead of silently
+    splicing chunks solved by different code paths.  The C kernel and
+    the numpy stamping agree only to final-ulp rounding, the batched
+    engines take different damped-iteration paths than the scalar
+    ladder — close enough for physics, not for bit-identity.
+    """
+    from repro.circuit import _ckernel, mna
+    from repro.circuit.mosfet import jacobian_mode
+
+    return {
+        "batch_size": batch_size,
+        "ckernel": bool(_ckernel.available()),
+        "sparse": bool(mna.sparse_available()),
+        "sparse_min_size": int(mna.sparse_min_size()),
+        "jacobians": jacobian_mode(),
+    }
 
 
 class SampleEvaluationError(RuntimeError):
@@ -316,7 +340,8 @@ class MonteCarloYield:
                                           np.random.SeedSequence,
                                           Optional[RetryPolicy],
                                           bool, float,
-                                          Optional[int]]) -> dict:
+                                          Optional[int],
+                                          Optional[DeadlineBudget]]) -> dict:
         """Evaluate one chunk of samples on a private fixture replica.
 
         The chunk is fully self-contained: it clones the fixture, seeds
@@ -347,19 +372,28 @@ class MonteCarloYield:
         variates are bit-identical to a scalar run — and the solved
         metrics agree within Newton tolerance.
         """
-        (start, stop), seed_seq, retry, trace, t_enqueued, batch_size = task
+        (start, stop), seed_seq, retry, trace, t_enqueued, batch_size, \
+            budget = task
         n = stop - start
         fixture = clone_fixture(self.fixture)
         circuit = fixture.circuit
         rng = np.random.default_rng(seed_seq)
         sampler = MismatchSampler(self.tech, rng, include_ler=self.include_ler)
+        if batch_size:
+            # Resource guard: shrink the slab so its (B, n, n) stacks
+            # fit the memory ceiling.  Slab partitioning does not
+            # change per-die math, so results are unaffected.
+            circuit.compile()
+            batch_size = resilience.admit_lanes(
+                min(batch_size, n), circuit.n_unknowns, where="mc-chunk")
         if (batch_size and self.specs
                 and all(isinstance(s, TransientSpecification)
                         for s in self.specs)
-                and can_batch(circuit)):
+                and can_batch(circuit)
+                and resilience.allows("batch")):
             return self._evaluate_chunk_transient_batched(
                 start, stop, fixture, sampler, trace, t_enqueued,
-                batch_size)
+                batch_size, budget)
         values = {s.name: np.full(n, np.nan) for s in self.specs}
         spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
         passes = np.zeros(n, dtype=bool)
@@ -387,6 +421,8 @@ class MonteCarloYield:
             try:
                 with chunk_ctx, warm_start(circuit), sweep_ctx:
                     for k in range(n):
+                        if budget is not None:
+                            budget.check("sample %d" % (start + k))
                         set_current_sample(start + k)
                         t_sample = time.perf_counter()
                         with telemetry.span("sample", index=start + k):
@@ -428,6 +464,7 @@ class MonteCarloYield:
                                 time.perf_counter() - t_sample)
             finally:
                 set_current_sample(None)
+            resilience.supervisor().drain_into(ledger)
             payload = {"start": start, "stop": stop, "values": values,
                        "spec_passes": spec_passes, "passes": passes,
                        "failure_counts": failure_counts,
@@ -440,7 +477,9 @@ class MonteCarloYield:
                                           fixture: CircuitFixture,
                                           sampler: MismatchSampler,
                                           trace: bool, t_enqueued: float,
-                                          batch_size: int) -> dict:
+                                          batch_size: int,
+                                          budget: Optional[DeadlineBudget]
+                                          = None) -> dict:
         """Dies-as-lanes evaluation of an all-transient-spec chunk.
 
         Per slab of up to ``batch_size`` dies: the sampler assigns every
@@ -458,6 +497,12 @@ class MonteCarloYield:
 
         n = stop - start
         circuit = fixture.circuit
+        # The lockstep integrator also keeps the whole (B, steps+1, n)
+        # state history — re-admit the slab size with that included.
+        max_steps = max(int(round(s.t_stop_s / s.dt_s)) for s in self.specs)
+        batch_size = resilience.admit_lanes(
+            batch_size, circuit.n_unknowns, n_steps=max_steps,
+            where="mc-transient-chunk")
         devices = circuit.mosfets
         values = {s.name: np.full(n, np.nan) for s in self.specs}
         spec_passes = {s.name: np.zeros(n, dtype=bool) for s in self.specs}
@@ -480,6 +525,8 @@ class MonteCarloYield:
             try:
                 with chunk_ctx:
                     for slab0 in range(0, n, batch_size):
+                        if budget is not None:
+                            budget.check("sample %d" % (start + slab0))
                         dies = list(range(slab0,
                                           min(slab0 + batch_size, n)))
                         variations = []
@@ -534,6 +581,7 @@ class MonteCarloYield:
                         passes[dies] = slab_ok
             finally:
                 set_current_sample(None)
+            resilience.supervisor().drain_into(ledger)
             payload = {"start": start, "stop": stop, "values": values,
                        "spec_passes": spec_passes, "passes": passes,
                        "failure_counts": failure_counts,
@@ -568,6 +616,7 @@ class MonteCarloYield:
             for name, count in chunk["failure_counts"].items():
                 failure_counts[name] = failure_counts.get(name, 0) + count
             ledger.merge(FailureLedger.from_list(chunk.get("ledger", [])))
+        ledger.dedupe_run_level()
         ledger.sort()
         return YieldResult(n_samples=n_samples, values=values,
                            passes=passes, spec_passes=spec_passes,
@@ -582,7 +631,8 @@ class MonteCarloYield:
             resume: bool = False,
             checkpoint_every: int = 1,
             progress: Optional[Callable[[dict], None]] = None,
-            batch_size: Optional[int] = None
+            batch_size: Optional[int] = None,
+            budget: Optional[Union[float, DeadlineBudget]] = None
             ) -> YieldResult:
         """Sample ``n_samples`` virtual dies and evaluate every spec.
 
@@ -627,6 +677,18 @@ class MonteCarloYield:
         metrics agree with a scalar run within Newton tolerance — the
         per-die pass/fail verdicts match.  Composes with any
         ``jobs``/``backend`` choice.
+
+        ``budget`` (seconds, or a prepared
+        :class:`~repro.resilience.DeadlineBudget`) bounds the run's
+        wall clock.  Workers check the deadline cooperatively between
+        samples and the pool wait enforces it coercively (hung process
+        workers are terminated).  A checkpointed run that hits the
+        deadline writes a final checkpoint and raises
+        :class:`~repro.checkpoint.RunInterrupted` with
+        ``reason="budget"`` — its resume is bit-identical to an
+        uninterrupted run; a non-checkpointed run returns the partial
+        :class:`YieldResult` (``evaluated`` marks what finished, and
+        the result reports itself degraded).
         """
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -634,12 +696,14 @@ class MonteCarloYield:
             raise ValueError("checkpoint_every must be at least 1")
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be at least 1 (or None)")
+        if budget is not None and not isinstance(budget, DeadlineBudget):
+            budget = DeadlineBudget.after(budget)
         ranges = chunk_ranges(n_samples, chunk_size)
         seeds = spawn_seed_sequences(seed, len(ranges))
         session = telemetry.active()
         t_enqueued = time.time()
         tasks = [(bounds, seed_seq, retry, session is not None, t_enqueued,
-                  batch_size)
+                  batch_size, budget)
                  for bounds, seed_seq in zip(ranges, seeds)]
         mapper = ParallelMap(backend=backend, n_jobs=jobs)
 
@@ -654,22 +718,35 @@ class MonteCarloYield:
                 return self._run_checkpointed(
                     n_samples, tasks, mapper, Path(checkpoint), resume,
                     checkpoint_every, seed, chunk_size, progress, session,
-                    run_span_id)
-            if session is None and progress is None:
+                    run_span_id, batch_size, budget)
+            if session is None and progress is None and budget is None:
                 chunks = mapper.map(self._evaluate_chunk, tasks)
                 return self._assemble(n_samples, chunks)
             chunks = []
             done = 0
-            for _, chunk in mapper.map_completed(self._evaluate_chunk,
-                                                 tasks):
-                if session is not None:
-                    session.merge_worker(chunk.pop("telemetry", None),
-                                         run_span_id)
-                chunks.append(chunk)
-                done += chunk["stop"] - chunk["start"]
-                if progress is not None:
-                    progress({"done": done, "total": n_samples,
-                              "elapsed_s": time.time() - t_enqueued})
+            try:
+                for _, chunk in mapper.map_completed(
+                        self._evaluate_chunk, tasks, deadline=budget):
+                    if session is not None:
+                        session.merge_worker(chunk.pop("telemetry", None),
+                                             run_span_id)
+                    chunks.append(chunk)
+                    done += chunk["stop"] - chunk["start"]
+                    if progress is not None:
+                        progress({"done": done, "total": n_samples,
+                                  "elapsed_s": time.time() - t_enqueued})
+            except BudgetExpiredError as exc:
+                # Deadline hit without a checkpoint: hand back whatever
+                # finished, visibly degraded, instead of raising away
+                # completed work.
+                partial = self._assemble(n_samples, chunks, partial=True)
+                partial.ledger.records.append(FailureRecord(
+                    index=-1, label="resilience:budget",
+                    exception_type=type(exc).__name__,
+                    message=str(exc), attempts=0, convergence_report=None))
+                partial.ledger.dedupe_run_level()
+                partial.ledger.sort()
+                return partial
             return self._assemble(n_samples, chunks)
 
     def _run_checkpointed(self, n_samples: int, tasks: List[tuple],
@@ -679,7 +756,10 @@ class MonteCarloYield:
                           progress: Optional[Callable[[dict], None]] = None,
                           session: Optional[telemetry.TelemetrySession]
                           = None,
-                          run_span_id: Optional[str] = None) -> YieldResult:
+                          run_span_id: Optional[str] = None,
+                          batch_size: Optional[int] = None,
+                          budget: Optional[DeadlineBudget] = None
+                          ) -> YieldResult:
         """Incremental evaluation with atomic chunk-granular persistence.
 
         A private :class:`~repro.telemetry.MetricsRegistry` accumulates
@@ -692,7 +772,8 @@ class MonteCarloYield:
         store = McCheckpointStore(checkpoint)
         run_params = {"kind": "mc-yield", "seed": seed,
                       "n_samples": n_samples, "chunk_size": chunk_size,
-                      "spec_names": [s.name for s in self.specs]}
+                      "spec_names": [s.name for s in self.specs],
+                      "accel": _accel_manifest(batch_size)}
         metrics_acc = telemetry.MetricsRegistry()
         completed: Dict[int, dict] = {}
         if resume:
@@ -733,7 +814,8 @@ class MonteCarloYield:
 
         try:
             for pending_index, chunk in mapper.map_completed(
-                    self._evaluate_chunk, [task for _, task in pending]):
+                    self._evaluate_chunk, [task for _, task in pending],
+                    deadline=budget):
                 absorb(chunk)
                 completed[pending[pending_index][0]] = chunk
                 since_save += 1
@@ -741,6 +823,17 @@ class MonteCarloYield:
                     store.save(run_params, completed,
                                metrics=metrics_acc.snapshot())
                     since_save = 0
+        except BudgetExpiredError as exc:
+            store.save(run_params, completed,
+                       metrics=metrics_acc.snapshot())
+            partial = self._assemble(n_samples, list(completed.values()),
+                                     partial=True)
+            raise RunInterrupted(
+                f"wall-clock budget expired with {len(completed)}/"
+                f"{len(tasks)} chunks complete; checkpoint written to "
+                f"{checkpoint}",
+                checkpoint_path=checkpoint,
+                partial_result=partial, reason="budget") from exc
         except (KeyboardInterrupt, SystemExit) as exc:
             store.save(run_params, completed,
                        metrics=metrics_acc.snapshot())

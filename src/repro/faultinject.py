@@ -180,6 +180,92 @@ def active_batch_fallback_lanes(circuit: Circuit,
     return hit
 
 
+#: Circuit → lane indices whose batched Newton *seed* is poisoned with
+#: NaN — the corrupted-lane chaos scenario.  Unlike the forced fallback
+#: above (which marks lanes as skipped, i.e. *injected* work the breaker
+#: must ignore), corrupted lanes fail organically inside the masked
+#: iteration: the engine must detect the non-finite lane, deactivate it,
+#: re-solve it through the scalar ladder, and — when a storm of them
+#: hits — trip the batch circuit breaker.
+_CORRUPT_BATCH_LANES: "weakref.WeakKeyDictionary[Circuit, Set[int]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def corrupt_batch_lanes(circuit: Circuit, lanes: Iterable[int]) -> None:
+    """NaN-poison the given lanes' seed in every batched solve on
+    ``circuit`` (DC slabs and lockstep transients)."""
+    _CORRUPT_BATCH_LANES[circuit] = _as_set(lanes)
+    _emit_injected("corrupt-batch-lane", lanes=sorted(_as_set(lanes)))
+
+
+def clear_corrupt_batch_lanes(circuit: Circuit) -> None:
+    """Remove a :func:`corrupt_batch_lanes` injection."""
+    _CORRUPT_BATCH_LANES.pop(circuit, None)
+
+
+def active_corrupt_batch_lanes(circuit: Circuit,
+                               n_lanes: int) -> Sequence[int]:
+    """Corrupted lanes applicable to a solve of ``n_lanes`` lanes."""
+    lanes = _CORRUPT_BATCH_LANES.get(circuit)
+    if not lanes:
+        return ()
+    hit = sorted(lane for lane in lanes if 0 <= lane < n_lanes)
+    if hit:
+        _emit_activated("corrupt-batch-lane", None, lanes=hit)
+    return hit
+
+
+# ----------------------------------------------------------------------
+# Accelerator faults (ckernel / sparse — the PR-6 seams)
+# ----------------------------------------------------------------------
+def force_ckernel_compile_failure() -> None:
+    """Make the C stamp kernel's build fail from now on.
+
+    Resets the kernel's cached build state so the failure is actually
+    exercised, then re-probes the capability so the supervisor records
+    the anomaly (compiler present, compile failed) as a quarantine
+    event.  Stamping transparently continues on the numpy path.
+    """
+    from repro import resilience
+    from repro.circuit import _ckernel
+
+    _ckernel.force_compile_failure(True)
+    _emit_injected("ckernel-compile-failure")
+    resilience.supervisor().reprobe("ckernel")
+
+
+def clear_ckernel_compile_failure() -> None:
+    """Undo :func:`force_ckernel_compile_failure` (the cached ``.so``
+    makes the healthy re-load an instant dlopen)."""
+    from repro import resilience
+    from repro.circuit import _ckernel
+
+    _ckernel.force_compile_failure(False)
+    resilience.supervisor().reprobe("ckernel")
+
+
+def force_sparse_singular(n_solves: int = 1) -> None:
+    """Fail the next ``n_solves`` sparse ``splu`` factorizations.
+
+    Each forced failure falls back to the dense path for that solve
+    (the answer stays correct) and — because the dense retry succeeds —
+    feeds the sparse circuit breaker; ``n_solves`` at or above the
+    breaker threshold quarantines the sparse path for the rest of the
+    process.
+    """
+    from repro.circuit import mna
+
+    mna.force_singular_solves(n_solves)
+    _emit_injected("sparse-singular", n_solves=n_solves)
+
+
+def clear_sparse_singular() -> None:
+    """Cancel any pending :func:`force_sparse_singular` failures."""
+    from repro.circuit import mna
+
+    mna.force_singular_solves(0)
+
+
 # ----------------------------------------------------------------------
 # Sample-targeted extractor faults
 # ----------------------------------------------------------------------

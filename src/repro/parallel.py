@@ -146,8 +146,8 @@ class ParallelMap:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 
-    def map_completed(self, fn: Callable[[T], R], items: Sequence[T]
-                      ) -> Iterator[Tuple[int, R]]:
+    def map_completed(self, fn: Callable[[T], R], items: Sequence[T],
+                      deadline=None) -> Iterator[Tuple[int, R]]:
         """Yield ``(index, fn(item))`` pairs in completion order.
 
         The serial backend yields in input order; pooled backends yield
@@ -156,31 +156,75 @@ class ParallelMap:
         whole batch.  A task exception propagates when its future is
         consumed; on ``KeyboardInterrupt`` pending futures are cancelled
         so the caller can write a final checkpoint and exit promptly.
+
+        ``deadline`` (a :class:`repro.resilience.DeadlineBudget`) arms
+        coercive cancellation on top of the workers' own cooperative
+        per-sample checks: the pool wait times out at the deadline and
+        raises :class:`~repro.resilience.BudgetExpiredError` after
+        cancelling what it can.  On the process backend, workers that
+        *hang* (never reaching a cooperative check) are terminated so
+        the caller regains control; hung threads cannot be killed, so
+        the thread/serial backends rely on the cooperative checks
+        alone.
         """
         items = list(items)
         if not items:
             return
         if self.backend == "serial" or self.n_jobs == 1 or len(items) == 1:
             for index, item in enumerate(items):
+                if deadline is not None:
+                    deadline.check("task %d" % index)
                 yield index, fn(item)
             return
         workers = min(self.n_jobs, len(items))
         pool_cls = ThreadPoolExecutor if self.backend == "thread" \
             else ProcessPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
+        pool = pool_cls(max_workers=workers)
+        abandoned = False
+        futures = {}
+        try:
             futures = {pool.submit(fn, item): index
                        for index, item in enumerate(items)}
-            try:
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield futures[future], future.result()
-            except BaseException:
+            pending = set(futures)
+            while pending:
+                timeout = None if deadline is None \
+                    else max(0.0, deadline.remaining())
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                if not done and deadline is not None and deadline.expired():
+                    abandoned = True
+                    for future in pending:
+                        future.cancel()
+                    from repro.resilience.budget import BudgetExpiredError
+
+                    raise BudgetExpiredError(
+                        "wall-clock budget of %.3g s expired with %d "
+                        "task(s) unfinished" % (deadline.total_s,
+                                                len(pending)),
+                        budget_s=deadline.total_s, where="pool")
+                for future in done:
+                    yield futures[future], future.result()
+        except BaseException:
+            if not abandoned:
                 for future in futures:
                     future.cancel()
-                raise
+            raise
+        finally:
+            if abandoned:
+                # A worker is past the deadline and may be hung: never
+                # join it.  Process workers are terminated outright;
+                # thread workers cannot be killed, so the pool is left
+                # to drain without blocking this caller.
+                if isinstance(pool, ProcessPoolExecutor):
+                    for proc in list(getattr(pool, "_processes",
+                                             {}).values()):
+                        try:
+                            proc.terminate()
+                        except Exception:
+                            pass
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
 
 
 # ----------------------------------------------------------------------
@@ -391,8 +435,32 @@ class FailureLedger:
         return counts
 
     def quarantined_indices(self) -> List[int]:
-        """Sorted unique sample indices with at least one failure."""
-        return sorted({r.index for r in self.records})
+        """Sorted unique sample indices with at least one failure.
+
+        Run-level records (``index < 0``, e.g. resilience-supervisor
+        events) are not samples and are excluded.
+        """
+        return sorted({r.index for r in self.records if r.index >= 0})
+
+    def dedupe_run_level(self) -> None:
+        """Drop duplicate run-level records (``index < 0``).
+
+        Every worker process runs its own resilience supervisor, so N
+        workers hitting the same degradation each report an identical
+        event; one record per distinct (label, type, message) is the
+        honest run-level summary.
+        """
+        seen = set()
+        kept = []
+        for record in self.records:
+            if record.index < 0:
+                key = (record.index, record.label, record.exception_type,
+                       record.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+            kept.append(record)
+        self.records = kept
 
     def to_list(self) -> List[dict]:
         """JSON-ready list of record payloads."""

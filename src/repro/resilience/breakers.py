@@ -1,0 +1,110 @@
+"""Per-accelerator circuit breakers.
+
+A :class:`CircuitBreaker` guards one optional fast path (the compiled C
+stamp kernel, the scipy ``splu`` sparse solver, the lane-batched Newton
+engine).  Failures on that path are *recorded*, not raised: after
+``threshold`` consecutive failures the breaker trips, the accelerator is
+quarantined for the remainder of the process, and every subsequent solve
+takes the proven numpy/scalar path.  A success resets the consecutive
+count, so isolated hiccups (one near-singular factorization in a million
+solves) never disable an otherwise healthy accelerator.
+
+Tripping is one-way for the life of the run — the paper's §5.2 adaptive
+systems quarantine a degraded block rather than oscillating on and off
+it.  Tests reset state via
+:func:`repro.resilience.reset_supervisor`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "DEFAULT_BREAKER_THRESHOLD",
+    "breaker_threshold",
+    "BreakerOpenError",
+    "CircuitBreaker",
+]
+
+DEFAULT_BREAKER_THRESHOLD = 3
+"""Consecutive failures before an accelerator is quarantined."""
+
+
+def breaker_threshold() -> int:
+    """Trip threshold, overridable via ``REPRO_BREAKER_THRESHOLD``."""
+    raw = os.environ.get("REPRO_BREAKER_THRESHOLD", "")
+    if not raw:
+        return DEFAULT_BREAKER_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_BREAKER_THRESHOLD
+    return max(1, value)
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`ResilienceSupervisor.require` for a quarantined
+    capability.  Callers that can degrade should consult ``allows()``
+    instead and never see this."""
+
+    def __init__(self, message: str, capability: str = ""):
+        super().__init__(message)
+        self.capability = capability
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.capability))
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure trip switch for one capability."""
+
+    name: str
+    threshold: int = field(default_factory=breaker_threshold)
+    failures: int = 0
+    total_failures: int = 0
+    tripped: bool = False
+    last_detail: str = ""
+    on_trip: Optional[Callable[["CircuitBreaker"], None]] = \
+        field(default=None, repr=False, compare=False)
+
+    def allows(self) -> bool:
+        return not self.tripped
+
+    def record_failure(self, detail: str = "") -> bool:
+        """Count one failure; returns True iff this call tripped the
+        breaker (callers emit the quarantine event exactly once)."""
+        self.total_failures += 1
+        self.last_detail = detail
+        if self.tripped:
+            return False
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.trip(detail)
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A healthy use of the path resets the consecutive count."""
+        if not self.tripped:
+            self.failures = 0
+
+    def trip(self, reason: str = "") -> None:
+        """Quarantine the capability (idempotent)."""
+        if self.tripped:
+            return
+        self.tripped = True
+        self.last_detail = reason or self.last_detail
+        if self.on_trip is not None:
+            self.on_trip(self)
+
+    def state(self) -> dict:
+        return {
+            "tripped": self.tripped,
+            "failures": self.failures,
+            "total_failures": self.total_failures,
+            "threshold": self.threshold,
+            "last_detail": self.last_detail,
+        }

@@ -1,0 +1,75 @@
+"""Wall-clock deadline budgets with cooperative cancellation.
+
+A :class:`DeadlineBudget` is an *absolute* epoch deadline, so the same
+frozen object means the same instant in the parent and in every worker
+it is pickled into — workers check it between samples (cooperative),
+and the parent enforces it on the pool wait (coercive, for workers that
+hang and never reach a check).  Expiry raises
+:class:`BudgetExpiredError`; the Monte-Carlo engine converts that into
+a clean checkpoint plus a partial :class:`YieldResult` instead of a
+hang or a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import telemetry
+
+__all__ = ["BudgetExpiredError", "DeadlineBudget"]
+
+
+class BudgetExpiredError(RuntimeError):
+    """The wall-clock budget ran out.  Picklable across the process
+    backend (PR 2 convention)."""
+
+    def __init__(self, message: str, budget_s: Optional[float] = None,
+                 where: str = ""):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.where = where
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.budget_s, self.where))
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """Absolute wall-clock deadline, picklable into workers."""
+
+    deadline_epoch: float
+    total_s: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "DeadlineBudget":
+        seconds = float(seconds)
+        if seconds <= 0.0:
+            raise ValueError("budget must be a positive number of seconds")
+        return cls(deadline_epoch=time.time() + seconds, total_s=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left, floored at 0 (safe as a wait timeout)."""
+        return max(0.0, self.deadline_epoch - time.time())
+
+    def expired(self) -> bool:
+        return time.time() >= self.deadline_epoch
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`BudgetExpiredError` once the deadline passes.
+
+        Cheap enough for per-sample use: one ``time.time()`` call on
+        the healthy path.
+        """
+        if time.time() < self.deadline_epoch:
+            return
+        session = telemetry.active()
+        if session is not None:
+            session.tracer.event("budget.expired", where=where,
+                          budget_s=self.total_s)
+            session.metrics.inc("resilience.budget.expiries")
+        raise BudgetExpiredError(
+            "wall-clock budget of %.3g s expired%s"
+            % (self.total_s, " at %s" % where if where else ""),
+            budget_s=self.total_s, where=where)

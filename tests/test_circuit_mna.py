@@ -152,10 +152,18 @@ class TestDgesvFallback:
             st.branch_voltage(0, -1, 2, rhs=1.0)
             assert st.solve()[1] == pytest.approx(0.5)
         finally:
-            # Restore the real module object for everyone else.
+            # Restore the real module object for everyone else — both
+            # the sys.modules entry and the package attribute the
+            # reimport rebound (`from repro.circuit import mna` resolves
+            # through the latter).
             sys.modules["repro.circuit.mna"] = mna_module
+            import repro.circuit
+            repro.circuit.mna = mna_module
 
 
+@pytest.mark.skipif(mna_module._csc_matrix is None
+                    or mna_module._splu is None,
+                    reason="sparse path needs scipy.sparse")
 class TestSparsityPlan:
     def _plan_for(self, st):
         rec = mna_module.CoordinateRecorder(st.size)

@@ -4,7 +4,10 @@ import math
 
 import numpy as np
 import pytest
-from scipy.stats import norm
+
+scipy_stats = pytest.importorskip(
+    "scipy.stats", reason="importance sampling needs scipy.stats")
+norm = scipy_stats.norm
 
 from repro.circuits import differential_pair, input_referred_offset_v
 from repro.core import ImportanceSampler, MonteCarloYield, Specification
