@@ -172,6 +172,20 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
     return breakdowns
 
 
+def collect_capabilities() -> dict:
+    """``{capability: usable?}`` flags of the benching environment.
+
+    Stored in the snapshot so ``scripts/check_regression.py`` can refuse
+    to compare runs benched under different accelerator sets — a
+    "regression" that is really the C kernel (or sparse path) being
+    absent on one side is an environment diff, not a code diff.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.runlog import capability_flags
+
+    return capability_flags()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -209,6 +223,7 @@ def main(argv=None) -> int:
         "machine": raw.get("machine_info", {}).get("node", "unknown"),
         "python": raw.get("machine_info", {}).get("python_version", ""),
         "benchmarks": benches,
+        "capabilities": collect_capabilities(),
     }
     if not args.no_phases:
         snapshot["phases"] = collect_phase_breakdowns()
@@ -232,6 +247,15 @@ def main(argv=None) -> int:
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {out_path.relative_to(REPO_ROOT)}")
+
+    # Leave a run-registry record too: benches are runs like any other
+    # and `repro trace --diff` can compare them across days.
+    from repro.obs.runlog import record_run
+
+    record_run("bench", {"target": target},
+               capabilities=snapshot["capabilities"],
+               extra={"snapshot": out_path.name,
+                      "benchmarks": benches})
     return 0
 
 

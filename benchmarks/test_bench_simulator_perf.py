@@ -134,6 +134,38 @@ def test_perf_mc_yield_batched(benchmark, tech90):
     sampler.clear(fx.circuit)
 
 
+def test_profiler_overhead_bound(tech90):
+    # The sampling profiler must stay out of the way: with the default
+    # 5 ms interval, profiling the mc_yield_sample workload may cost at
+    # most 5% wall time.  Best-of-N timing on both sides keeps the
+    # check robust against shared-machine noise.
+    import timeit
+
+    from repro.obs.profiler import profiling
+
+    fx = differential_pair(tech90, w_m=4e-6, l_m=0.4e-6)
+    sampler = MismatchSampler(tech90, np.random.default_rng(1))
+
+    def one_sample():
+        sampler.assign(fx.circuit)
+        return input_referred_offset_v(fx)
+
+    def workload():
+        for _ in range(20):
+            one_sample()
+
+    workload()  # warm caches/JIT-free, but pay the import cost up front
+    baseline_s = min(timeit.repeat(workload, number=1, repeat=5))
+    with profiling():
+        profiled_s = min(timeit.repeat(workload, number=1, repeat=5))
+    sampler.clear(fx.circuit)
+    overhead = profiled_s / baseline_s - 1.0
+    print(f"\nprofiler overhead: baseline {baseline_s * 1e3:.1f} ms, "
+          f"profiled {profiled_s * 1e3:.1f} ms ({overhead * 100:+.1f}%)")
+    assert overhead <= 0.05, \
+        f"sampling profiler costs {overhead * 100:.1f}% (> 5% bound)"
+
+
 def test_perf_model_evaluation(benchmark, tech90):
     from repro.circuit import Mosfet
 

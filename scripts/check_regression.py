@@ -24,6 +24,14 @@ regressions is applied to speedup floors (effective floor =
 FACTOR / (1 + tolerance)).  A goal naming a benchmark absent from the
 candidate still fails — a gated bench must not silently disappear.
 
+Snapshots written since PR 8 carry the accelerator capability flags
+they were benched under (``capabilities``) and per-workload span phase
+breakdowns (``phases``).  A capability that flipped between baseline
+and candidate fails the comparison outright — the medians would be
+measuring different code paths, not a code change — and a regression
+verdict names the phases whose self time grew, so "mc_yield_sample got
+slower" arrives as "mc_yield_sample got slower in solve.dc".
+
 The check also validates the committed golden-artifact store (see
 ``docs/verification.md``): when ``--goldens`` points at a directory
 containing a ``manifest.json``, every file the manifest references
@@ -102,6 +110,63 @@ def parse_goals(pairs):
     return goals
 
 
+def check_capabilities(base: dict, cand: dict) -> list:
+    """Refuse apples-to-oranges comparisons across accelerator sets.
+
+    Snapshots record ``{capability: usable?}`` (``run_bench.py`` since
+    PR 8).  A capability that flipped between the two snapshots means
+    the timings measure different code paths — the C kernel falling
+    over would read as a "regression" of every DC bench.  Snapshots
+    without the key (pre-PR-8) are compared as before.
+    """
+    caps_base = base.get("capabilities")
+    caps_cand = cand.get("capabilities")
+    if caps_base is None or caps_cand is None:
+        return []
+    flips = [name for name in sorted(set(caps_base) | set(caps_cand))
+             if caps_base.get(name) != caps_cand.get(name)]
+    if not flips:
+        return []
+    detail = ", ".join(
+        f"{name} ({caps_base.get(name)} -> {caps_cand.get(name)})"
+        for name in flips)
+    return [f"capability mismatch between snapshots: {detail} — the "
+            f"snapshots were benched against different accelerator "
+            f"sets, so median ratios compare environments, not code. "
+            f"Re-bench both sides under the same capabilities (check "
+            f"`repro capabilities`, REPRO_NO_CKERNEL/SPARSE/BATCH) "
+            f"before trusting this comparison."]
+
+
+def phase_attribution(base: dict, cand: dict, bench_name: str,
+                      top: int = 2) -> str:
+    """Name the phases that grew for a regressed bench ("" if unknown).
+
+    Uses the per-workload span breakdowns the snapshots carry under
+    ``phases`` and :func:`repro.obs.diff.diff_phases` to turn "X got
+    slower" into "X got slower *in solve.dc*".
+    """
+    key = bench_name
+    for prefix in ("test_perf_", "test_bench_"):
+        if key.startswith(prefix):
+            key = key[len(prefix):]
+    phases_base = base.get("phases", {}).get(key) \
+        or base.get("phases", {}).get(bench_name)
+    phases_cand = cand.get("phases", {}).get(key) \
+        or cand.get("phases", {}).get(bench_name)
+    if not phases_base or not phases_cand:
+        return ""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.diff import diff_phases
+
+    grew = [d for d in diff_phases(phases_base, phases_cand)
+            if d["delta_s"] > 0 and d["only_in"] is None]
+    if not grew:
+        return ""
+    return " [grew: " + ", ".join(
+        f"{d['phase']} {d['rel'] * 100:+.0f}%" for d in grew[:top]) + "]"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=None,
@@ -140,8 +205,20 @@ def main(argv=None) -> int:
     else:
         baseline_path, candidate_path = args.baseline, args.candidate
 
-    base = load_snapshot(baseline_path)["benchmarks"]
-    cand = load_snapshot(candidate_path)["benchmarks"]
+    base_snapshot = load_snapshot(baseline_path)
+    cand_snapshot = load_snapshot(candidate_path)
+    capability_failures = check_capabilities(base_snapshot, cand_snapshot)
+    if capability_failures:
+        # Comparing would produce confidently-wrong verdicts; refuse
+        # outright rather than reporting phantom regressions.
+        print(f"baseline:  {baseline_path}")
+        print(f"candidate: {candidate_path}")
+        print("\nFAIL:")
+        for failure in capability_failures + golden_failures:
+            print(f"  - {failure}")
+        return 1
+    base = base_snapshot["benchmarks"]
+    cand = cand_snapshot["benchmarks"]
     goals = parse_goals(args.require_speedup)
 
     shared = sorted(set(base) & set(cand))
@@ -159,9 +236,12 @@ def main(argv=None) -> int:
         ratio = c / b if b > 0 else float("inf")
         verdict = "ok"
         if ratio > 1.0 + args.tolerance:
-            verdict = "REGRESSION"
+            attribution = phase_attribution(base_snapshot, cand_snapshot,
+                                            name)
+            verdict = "REGRESSION" + attribution
             failures.append(f"{name}: median grew {ratio:.2f}x "
-                            f"(tolerance {1.0 + args.tolerance:.2f}x)")
+                            f"(tolerance {1.0 + args.tolerance:.2f}x)"
+                            + attribution)
         goal = goals.pop(name, None)
         if goal is not None:
             speedup = b / c if c > 0 else float("inf")

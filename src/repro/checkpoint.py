@@ -95,6 +95,16 @@ def atomic_write_json(path: Path, obj) -> None:
                         .encode("utf-8"))
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically write UTF-8 ``text`` at ``path``.
+
+    Shared by the run registry (:mod:`repro.obs.runlog`) and the
+    profiler's collapsed-stack export — the same crash-consistency
+    contract the checkpoint files get.
+    """
+    _atomic_write_bytes(Path(path), text.encode("utf-8"))
+
+
 def atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
     """Atomically write an ``.npz`` archive at ``path``."""
     import io

@@ -19,13 +19,22 @@ Commands:
   chunk-granular checkpointing, per-sample retry/timeout, graceful
   degradation (see ``docs/robustness.md``), a live progress heartbeat
   on stderr and optional JSONL trace export (``docs/observability.md``);
+  ``--profile`` adds a sampling stack profiler (bit-identical results),
+  ``--metrics-port`` a live Prometheus ``/metrics`` endpoint, and every
+  invocation leaves a record in the run registry (``repro runs``);
 * ``verify [--goldens DIR] [--update-golden] [--quick]`` — the standing
   correctness gate: differential checks of every solver path against
   analytic oracles plus a tolerance-banded diff of the E1–E14 golden
   artifacts (see ``docs/verification.md``);
 * ``trace <file>`` — summarise a JSONL trace written by ``mc --trace``:
   top time sinks, convergence-strategy breakdown, slowest and
-  quarantined samples;
+  quarantined samples, and the sampling profile when ``--profile`` was
+  on; ``trace --diff RUN_A RUN_B`` structurally diffs two recorded runs
+  (capability/config/phase/metric deltas plus regression attribution);
+* ``runs [list|show|gc]`` — browse the run registry: every ``mc`` /
+  ``verify`` / bench invocation writes a content-addressed record into
+  ``.repro/runs/`` (``REPRO_RUNS_DIR`` overrides, ``REPRO_NO_RUNLOG=1``
+  disables);
 * ``aging <name>`` — the degradation outlook of a node: 10-year NBTI/
   HCI shifts, TDDB characteristic life, EM MTTF at J_max;
 * ``capabilities`` — probe the optional accelerators (C kernel, scipy
@@ -258,22 +267,35 @@ def _print_mc_result(result, args, tech, spec_text, partial=False) -> None:
     print(render_section(title, body))
 
 
-def _mc_heartbeat(session, stream):
+def _mc_heartbeat(session, stream, state: Optional[dict] = None):
     """Progress callback printing a live run pulse to ``stream``.
 
     Rate/ETA come from the engine's progress payload; fail and retry
     counts are read live off the session's metrics registry (workers
-    merge their counters back with every completed chunk).
+    merge their counters back with every completed chunk).  When
+    ``state`` is given, each beat also copies the progress payload into
+    it — the seam the ``/metrics`` exposition endpoint reads.
+
+    Edge cases render as ``--``: before the first completed sample (or
+    at zero elapsed time) there is no rate to extrapolate from, and a
+    finished run has no ETA — neither may surface ``inf`` or divide by
+    zero.
     """
 
     def beat(p: dict) -> None:
         done, total = p["done"], p["total"]
         elapsed = p["elapsed_s"]
-        rate = done / elapsed if elapsed > 0 else 0.0
-        eta = f"{(total - done) / rate:.0f}s" if rate > 0 else "--"
+        if state is not None:
+            state.update(done=done, total=total, elapsed_s=elapsed)
+        if done > 0 and elapsed > 0:
+            rate = done / elapsed
+            rate_text = f"{rate:.1f}/s"
+            eta = f"{(total - done) / rate:.0f}s" if done < total else "0s"
+        else:
+            rate_text, eta = "--", "--"
         fails = int(session.metrics.counter("engine.quarantines"))
         retries = int(session.metrics.counter("engine.retries"))
-        stream.write(f"\r[mc] {done}/{total} samples  {rate:.1f}/s  "
+        stream.write(f"\r[mc] {done}/{total} samples  {rate_text}  "
                      f"ETA {eta}  fail={fails} retry={retries}")
         if done >= total:
             stream.write("\n")
@@ -282,7 +304,38 @@ def _mc_heartbeat(session, stream):
     return beat
 
 
+def _session_phases(session) -> dict:
+    """Per-span-name self/total times of a finished telemetry session."""
+    from repro.telemetry import aggregate_spans
+
+    spans = [r for r in session.tracer.export_records()
+             if r.get("type") == "span"]
+    return aggregate_spans(spans)
+
+
+def _record_mc_run(args, session, *, outcome: str, exit_code: int,
+                   t_start: float, ledger=None, profile=None) -> None:
+    """Write the run-registry record for one ``mc`` invocation."""
+    from repro.obs.profiler import phase_breakdown
+    from repro.obs.runlog import capability_flags, ledger_digest, record_run
+
+    config = {"tech": args.tech, "workload": args.workload,
+              "samples": args.samples, "jobs": args.jobs,
+              "backend": args.backend, "batch_size": args.batch_size,
+              "limit_mv": args.limit_mv, "retries": args.retries}
+    record_run("mc", config, outcome=outcome, exit_code=exit_code,
+               seed=args.seed, capabilities=capability_flags(),
+               metrics=session.metrics.snapshot(),
+               phases=_session_phases(session),
+               ledger=ledger_digest(ledger),
+               profile=phase_breakdown(profile) if profile else None,
+               t_start=t_start)
+
+
 def _cmd_mc(args: argparse.Namespace) -> int:
+    import contextlib
+    import time
+
     from repro import telemetry
     from repro.checkpoint import CheckpointError, RunInterrupted
     from repro.core import MonteCarloYield
@@ -305,11 +358,53 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     meta = {"command": "mc", "tech": args.tech, "samples": args.samples,
             "seed": args.seed, "jobs": args.jobs, "backend": args.backend,
             "workload": args.workload}
-    with telemetry.session(meta=meta) as session:
-        progress = None if args.quiet else _mc_heartbeat(session,
-                                                         sys.stderr)
+    t_start = time.time()
+    with contextlib.ExitStack() as stack:
+        session = stack.enter_context(telemetry.session(meta=meta))
+        hb_state: dict = {"done": 0, "total": args.samples, "elapsed_s": 0.0}
+        if args.quiet:
+            # No terminal pulse, but /metrics (when on) still needs the
+            # live progress payload.
+            progress = hb_state.update if args.metrics_port is not None \
+                else None
+        else:
+            progress = _mc_heartbeat(session, sys.stderr, state=hb_state)
+        if args.metrics_port is not None:
+            from repro.obs.promexp import MetricsExporter, render_exposition
 
-        def write_trace() -> None:
+            exporter = MetricsExporter(
+                lambda: render_exposition(session.metrics.snapshot(),
+                                          meta=meta, heartbeat=hb_state),
+                host=args.metrics_host, port=args.metrics_port)
+            try:
+                port = exporter.start()
+                stack.callback(exporter.stop)
+                if not args.quiet:
+                    print(f"metrics: http://{args.metrics_host}:{port}"
+                          f"/metrics", file=sys.stderr)
+            except OSError as exc:
+                # Observability must not kill the analysis: an occupied
+                # port degrades to "no endpoint", loudly.
+                print(f"metrics endpoint disabled: {exc}", file=sys.stderr)
+        profiler = None
+        if args.profile:
+            from repro.obs import profiler as _prof
+
+            profiler = stack.enter_context(
+                _prof.profiling(args.profile_interval))
+
+        def finish_observability() -> None:
+            """Trace + collapsed stacks, shared by all exit paths."""
+            if profiler is not None:
+                session.profile = profiler.snapshot()
+                if args.profile_out:
+                    from repro.obs.profiler import write_collapsed
+
+                    count = write_collapsed(session.profile,
+                                            args.profile_out)
+                    if not args.quiet:
+                        print(f"profile: {count} stacks -> "
+                              f"{args.profile_out}", file=sys.stderr)
             if args.trace:
                 count = session.write_trace(args.trace)
                 if not args.quiet:
@@ -326,17 +421,19 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         except CheckpointError as exc:
             # Refused resume (identity or accelerator-config mismatch):
             # nothing has been computed; exit degraded with the reason.
-            if progress is not None:
+            if progress is not None and not args.quiet:
                 sys.stderr.write("\n")
             print(f"checkpoint refused: {exc}", file=sys.stderr)
+            _record_mc_run(args, session, outcome="refused", exit_code=2,
+                           t_start=t_start)
             return 2
         except RunInterrupted as exc:
             # The engine has already written the final checkpoint;
             # report the partial result.  Exit 130 for SIGINT, 2 for a
             # clean degraded stop on an expired --budget.
-            if progress is not None:
+            if progress is not None and not args.quiet:
                 sys.stderr.write("\n")
-            write_trace()
+            finish_observability()
             if exc.partial_result is not None:
                 _print_mc_result(exc.partial_result, args, tech,
                                  spec_text, partial=True)
@@ -346,10 +443,21 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             print(f"resume with: repro mc --checkpoint "
                   f"{exc.checkpoint_path} --resume --samples "
                   f"{args.samples} --seed {args.seed}", file=sys.stderr)
-            return 2 if budgeted else 130
-        write_trace()
+            code = 2 if budgeted else 130
+            _record_mc_run(
+                args, session, outcome="budget" if budgeted else
+                "interrupted", exit_code=code, t_start=t_start,
+                ledger=getattr(exc.partial_result, "ledger", None),
+                profile=session.profile)
+            return code
+        finish_observability()
+        code = 2 if result.is_degraded else 0
+        _record_mc_run(args, session,
+                       outcome="degraded" if result.is_degraded else "ok",
+                       exit_code=code, t_start=t_start,
+                       ledger=result.ledger, profile=session.profile)
     _print_mc_result(result, args, tech, spec_text)
-    return 2 if result.is_degraded else 0
+    return code
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -363,10 +471,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         write_goldens,
     )
 
+    import time
+
     sections: List[str] = []
     failed = False
     meta = {"command": "verify", "quick": args.quick,
             "update_golden": args.update_golden}
+    t_start = time.time()
     with telemetry.session(meta=meta) as session:
         if not args.skip_differential:
             report = run_differential(quick=args.quick)
@@ -393,6 +504,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"trace: {count} records -> {args.trace}",
                   file=sys.stderr)
 
+        from repro.obs.runlog import capability_flags, record_run
+
+        record_run("verify",
+                   {"quick": args.quick, "goldens": args.goldens,
+                    "update_golden": args.update_golden,
+                    "skip_differential": args.skip_differential},
+                   outcome="fail" if failed else "ok",
+                   exit_code=2 if failed else 0,
+                   capabilities=capability_flags(),
+                   metrics=session.metrics.snapshot(),
+                   phases=_session_phases(session), t_start=t_start)
+
     text = "\n".join(sections)
     print(text)
     if args.report:
@@ -405,13 +528,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.report import render_trace_summary
 
+    if args.diff:
+        from repro.obs.diff import diff_runs
+        from repro.obs.runlog import RunLogError, RunRegistry
+        from repro.report import render_run_diff
+
+        registry = RunRegistry(args.runs_dir)
+        try:
+            record_a = registry.load(args.diff[0])
+            record_b = registry.load(args.diff[1])
+        except (OSError, RunLogError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        diff = diff_runs(record_a, record_b)
+        print(render_run_diff(diff))
+        return 0 if diff["comparable"] else 2
+    if not args.file:
+        print("error: trace needs a FILE argument (or --diff A B)",
+              file=sys.stderr)
+        return 1
     try:
         trace = telemetry.read_trace(args.file)
         trace.validate()
     except (OSError, telemetry.TraceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if trace.corrupt_lines:
+        print(f"warning: skipped {trace.corrupt_lines} corrupt line(s) "
+              f"in {args.file}", file=sys.stderr)
     print(render_trace_summary(trace))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.runlog import RunLogError, RunRegistry
+    from repro.report import render_run_record, render_runs_table
+
+    registry = RunRegistry(args.runs_dir)
+    action = args.runs_command or "list"
+    if action == "list":
+        records = registry.list()
+        if getattr(args, "ids", False):
+            for record in records:
+                print(record["run_id"])
+        else:
+            print(render_runs_table(records))
+        return 0
+    if action == "show":
+        try:
+            record = registry.load(args.run_id)
+        except (OSError, RunLogError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(render_run_record(record))
+        return 0
+    # gc
+    removed = registry.gc(args.keep)
+    print(f"removed {len(removed)} record(s), kept newest {args.keep}")
     return 0
 
 
@@ -567,6 +740,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--trace", default=None, metavar="FILE",
                       help="write a JSONL telemetry trace (inspect with "
                            "'repro trace FILE')")
+    p_mc.add_argument("--profile", action="store_true",
+                      help="sample stack profiles during the run "
+                           "(embedded in --trace, summarised by 'repro "
+                           "trace'); numeric results are bit-identical "
+                           "with or without this flag")
+    p_mc.add_argument("--profile-out", default=None, metavar="FILE",
+                      help="also write collapsed stacks (flamegraph.pl/"
+                           "speedscope input) to FILE")
+    p_mc.add_argument("--profile-interval", type=float, default=0.005,
+                      metavar="SEC",
+                      help="sampling interval [s] (default 0.005)")
+    p_mc.add_argument("--metrics-port", type=int, default=None,
+                      metavar="PORT",
+                      help="serve live Prometheus metrics at "
+                           "http://HOST:PORT/metrics while the run is "
+                           "active (0 = ephemeral port; off by default, "
+                           "zero overhead when absent)")
+    p_mc.add_argument("--metrics-host", default="127.0.0.1",
+                      metavar="HOST",
+                      help="bind address for --metrics-port "
+                           "(default 127.0.0.1)")
     p_mc.add_argument("--quiet", action="store_true",
                       help="suppress the stderr progress heartbeat")
     p_mc.set_defaults(func=_cmd_mc)
@@ -601,9 +795,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.set_defaults(func=_cmd_verify)
 
     p_trace = sub.add_parser(
-        "trace", help="summarise a JSONL telemetry trace")
-    p_trace.add_argument("file", help="trace written by 'mc --trace'")
+        "trace", help="summarise a JSONL telemetry trace, or diff two "
+                      "recorded runs")
+    p_trace.add_argument("file", nargs="?", default=None,
+                         help="trace written by 'mc --trace'")
+    p_trace.add_argument("--diff", nargs=2, default=None,
+                         metavar=("RUN_A", "RUN_B"),
+                         help="diff two run-registry records (ids or "
+                              "unambiguous prefixes from 'repro runs'): "
+                              "capability/config changes, per-phase "
+                              "self-time deltas, metric deltas and a "
+                              "regression-attribution verdict; exits 2 "
+                              "when the runs are not comparable")
+    p_trace.add_argument("--runs-dir", default=None, metavar="DIR",
+                         help="run-registry directory (default "
+                              ".repro/runs or REPRO_RUNS_DIR)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_runs = sub.add_parser(
+        "runs", help="browse the run registry (.repro/runs): every mc/"
+                     "verify/bench invocation leaves a content-addressed "
+                     "record")
+    p_runs.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="registry directory (default .repro/runs "
+                             "or REPRO_RUNS_DIR)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command")
+    p_runs_list = runs_sub.add_parser("list",
+                                      help="list records, oldest first "
+                                           "(default action)")
+    p_runs_list.add_argument("--ids", action="store_true",
+                             help="print bare run ids, one per line "
+                                  "(for scripting)")
+    p_runs_show = runs_sub.add_parser("show", help="one record in full")
+    p_runs_show.add_argument("run_id",
+                             help="run id or unambiguous prefix")
+    p_runs_gc = runs_sub.add_parser("gc",
+                                    help="delete all but the newest "
+                                         "records")
+    p_runs_gc.add_argument("--keep", type=int, default=50,
+                           help="records to keep (default 50)")
+    p_runs.set_defaults(func=_cmd_runs)
 
     p_aging = sub.add_parser("aging",
                              help="degradation outlook of a node")

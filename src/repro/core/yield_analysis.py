@@ -341,7 +341,8 @@ class MonteCarloYield:
                                           Optional[RetryPolicy],
                                           bool, float,
                                           Optional[int],
-                                          Optional[DeadlineBudget]]) -> dict:
+                                          Optional[DeadlineBudget],
+                                          bool]) -> dict:
         """Evaluate one chunk of samples on a private fixture replica.
 
         The chunk is fully self-contained: it clones the fixture, seeds
@@ -371,9 +372,23 @@ class MonteCarloYield:
         batched Newton ensemble.  The sampler draw order is untouched —
         variates are bit-identical to a scalar run — and the solved
         metrics agree within Newton tolerance.
+
+        ``profile`` (process backend only — the parent's sampler cannot
+        see this worker) runs the chunk under a private
+        :func:`~repro.obs.profiler.worker_profile` sampler and ships
+        the stack payload back under the ``"profile"`` key, the same
+        transport as telemetry.  Sampling only *reads* frames, so the
+        numeric payload is bit-identical with profiling on or off.
         """
+        if len(task) > 7 and task[7]:
+            from repro.obs.profiler import worker_profile
+
+            with worker_profile(True) as prof:
+                payload = self._evaluate_chunk(task[:7] + (False,))
+            payload["profile"] = prof.snapshot()
+            return payload
         (start, stop), seed_seq, retry, trace, t_enqueued, batch_size, \
-            budget = task
+            budget = task[:7]
         n = stop - start
         fixture = clone_fixture(self.fixture)
         circuit = fixture.circuit
@@ -590,6 +605,21 @@ class MonteCarloYield:
                 payload["telemetry"] = tsession.export()
             return payload
 
+    @staticmethod
+    def _absorb_profile(chunk: dict) -> None:
+        """Fold a worker chunk's stack samples into the ambient profiler.
+
+        Popped (like the telemetry payload) before the chunk reaches the
+        checkpoint store — profiles are observability, not results.
+        """
+        payload = chunk.pop("profile", None)
+        if payload:
+            from repro.obs.profiler import active as profiler_active
+
+            prof = profiler_active()
+            if prof is not None:
+                prof.absorb(payload)
+
     def _assemble(self, n_samples: int, chunks: List[dict],
                   partial: bool = False) -> YieldResult:
         """Combine chunk payloads into a :class:`YieldResult`.
@@ -702,10 +732,17 @@ class MonteCarloYield:
         seeds = spawn_seed_sequences(seed, len(ranges))
         session = telemetry.active()
         t_enqueued = time.time()
-        tasks = [(bounds, seed_seq, retry, session is not None, t_enqueued,
-                  batch_size, budget)
-                 for bounds, seed_seq in zip(ranges, seeds)]
         mapper = ParallelMap(backend=backend, n_jobs=jobs)
+        # Chunk-level profiling only under the process backend: serial/
+        # thread chunks run in this process, where the ambient sampler
+        # already sees them — a second sampler would double-count.
+        from repro.obs.profiler import active as profiler_active
+
+        profile_chunks = (profiler_active() is not None
+                          and mapper.backend == "process")
+        tasks = [(bounds, seed_seq, retry, session is not None, t_enqueued,
+                  batch_size, budget, profile_chunks)
+                 for bounds, seed_seq in zip(ranges, seeds)]
 
         run_ctx = telemetry.NULL_SPAN if session is None else \
             session.tracer.span("run", kind="mc-yield", n_samples=n_samples,
@@ -721,6 +758,8 @@ class MonteCarloYield:
                     run_span_id, batch_size, budget)
             if session is None and progress is None and budget is None:
                 chunks = mapper.map(self._evaluate_chunk, tasks)
+                for chunk in chunks:
+                    self._absorb_profile(chunk)
                 return self._assemble(n_samples, chunks)
             chunks = []
             done = 0
@@ -730,6 +769,7 @@ class MonteCarloYield:
                     if session is not None:
                         session.merge_worker(chunk.pop("telemetry", None),
                                              run_span_id)
+                    self._absorb_profile(chunk)
                     chunks.append(chunk)
                     done += chunk["stop"] - chunk["start"]
                     if progress is not None:
@@ -807,6 +847,7 @@ class MonteCarloYield:
                 metrics_acc.merge(payload.get("metrics"))
             if session is not None:
                 session.merge_worker(payload, run_span_id)
+            self._absorb_profile(chunk)
             done += chunk["stop"] - chunk["start"]
             if progress is not None:
                 progress({"done": done, "total": n_samples,

@@ -1,0 +1,385 @@
+"""Prometheus text exposition for the live telemetry registry.
+
+The ROADMAP's analysis-as-a-service item needs a scrape surface; this
+module builds it standalone, stdlib-only, so a long ``repro mc`` run
+can be watched by any Prometheus-compatible scraper *today* and the
+future ``repro serve`` daemon can mount the same renderer unchanged.
+
+Three pieces:
+
+* :func:`render_exposition` — a :meth:`MetricsRegistry.snapshot
+  <repro.telemetry.MetricsRegistry.snapshot>` payload rendered as
+  `Prometheus text format 0.0.4 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+  counters become ``repro_*_total`` counters, gauges become gauges,
+  fixed-bucket histograms become cumulative ``_bucket{le=...}``
+  series with ``_sum``/``_count``, and the run's meta/heartbeat state
+  becomes an ``repro_run_info`` labelled gauge plus progress gauges.
+  HELP text and label values are escaped per the spec.
+* :class:`MetricsExporter` — a daemon-thread HTTP server exposing
+  ``/metrics`` (the rendered registry) and ``/healthz`` (liveness +
+  progress JSON).  It is only constructed when the operator passes
+  ``repro mc --metrics-port``; absent the flag, nothing in the hot
+  path even imports this module — the zero-overhead-when-off contract.
+* :func:`parse_exposition` — a strict parser for the text format used
+  by the test suite and the CI obs-smoke job to validate that what we
+  serve is what a scraper can ingest (name charset, escaping round-
+  trip, bucket cumulativity, ``+Inf`` terminal bucket).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Content type of the exposition format we render.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix namespacing every exported metric.
+NAME_PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$")
+
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def metric_name(dotted: str, suffix: str = "") -> str:
+    """Map a dotted registry name to a legal Prometheus metric name.
+
+    ``solver.dc.newton_iterations`` → ``repro_solver_dc_newton_iterations``;
+    characters outside ``[a-zA-Z0-9_:]`` collapse to ``_``.
+    """
+    name = NAME_PREFIX + dotted.replace(".", "_").replace("-", "_") + suffix
+    if not _NAME_OK.match(name):
+        name = _NAME_CLEAN.sub("_", name)
+        if not _NAME_OK.match(name):  # first char still illegal
+            name = "_" + name
+    return name
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double-quote, newline)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (``+Inf``/``-Inf``/``NaN`` spelled Go-style)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(val)}"'
+                     for key, val in labels.items())
+    return "{" + inner + "}"
+
+
+def render_exposition(snapshot: dict, meta: Optional[dict] = None,
+                      heartbeat: Optional[dict] = None) -> str:
+    """Render a metrics snapshot (plus run meta/progress) as text 0.0.4.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot
+    <repro.telemetry.MetricsRegistry.snapshot>`; ``meta`` (the
+    session's meta dict) becomes the labels of an ``repro_run_info``
+    gauge; ``heartbeat`` (the engine progress payload: ``done``,
+    ``total``, ``elapsed_s``) becomes progress gauges.  Histogram
+    buckets are emitted *cumulatively* with a terminal ``le="+Inf"``
+    bucket equal to the observation count, as the format requires.
+    """
+    lines: List[str] = []
+
+    def head(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    head("repro_up", "gauge", "1 while the exporting run is alive.")
+    lines.append("repro_up 1")
+    if meta:
+        head("repro_run_info", "gauge",
+             "Run identity carried as labels; value is always 1.")
+        labels = {str(k): str(v) for k, v in sorted(meta.items())
+                  if not isinstance(v, (dict, list))}
+        lines.append("repro_run_info" + _labels_text(labels) + " 1")
+    if heartbeat:
+        for key, help_text in (
+                ("done", "Samples completed so far."),
+                ("total", "Samples requested for this run."),
+                ("elapsed_s", "Wall-clock seconds since the run began.")):
+            if key in heartbeat:
+                name = metric_name("run.progress." + key)
+                head(name, "gauge", help_text)
+                lines.append(f"{name} {format_value(heartbeat[key])}")
+
+    for dotted, value in sorted((snapshot or {}).get("counters",
+                                                     {}).items()):
+        name = metric_name(dotted, "_total")
+        head(name, "counter", f"Counter {dotted} from the repro "
+                              f"telemetry registry.")
+        lines.append(f"{name} {format_value(value)}")
+
+    for dotted, value in sorted((snapshot or {}).get("gauges", {}).items()):
+        name = metric_name(dotted)
+        head(name, "gauge", f"Gauge {dotted} from the repro telemetry "
+                            f"registry.")
+        lines.append(f"{name} {format_value(value)}")
+
+    for dotted, hist in sorted((snapshot or {}).get("histograms",
+                                                    {}).items()):
+        name = metric_name(dotted)
+        head(name, "histogram", f"Histogram {dotted} from the repro "
+                                f"telemetry registry.")
+        cumulative = 0
+        for bound, count in zip(hist.get("bounds", []),
+                                hist.get("counts", [])):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{format_value(bound)}"}} '
+                         f"{format_value(cumulative)}")
+        total = sum(hist.get("counts", []))
+        lines.append(f'{name}_bucket{{le="+Inf"}} {format_value(total)}')
+        lines.append(f"{name}_sum {format_value(hist.get('sum', 0.0))}")
+        lines.append(f"{name}_count {format_value(hist.get('count', 0))}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Strictly parse text-format exposition back into families.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}`` where histogram ``_bucket`` /
+    ``_sum`` / ``_count`` samples attach to their base family.  Raises
+    :class:`ValueError` on any malformed line — this is the validator
+    the tests and the CI smoke job run against a live scrape.
+    """
+    families: Dict[str, dict] = {}
+
+    def family_of(sample_name: str) -> Optional[str]:
+        if sample_name in families:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[:-len(suffix)]
+                if base in families:
+                    return base
+        return None
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or (len(parts) < 4
+                                  and line.startswith("# TYPE ")):
+                raise ValueError(f"line {line_no}: malformed comment line")
+            name = parts[2]
+            if not _NAME_OK.match(name):
+                raise ValueError(
+                    f"line {line_no}: illegal metric name {name!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    raise ValueError(
+                        f"line {line_no}: unknown type {parts[3]!r}")
+                family["type"] = parts[3]
+            else:
+                family["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        labels_text = match.group("labels")
+        if labels_text:
+            consumed = 0
+            for label in _LABEL_RE.finditer(labels_text):
+                labels[label.group("key")] = _unescape_label(
+                    label.group("value"))
+                consumed = label.end()
+            rest = labels_text[consumed:].strip(", ")
+            if rest:
+                raise ValueError(
+                    f"line {line_no}: malformed labels {labels_text!r}")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            if raw == "+Inf":
+                value = math.inf
+            elif raw == "-Inf":
+                value = -math.inf
+            elif raw == "NaN":
+                value = math.nan
+            else:
+                raise ValueError(
+                    f"line {line_no}: bad value {raw!r}") from exc
+        base = family_of(name)
+        if base is None:
+            raise ValueError(
+                f"line {line_no}: sample {name!r} has no TYPE/HELP header")
+        families[base]["samples"].append((name, labels, value))
+
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, dict]) -> None:
+    """Cross-check histogram families: cumulative, +Inf-terminated."""
+    for base, family in families.items():
+        if family.get("type") != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        count = None
+        for name, labels, value in family["samples"]:
+            if name == base + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(f"{base}: bucket without le label")
+                buckets.append((math.inf if le == "+Inf" else float(le),
+                                value))
+            elif name == base + "_count":
+                count = value
+        buckets.sort(key=lambda pair: pair[0])
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValueError(f"{base}: histogram lacks a +Inf bucket")
+        running = -1.0
+        for le, value in buckets:
+            if value < running:
+                raise ValueError(
+                    f"{base}: bucket le={le} not cumulative")
+            running = value
+        if count is not None and buckets[-1][1] != count:
+            raise ValueError(
+                f"{base}: +Inf bucket {buckets[-1][1]} != count {count}")
+
+
+class MetricsExporter:
+    """Background ``/metrics`` + ``/healthz`` HTTP server for one run.
+
+    ``render`` is a zero-argument callable returning the exposition
+    text — typically a closure over the live session that snapshots the
+    registry per scrape, so the server holds no copy of anything and
+    adds zero cost between scrapes.  ``health`` (optional) returns a
+    JSON-ready dict for ``/healthz``.  Binds ``host:port`` on
+    :meth:`start` (``port=0`` picks a free port; the bound one is in
+    :attr:`port`) and serves from a daemon thread until :meth:`stop`.
+    """
+
+    def __init__(self, render: Callable[[], str],
+                 health: Optional[Callable[[], dict]] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._render = render
+        self._health = health or (lambda: {"status": "ok"})
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Per-connection request handler (scrape endpoints only)."""
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                """Serve /metrics (text 0.0.4) and /healthz (JSON)."""
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = exporter._render().encode("utf-8")
+                    except Exception as exc:  # render must never kill a run
+                        self.send_error(500, str(exc))
+                        return
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif path == "/healthz":
+                    body = json.dumps(exporter._health()).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_error(404, "try /metrics or /healthz")
+
+            def log_message(self, fmt: str, *args) -> None:
+                """Silence per-request stderr logging."""
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.2},
+            name="repro-metrics-exporter", daemon=True)
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

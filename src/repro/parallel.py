@@ -167,6 +167,9 @@ class ParallelMap:
         the thread/serial backends rely on the cooperative checks
         alone.
         """
+        from repro import telemetry
+
+        session = telemetry.active()
         items = list(items)
         if not items:
             return
@@ -174,6 +177,9 @@ class ParallelMap:
             for index, item in enumerate(items):
                 if deadline is not None:
                     deadline.check("task %d" % index)
+                if session is not None:
+                    session.metrics.gauge("parallel.pending_tasks",
+                                          len(items) - index - 1)
                 yield index, fn(item)
             return
         workers = min(self.n_jobs, len(items))
@@ -202,6 +208,11 @@ class ParallelMap:
                         "task(s) unfinished" % (deadline.total_s,
                                                 len(pending)),
                         budget_s=deadline.total_s, where="pool")
+                if session is not None:
+                    # Live queue depth for the /metrics exposition: how
+                    # many chunks have not finished yet.
+                    session.metrics.gauge("parallel.pending_tasks",
+                                          len(pending))
                 for future in done:
                     yield futures[future], future.result()
         except BaseException:

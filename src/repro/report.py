@@ -122,6 +122,10 @@ def render_trace_summary(trace, top: int = 8) -> str:
         overview.append(("wall time", f"{t1 - t0:.3f} s"))
     overview.append(("records", f"{len(spans)} spans, "
                                 f"{len(trace.events)} events"))
+    if getattr(trace, "corrupt_lines", 0):
+        overview.append(("WARNING",
+                         f"{trace.corrupt_lines} corrupt line(s) skipped "
+                         f"(truncated write?)"))
     workers = sorted({s["attrs"]["worker"] for s in spans
                       if "worker" in s.get("attrs", {})})
     if workers:
@@ -235,6 +239,169 @@ def render_trace_summary(trace, top: int = 8) -> str:
     if engine:
         sections.append(render_section("engine",
                                        render_key_values(engine)))
+
+    # -- sampling profile ----------------------------------------------
+    profile = getattr(trace, "profile", None)
+    if profile and profile.get("samples"):
+        sections.append(render_profile_summary(profile, top=top))
+    return "\n".join(sections)
+
+
+def render_profile_summary(profile: dict, top: int = 8) -> str:
+    """Top-sinks table + phase breakdown for a sampling-profiler payload.
+
+    ``profile`` is a :meth:`SamplingProfiler.snapshot
+    <repro.obs.profiler.SamplingProfiler.snapshot>`: self/total sample
+    counts per ``module:function`` frame and the phase attribution —
+    the profiler's companion view to the span-based time sinks above
+    it in ``repro trace``.
+    """
+    from repro.obs.profiler import phase_breakdown, top_sinks
+
+    n = profile.get("n_samples", 0)
+    interval = profile.get("interval_s", 0.0)
+    head = render_key_values([
+        ("stack samples", n),
+        ("interval", f"{interval * 1e3:.1f} ms"),
+        ("approx. sampled wall", f"{n * interval:.2f} s"),
+    ])
+    rows = [[s["frame"], s["self"], s["total"], f"{s['share'] * 100:.1f} %"]
+            for s in top_sinks(profile, top)]
+    body = head + "\n\n" + render_table(
+        ["frame", "self", "total", "share"], rows)
+    phases = phase_breakdown(profile)
+    if phases:
+        phase_rows = [[name, entry["samples"],
+                       f"{entry['share'] * 100:.1f} %"]
+                      for name, entry in phases.items()]
+        body += "\n\n" + render_table(["phase", "samples", "share"],
+                                      phase_rows)
+    return render_section(f"sampling profile ({n} samples)", body)
+
+
+def render_runs_table(records) -> str:
+    """``repro runs list`` table: one row per run record, oldest first."""
+    import time as _time
+
+    rows = []
+    for record in records:
+        when = _time.strftime("%Y-%m-%d %H:%M:%S",
+                              _time.localtime(record.get("t_start", 0.0)))
+        caps = record.get("capabilities", {})
+        usable = sum(1 for v in caps.values() if v)
+        rows.append([record.get("run_id", "?"), record.get("command", "?"),
+                     when, record.get("outcome", "?"),
+                     f"{record.get('wall_s', 0.0):.2f}",
+                     record.get("config_hash", "?"),
+                     f"{usable}/{len(caps)}" if caps else "-"])
+    if not rows:
+        return ("no run records (runs are recorded automatically; "
+                "set REPRO_RUNS_DIR to relocate, REPRO_NO_RUNLOG=1 "
+                "to disable)")
+    return render_table(["run", "command", "started", "outcome",
+                         "wall [s]", "config", "caps"], rows)
+
+
+def render_run_record(record) -> str:
+    """``repro runs show`` detail view of one run record."""
+    pairs = [
+        ("run", record.get("run_id", "?")),
+        ("command", record.get("command", "?")),
+        ("outcome", f"{record.get('outcome', '?')} "
+                    f"(exit {record.get('exit_code', '?')})"),
+        ("wall time", f"{record.get('wall_s', 0.0):.3f} s"),
+        ("seed", record.get("seed")),
+        ("config hash", record.get("config_hash", "?")),
+    ]
+    for key, value in sorted(record.get("config", {}).items()):
+        pairs.append((f"config.{key}", value))
+    caps = record.get("capabilities", {})
+    if caps:
+        pairs.append(("capabilities",
+                      ", ".join(f"{name}={'on' if usable else 'OFF'}"
+                                for name, usable in sorted(caps.items()))))
+    ledger = record.get("ledger", {})
+    if ledger.get("total"):
+        pairs.append(("quarantines",
+                      f"{ledger['total']} ("
+                      + ", ".join(f"{k} x{v}" for k, v
+                                  in ledger.get("by_type", {}).items())
+                      + ")"))
+    body = render_key_values(pairs)
+    phases = record.get("phases", {})
+    if phases:
+        ranked = sorted(phases.items(),
+                        key=lambda kv: -kv[1].get("self_s", 0.0))
+        rows = [[name, entry.get("count", 0), entry.get("total_s", 0.0),
+                 entry.get("self_s", 0.0)] for name, entry in ranked[:10]]
+        body += "\n\n" + render_table(
+            ["phase", "count", "total [s]", "self [s]"], rows)
+    profile = record.get("profile", {})
+    if profile:
+        rows = [[name, entry.get("samples", 0),
+                 f"{entry.get('share', 0.0) * 100:.1f} %"]
+                for name, entry in profile.items()]
+        body += "\n\n" + render_table(["profiled phase", "samples",
+                                       "share"], rows)
+    return render_section(f"run {record.get('run_id', '?')}", body)
+
+
+def render_run_diff(diff: dict) -> str:
+    """``repro trace --diff`` report for a :func:`repro.obs.diff.diff_runs`.
+
+    Leads with comparability (capability/config deltas make wall-time
+    comparison apples-to-oranges), then per-phase self-time deltas,
+    metric deltas, and the regression-attribution verdict.
+    """
+    from repro.obs.diff import attribute_regression
+
+    sections: List[str] = []
+    head = [
+        ("run A", f"{diff['run_a']} ({diff.get('outcome_a', '?')}, "
+                  f"{diff['wall_a_s']:.3f} s)"),
+        ("run B", f"{diff['run_b']} ({diff.get('outcome_b', '?')}, "
+                  f"{diff['wall_b_s']:.3f} s)"),
+        ("wall delta", f"{diff['wall_delta_s']:+.3f} s"),
+        ("comparable", diff["comparable"]),
+    ]
+    sections.append(render_section("run diff", render_key_values(head)))
+
+    if diff["capability_deltas"]:
+        rows = [[c["capability"], c["a"], c["b"]]
+                for c in diff["capability_deltas"]]
+        sections.append(render_section(
+            "CAPABILITY CHANGES (comparison is apples-to-oranges)",
+            render_table(["capability", "A", "B"], rows)))
+    if diff["config_deltas"]:
+        rows = [[c["key"], c["a"], c["b"]] for c in diff["config_deltas"]]
+        sections.append(render_section(
+            "config changes",
+            render_table(["key", "A", "B"], rows)))
+
+    if diff["phase_deltas"]:
+        rows = []
+        for d in diff["phase_deltas"][:12]:
+            rel = ("new" if d["only_in"] == "b" else
+                   "gone" if d["only_in"] == "a" else
+                   f"{d['rel'] * 100:+.0f} %")
+            rows.append([d["phase"], d["self_a_s"], d["self_b_s"],
+                         f"{d['delta_s']:+.4f}", rel])
+        sections.append(render_section(
+            "phase self-time deltas (B - A)",
+            render_table(["phase", "A [s]", "B [s]", "delta [s]",
+                          "rel"], rows)))
+    if diff["metric_deltas"]:
+        rows = [[d["metric"], d["a"], d["b"], f"{d['delta']:+g}"]
+                for d in diff["metric_deltas"][:12]]
+        sections.append(render_section(
+            "metric deltas (B - A)",
+            render_table(["metric", "A", "B", "delta"], rows)))
+
+    verdict = attribute_regression(diff)
+    sections.append(render_section(
+        "attribution",
+        render_key_values([("cause", verdict["cause"]),
+                           ("detail", verdict["detail"])])))
     return "\n".join(sections)
 
 

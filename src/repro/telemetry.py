@@ -367,6 +367,11 @@ class TelemetrySession:
         self.tracer = Tracer(id_prefix)
         self.metrics = MetricsRegistry()
         self.meta = dict(meta) if meta else {}
+        #: Optional sampling-profiler payload (see
+        #: :mod:`repro.obs.profiler`); when set, :meth:`write_trace`
+        #: appends it as a ``profile`` record so ``repro trace`` can
+        #: render the top wall-time sinks next to the span report.
+        self.profile: Optional[dict] = None
 
     # -- worker round-trip ---------------------------------------------
     def export(self) -> dict:
@@ -420,6 +425,9 @@ class TelemetrySession:
                 handle.write(json.dumps(record) + "\n")
             handle.write(json.dumps({"type": "metrics",
                                      "data": self.metrics.snapshot()}) + "\n")
+            if self.profile:
+                handle.write(json.dumps({"type": "profile",
+                                         "data": self.profile}) + "\n")
         return len(records)
 
 
@@ -508,6 +516,10 @@ class TraceData:
     spans: List[dict] = field(default_factory=list)
     events: List[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
+    corrupt_lines: int = 0
+    """Lines that were not valid JSON (a worker killed mid-write leaves
+    a truncated tail) — skipped and counted, never fatal."""
 
     def spans_named(self, name: str) -> List[dict]:
         """Every span record with the given name."""
@@ -539,7 +551,14 @@ class TraceData:
 
 
 def read_trace(path: Union[str, Path]) -> TraceData:
-    """Parse a JSONL trace file written by :meth:`write_trace`."""
+    """Parse a JSONL trace file written by :meth:`write_trace`.
+
+    Truncated or otherwise non-JSON lines — the signature a killed
+    worker leaves when it dies mid-write — are skipped and counted in
+    :attr:`TraceData.corrupt_lines` instead of aborting the parse, so
+    one mangled tail line never makes a multi-hour trace unreadable.
+    ``repro trace`` surfaces the count as a warning.
+    """
     trace = TraceData()
     with open(path, encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
@@ -548,8 +567,12 @@ def read_trace(path: Union[str, Path]) -> TraceData:
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceError(f"line {line_no}: not JSON ({exc})") from exc
+            except json.JSONDecodeError:
+                trace.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict):
+                trace.corrupt_lines += 1
+                continue
             kind = record.get("type")
             if kind == "meta":
                 if record.get("schema") != TRACE_SCHEMA:
@@ -562,6 +585,8 @@ def read_trace(path: Union[str, Path]) -> TraceData:
                 trace.events.append(record)
             elif kind == "metrics":
                 trace.metrics = record.get("data", {})
+            elif kind == "profile":
+                trace.profile = record.get("data", {})
             else:
                 raise TraceError(
                     f"line {line_no}: unknown record type {kind!r}")

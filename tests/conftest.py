@@ -6,6 +6,26 @@ import pytest
 from repro.technology import get_node
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_registry(tmp_path_factory):
+    """Point the run registry at a session-temporary directory.
+
+    CLI tests invoke ``main(["mc", ...])`` from the repo working
+    directory; without this, every such test would append a record to
+    the developer's real ``.repro/runs/``.
+    """
+    import os
+
+    runs_dir = tmp_path_factory.mktemp("runs")
+    old = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(runs_dir)
+    yield runs_dir
+    if old is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def tech90():
     """The 90 nm node — the default testbench technology."""

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.core",
     "repro.solutions",
     "repro.digitalflow",
+    "repro.obs",
 ]
 
 
