@@ -12,6 +12,14 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--require-speedup", action="store_true", default=False,
+        help="make the high-sigma bench FAIL unless surrogate screening "
+             "cuts full solver calls by at least 3x vs screening off "
+             "(deterministic call accounting, not wall-clock)")
+
+
 def print_table(title, headers, rows):
     """Print an aligned ASCII table (the bench output format)."""
     widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))

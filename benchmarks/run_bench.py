@@ -60,7 +60,7 @@ def run_pytest_benchmark(target: str, max_time_s: float,
         env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                              if env.get("PYTHONPATH") else src)
         cmd = [
-            sys.executable, "-m", "pytest", target,
+            sys.executable, "-m", "pytest", *target.split(),
             "--benchmark-only",
             f"--benchmark-json={json_path}",
             f"--benchmark-max-time={max_time_s}",
@@ -136,6 +136,14 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
 
         run_oracles(default_oracles())
 
+    def highsigma_screened():
+        # Linear tail oracle (no MNA): the breakdown isolates the
+        # engine's own spans (chunks, surrogate routing) from solver
+        # time, which the SRAM quality collection below measures.
+        from repro.verify.oracles import HighSigmaLinearOracle
+
+        HighSigmaLinearOracle().run("is.screened")
+
     def transient_ring_batched():
         from repro.circuit import batched_transient
 
@@ -164,12 +172,77 @@ def collect_phase_breakdowns(repeats: int = 3) -> dict:
         "mc_yield_sample": mc_sample,
         "mc_yield_batched": mc_sample_batched,
         "verify_oracles": verify_oracles,
+        "highsigma_screened": highsigma_screened,
     }
     breakdowns = {}
     for name, fn in workloads.items():
         breakdowns[name] = telemetry.profile_phases(fn, repeats=repeats)
     sampler.clear(pair.circuit)
     return breakdowns
+
+
+def collect_highsigma_quality(n_samples: int = 4096) -> dict:
+    """Acceptance-scale high-sigma quality numbers for the snapshot.
+
+    Runs the 6T SRAM read-SNM tail estimate (the PR-9 perf target) at
+    sigma >= 5 with surrogate screening on AND off, and records the
+    deterministic solver-call accounting plus estimate quality.
+    ``scripts/check_regression.py`` gates on these: the screened run
+    must resolve the tail (RSE <= 0.2) in at most 10^4 full solver
+    calls while saving at least 3x the calls of the unscreened run.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import functools
+
+    from repro.circuits import (
+        sram_cell,
+        sram_read_butterfly,
+        static_noise_margin,
+    )
+    from repro.core import (
+        HighSigmaYield,
+        MonteCarloYield,
+        Specification,
+        SurrogateConfig,
+    )
+    from repro.technology import get_node
+
+    def snm_metric(fixture, n_points=41):
+        v_probe, v_resp = sram_read_butterfly(fixture, n_points=n_points)
+        return static_noise_margin(v_probe, v_resp)
+
+    tech = get_node("65nm")
+    fixture = sram_cell(tech, cell_ratio=1.2)
+    extractor = functools.partial(snm_metric)
+    # Place the bound 5 fitted sigmas below the fitted mean (decoupled
+    # calibration seed), mirroring `repro highsigma --sigma-target 5`.
+    cal = MonteCarloYield(
+        fixture, [Specification("read_snm", extractor, lower=-1.0)],
+        tech).run(n_samples=64, seed=7919)
+    bound = cal.mean("read_snm") - 5.0 * cal.sigma("read_snm")
+    spec = Specification("read_snm", extractor, lower=bound)
+    engine = HighSigmaYield(fixture, spec, tech)
+
+    screened = engine.run(n_samples=n_samples, seed=0,
+                          surrogate=SurrogateConfig())
+    plain = engine.run(n_samples=n_samples, seed=0, surrogate=None)
+    return {
+        "workload": "sram_read_snm_65nm",
+        "n_samples": n_samples,
+        "sigma_target": 5.0,
+        "snm_bound_v": bound,
+        "p_fail": screened.failure_probability,
+        "p_fail_off": plain.failure_probability,
+        "rse": screened.relative_standard_error,
+        "rse_off": plain.relative_standard_error,
+        "sigma_level": screened.sigma_level,
+        "full_solver_calls": screened.full_solver_calls,
+        "solver_calls_off": plain.full_solver_calls,
+        "reduction": (plain.full_solver_calls
+                      / max(1, screened.full_solver_calls)),
+        "audit_count": screened.audit_count,
+        "audit_mismatches": screened.audit_mismatches,
+    }
 
 
 def collect_capabilities() -> dict:
@@ -189,8 +262,11 @@ def collect_capabilities() -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--target", default="benchmarks/test_bench_simulator_perf.py",
-        help="pytest target to benchmark (default: the simulator perf suite)")
+        "--target",
+        default="benchmarks/test_bench_simulator_perf.py "
+                "benchmarks/test_bench_highsigma.py",
+        help="pytest target(s) to benchmark, space-separated (default: "
+             "the simulator perf suite plus the high-sigma SRAM bench)")
     parser.add_argument(
         "--all", action="store_true",
         help="benchmark the whole benchmarks/ directory instead")
@@ -209,6 +285,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-phases", action="store_true",
         help="skip the telemetry phase-breakdown collection")
+    parser.add_argument(
+        "--no-highsigma", action="store_true",
+        help="skip the acceptance-scale high-sigma quality collection")
+    parser.add_argument(
+        "--highsigma-samples", type=int, default=4096,
+        help="sample count for the high-sigma quality collection "
+             "(default 4096)")
     args = parser.parse_args(argv)
 
     target = "benchmarks" if args.all else args.target
@@ -227,6 +310,9 @@ def main(argv=None) -> int:
     }
     if not args.no_phases:
         snapshot["phases"] = collect_phase_breakdowns()
+    if not args.no_highsigma:
+        snapshot["highsigma"] = collect_highsigma_quality(
+            args.highsigma_samples)
 
     width = max(len(name) for name in benches)
     print(f"\n{'benchmark'.ljust(width)}  median [ms]  rounds")
@@ -239,6 +325,14 @@ def main(argv=None) -> int:
             for span, entry in sorted(phases.items(),
                                       key=lambda kv: -kv[1]["total_s"])[:3])
         print(f"phases {name}: {parts or '(no spans)'}")
+    quality = snapshot.get("highsigma")
+    if quality:
+        print(f"highsigma {quality['workload']}: "
+              f"p_fail {quality['p_fail']:.3e} "
+              f"(rse {quality['rse']:.3f}), "
+              f"{quality['full_solver_calls']} of {quality['n_samples']} "
+              f"full solves ({quality['reduction']:.2f}x fewer than "
+              f"screening off)")
 
     if args.dry_run:
         return 0

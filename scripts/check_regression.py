@@ -32,6 +32,16 @@ measuring different code paths, not a code change — and a regression
 verdict names the phases whose self time grew, so "mc_yield_sample got
 slower" arrives as "mc_yield_sample got slower in solve.dc".
 
+Snapshots may also carry a ``highsigma`` quality record (written by
+``run_bench.py`` unless ``--no-highsigma``): the SRAM read-SNM
+high-sigma estimate at the 5-sigma target.  Three absolute gates apply
+to the candidate — full solver calls within the 10k budget, surrogate
+screening reducing calls at least 3x versus the surrogate-off run, and
+relative standard error at most 0.2 — plus a relative gate that the
+solver-call count must not grow past ``--tolerance`` versus a baseline
+recorded at the same sample count.  A candidate without the record
+skips the gate (``--no-highsigma`` runs stay comparable).
+
 The check also validates the committed golden-artifact store (see
 ``docs/verification.md``): when ``--goldens`` points at a directory
 containing a ``manifest.json``, every file the manifest references
@@ -167,6 +177,64 @@ def phase_attribution(base: dict, cand: dict, bench_name: str,
         f"{d['phase']} {d['rel'] * 100:+.0f}%" for d in grew[:top]) + "]"
 
 
+#: Hard quality gates on the candidate's high-sigma collection (see
+#: benchmarks/run_bench.py:collect_highsigma_quality and
+#: docs/high_sigma.md).  Deterministic solver-call accounting, not
+#: wall-clock — no noise tolerance applies.
+HIGHSIGMA_MAX_CALLS = 10_000
+HIGHSIGMA_MIN_REDUCTION = 3.0
+HIGHSIGMA_MAX_RSE = 0.2
+
+
+def check_highsigma(base: dict, cand: dict, tolerance: float) -> list:
+    """Quality-gate the candidate's high-sigma solver-call accounting.
+
+    Three absolute gates (the PR-9 acceptance bar): the screened SRAM
+    estimate must resolve its tail at RSE <= 0.2 using at most 10^4
+    full solver calls, and screening must save at least 3x the calls
+    of the screening-off reference.  When the baseline also carries the
+    collection, calls-per-estimate must not creep up past the shared
+    ``--tolerance`` either — the surrogate silently screening less is
+    a perf regression even while the absolute gates still pass.
+    """
+    quality = cand.get("highsigma")
+    if quality is None:
+        print("highsigma: candidate has no quality collection — skipping "
+              "(run benchmarks/run_bench.py without --no-highsigma)")
+        return []
+    failures = []
+    calls = quality["full_solver_calls"]
+    reduction = quality["reduction"]
+    rse = quality["rse"]
+    print(f"highsigma: {calls} full solves "
+          f"(gate <= {HIGHSIGMA_MAX_CALLS}), reduction {reduction:.2f}x "
+          f"(gate >= {HIGHSIGMA_MIN_REDUCTION:g}x), rse {rse:.3f} "
+          f"(gate <= {HIGHSIGMA_MAX_RSE:g})")
+    if calls > HIGHSIGMA_MAX_CALLS:
+        failures.append(
+            f"highsigma: {calls} full solver calls exceeds the "
+            f"{HIGHSIGMA_MAX_CALLS} budget")
+    if reduction < HIGHSIGMA_MIN_REDUCTION:
+        failures.append(
+            f"highsigma: surrogate screening saves only {reduction:.2f}x "
+            f"solver calls (gate >= {HIGHSIGMA_MIN_REDUCTION:g}x)")
+    if not rse <= HIGHSIGMA_MAX_RSE:
+        failures.append(
+            f"highsigma: relative standard error {rse:.3f} above the "
+            f"{HIGHSIGMA_MAX_RSE:g} resolution gate")
+    base_quality = base.get("highsigma")
+    if base_quality and base_quality.get("n_samples") == \
+            quality.get("n_samples"):
+        base_calls = base_quality["full_solver_calls"]
+        if base_calls > 0 and calls > base_calls * (1.0 + tolerance):
+            failures.append(
+                f"highsigma: full solver calls grew "
+                f"{calls / base_calls:.2f}x over the baseline "
+                f"({base_calls} -> {calls}) — screening got less "
+                f"effective")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=None,
@@ -274,6 +342,8 @@ def main(argv=None) -> int:
         failures.append(f"{name}: --require-speedup target not found "
                         "in the candidate snapshot")
 
+    failures.extend(check_highsigma(base_snapshot, cand_snapshot,
+                                    args.tolerance))
     failures.extend(golden_failures)
     if failures:
         print("\nFAIL:")

@@ -22,9 +22,16 @@ Commands:
   ``--profile`` adds a sampling stack profiler (bit-identical results),
   ``--metrics-port`` a live Prometheus ``/metrics`` endpoint, and every
   invocation leaves a record in the run registry (``repro runs``);
+* ``highsigma [--tech NODE] [--samples N] [--surrogate poly|rbf|off]
+  [--sigma-target S] [--jobs J] [--batch-size B] [--checkpoint DIR
+  [--resume]] [--budget SEC]`` — rare-event (5–6σ) SRAM read-SNM tail
+  yield via mean-shift importance sampling with surrogate
+  pre-screening of the full solver (see ``docs/high_sigma.md``); the
+  spec bound auto-calibrates from a short Monte-Carlo unless
+  ``--snm-min-mv`` pins it;
 * ``verify [--goldens DIR] [--update-golden] [--quick]`` — the standing
   correctness gate: differential checks of every solver path against
-  analytic oracles plus a tolerance-banded diff of the E1–E14 golden
+  analytic oracles plus a tolerance-banded diff of the E1–E15 golden
   artifacts (see ``docs/verification.md``);
 * ``trace <file>`` — summarise a JSONL trace written by ``mc --trace``:
   top time sinks, convergence-strategy breakdown, slowest and
@@ -267,7 +274,8 @@ def _print_mc_result(result, args, tech, spec_text, partial=False) -> None:
     print(render_section(title, body))
 
 
-def _mc_heartbeat(session, stream, state: Optional[dict] = None):
+def _mc_heartbeat(session, stream, state: Optional[dict] = None,
+                  label: str = "mc"):
     """Progress callback printing a live run pulse to ``stream``.
 
     Rate/ETA come from the engine's progress payload; fail and retry
@@ -295,7 +303,7 @@ def _mc_heartbeat(session, stream, state: Optional[dict] = None):
             rate_text, eta = "--", "--"
         fails = int(session.metrics.counter("engine.quarantines"))
         retries = int(session.metrics.counter("engine.retries"))
-        stream.write(f"\r[mc] {done}/{total} samples  {rate_text}  "
+        stream.write(f"\r[{label}] {done}/{total} samples  {rate_text}  "
                      f"ETA {eta}  fail={fails} retry={retries}")
         if done >= total:
             stream.write("\n")
@@ -457,6 +465,171 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                        exit_code=code, t_start=t_start,
                        ledger=result.ledger, profile=session.profile)
     _print_mc_result(result, args, tech, spec_text)
+    return code
+
+
+def _sram_snm_extractor(fixture, n_points: int = 41) -> float:
+    """Read static-noise-margin metric for the ``highsigma`` command.
+
+    Module-level (bound via :func:`functools.partial`) so the
+    ``process`` backend can pickle the engine's chunk tasks.
+    """
+    from repro.circuits import sram_read_butterfly, static_noise_margin
+
+    v_probe, v_resp = sram_read_butterfly(fixture, n_points=n_points)
+    return static_noise_margin(v_probe, v_resp)
+
+
+def _highsigma_workload(args, tech):
+    """Build the (fixture, spec, spec_text) triple for ``highsigma``.
+
+    The workload is the classic high-sigma problem: read-stability SNM
+    of a 6T SRAM cell under threshold mismatch.  The spec bound comes
+    from ``--snm-min-mv`` when given; otherwise a short nominal-seed
+    Monte-Carlo calibration places it ``--sigma-target`` fitted sigmas
+    below the fitted mean, so the true failure rate lands near the
+    sigma level the run is meant to resolve.
+    """
+    import functools
+
+    from repro.circuits import sram_cell
+    from repro.core import MonteCarloYield, Specification
+
+    fx = sram_cell(tech, cell_ratio=args.cell_ratio)
+    extractor = functools.partial(_sram_snm_extractor,
+                                  n_points=args.snm_points)
+    if args.snm_min_mv is not None:
+        lower = args.snm_min_mv * units.MILLI
+    else:
+        # Calibrate on a decoupled seed so the bound is not fitted to
+        # the very variates the estimate will reuse.
+        probe_spec = Specification("read_snm", extractor, lower=-1.0)
+        cal = MonteCarloYield(fx, [probe_spec], tech).run(
+            n_samples=args.calibrate_samples, seed=args.seed + 7919)
+        mean = cal.mean("read_snm")
+        sigma = cal.sigma("read_snm")
+        lower = mean - args.sigma_target * sigma
+        if not args.quiet:
+            print(f"calibrated spec: SNM mean {mean * 1e3:.1f} mV, "
+                  f"sigma {sigma * 1e3:.2f} mV over "
+                  f"{args.calibrate_samples} samples -> bound "
+                  f"{lower * 1e3:.1f} mV "
+                  f"({args.sigma_target:g} sigma)", file=sys.stderr)
+    spec = Specification("read_snm", extractor, lower=lower)
+    spec_text = f"read SNM > {lower * 1e3:.1f} mV"
+    return fx, spec, spec_text
+
+
+def _record_highsigma_run(args, session, *, outcome: str, exit_code: int,
+                          t_start: float, ledger=None) -> None:
+    """Write the run-registry record for one ``highsigma`` invocation."""
+    from repro.obs.runlog import capability_flags, ledger_digest, record_run
+
+    config = {"tech": args.tech, "samples": args.samples,
+              "jobs": args.jobs, "backend": args.backend,
+              "batch_size": args.batch_size, "surrogate": args.surrogate,
+              "shift_sigma": args.shift_sigma,
+              "sigma_target": args.sigma_target}
+    record_run("highsigma", config, outcome=outcome, exit_code=exit_code,
+               seed=args.seed, capabilities=capability_flags(),
+               metrics=session.metrics.snapshot(),
+               phases=_session_phases(session),
+               ledger=ledger_digest(ledger),
+               t_start=t_start)
+
+
+def _print_highsigma_result(result, args, tech, spec_text,
+                            partial=False) -> None:
+    from repro.report import render_highsigma_result
+
+    body = render_highsigma_result(result, spec_text)
+    title = f"High-sigma read-SNM yield: 6T SRAM cell, {tech.name}"
+    if partial or result.n_evaluated < result.n_samples:
+        title += " [INTERRUPTED]"
+    print(render_section(title, body))
+
+
+def _cmd_highsigma(args: argparse.Namespace) -> int:
+    import contextlib
+    import time
+
+    from repro import telemetry
+    from repro.checkpoint import CheckpointError, RunInterrupted
+    from repro.core import HighSigmaYield, SurrogateConfig
+    from repro.technology import get_node
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 1
+    tech = get_node(args.tech)
+    if args.surrogate == "off":
+        surrogate = None
+    else:
+        surrogate = SurrogateConfig(
+            kind=args.surrogate, train_samples=args.train_samples,
+            k_sigma=args.k_sigma, audit_every=args.audit_every)
+    meta = {"command": "highsigma", "tech": args.tech,
+            "samples": args.samples, "seed": args.seed, "jobs": args.jobs,
+            "backend": args.backend,
+            "surrogate": args.surrogate}
+    t_start = time.time()
+    with contextlib.ExitStack() as stack:
+        session = stack.enter_context(telemetry.session(meta=meta))
+        # The calibration MC (when it runs) shares the session so its
+        # solver activity lands in the same trace.
+        fx, spec, spec_text = _highsigma_workload(args, tech)
+        progress = None if args.quiet else \
+            _mc_heartbeat(session, sys.stderr, label="hs")
+        engine = HighSigmaYield(fx, spec, tech)
+
+        def finish_observability() -> None:
+            if args.trace:
+                count = session.write_trace(args.trace)
+                if not args.quiet:
+                    print(f"trace: {count} records -> {args.trace}",
+                          file=sys.stderr)
+
+        try:
+            result = engine.run(
+                n_samples=args.samples, shift_sigma=args.shift_sigma,
+                seed=args.seed, jobs=args.jobs, backend=args.backend,
+                chunk_size=args.chunk_size, batch_size=args.batch_size,
+                surrogate=surrogate, checkpoint=args.checkpoint,
+                resume=args.resume, progress=progress,
+                budget=args.budget)
+        except CheckpointError as exc:
+            if progress is not None:
+                sys.stderr.write("\n")
+            print(f"checkpoint refused: {exc}", file=sys.stderr)
+            _record_highsigma_run(args, session, outcome="refused",
+                                  exit_code=2, t_start=t_start)
+            return 2
+        except RunInterrupted as exc:
+            if progress is not None:
+                sys.stderr.write("\n")
+            finish_observability()
+            if exc.partial_result is not None:
+                _print_highsigma_result(exc.partial_result, args, tech,
+                                        spec_text, partial=True)
+            budgeted = getattr(exc, "reason", "interrupt") == "budget"
+            label = "budget expired" if budgeted else "interrupted"
+            print(f"{label}: {exc}", file=sys.stderr)
+            print(f"resume with: repro highsigma --checkpoint "
+                  f"{exc.checkpoint_path} --resume --samples "
+                  f"{args.samples} --seed {args.seed}", file=sys.stderr)
+            code = 2 if budgeted else 130
+            _record_highsigma_run(
+                args, session, outcome="budget" if budgeted else
+                "interrupted", exit_code=code, t_start=t_start,
+                ledger=getattr(exc.partial_result, "ledger", None))
+            return code
+        finish_observability()
+        code = 2 if result.is_degraded else 0
+        _record_highsigma_run(
+            args, session,
+            outcome="degraded" if result.is_degraded else "ok",
+            exit_code=code, t_start=t_start, ledger=result.ledger)
+    _print_highsigma_result(result, args, tech, spec_text)
     return code
 
 
@@ -764,6 +937,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--quiet", action="store_true",
                       help="suppress the stderr progress heartbeat")
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_hs = sub.add_parser(
+        "highsigma",
+        help="rare-event (5-6 sigma) SRAM read-SNM yield via importance "
+             "sampling with surrogate pre-screening",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=EXIT_CODE_DOC)
+    p_hs.add_argument("--tech", default="65nm",
+                      help="technology node (default 65nm)")
+    p_hs.add_argument("--samples", type=int, default=4096,
+                      help="importance-sampled draws (default 4096)")
+    p_hs.add_argument("--seed", type=int, default=0)
+    p_hs.add_argument("--jobs", type=int, default=1,
+                      help="worker count (0 or -1 = all cores)")
+    p_hs.add_argument("--backend", default="auto",
+                      choices=("auto", "serial", "thread", "process"))
+    p_hs.add_argument("--batch-size", type=int, default=None, metavar="B",
+                      help="solve up to B routed samples as lanes of one "
+                           "batched ensemble; variates, weights and "
+                           "verdicts are unchanged")
+    p_hs.add_argument("--chunk-size", type=int, default=32, metavar="N",
+                      help="samples per work chunk (default 32)")
+    p_hs.add_argument("--shift-sigma", type=float, default=None,
+                      metavar="S",
+                      help="mean-shift magnitude [sigma]; default: start "
+                           "at 4 and let the pilot refine it")
+    p_hs.add_argument("--surrogate", default="poly",
+                      choices=("poly", "rbf", "off"),
+                      help="screening surrogate (default poly); 'off' "
+                           "sends every sample to the full solver")
+    p_hs.add_argument("--train-samples", type=int, default=128,
+                      metavar="N",
+                      help="fully-solved pilot samples the surrogate "
+                           "trains on (default 128)")
+    p_hs.add_argument("--k-sigma", type=float, default=3.0, metavar="K",
+                      help="screening band half-width in residual "
+                           "sigmas (default 3)")
+    p_hs.add_argument("--audit-every", type=int, default=16, metavar="N",
+                      help="re-solve every N-th screened sample as a "
+                           "cross-check (default 16)")
+    p_hs.add_argument("--sigma-target", type=float, default=5.0,
+                      metavar="S",
+                      help="calibrated spec placement [sigma] when "
+                           "--snm-min-mv is not given (default 5)")
+    p_hs.add_argument("--snm-min-mv", type=float, default=None,
+                      metavar="MV",
+                      help="fixed read-SNM spec lower bound [mV] "
+                           "(default: calibrate from a short MC)")
+    p_hs.add_argument("--calibrate-samples", type=int, default=64,
+                      metavar="N",
+                      help="Monte-Carlo samples for spec calibration "
+                           "(default 64)")
+    p_hs.add_argument("--snm-points", type=int, default=41, metavar="N",
+                      help="butterfly sweep points per solve "
+                           "(default 41)")
+    p_hs.add_argument("--cell-ratio", type=float, default=1.2,
+                      help="SRAM pull-down/access width ratio "
+                           "(default 1.2 - read-marginal on purpose)")
+    p_hs.add_argument("--checkpoint", default=None, metavar="DIR",
+                      help="checkpoint directory; completed chunks are "
+                           "persisted atomically")
+    p_hs.add_argument("--resume", action="store_true",
+                      help="resume from --checkpoint (bit-identical to "
+                           "an uninterrupted run under the same seed)")
+    p_hs.add_argument("--budget", type=float, default=None, metavar="SEC",
+                      help="wall-clock budget [s]; expiry stops the run "
+                           "cooperatively with a partial result")
+    p_hs.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a JSONL telemetry trace")
+    p_hs.add_argument("--quiet", action="store_true",
+                      help="suppress the stderr progress heartbeat and "
+                           "calibration chatter")
+    p_hs.set_defaults(func=_cmd_highsigma)
 
     p_verify = sub.add_parser(
         "verify",

@@ -2,6 +2,8 @@
 
 * :class:`MonteCarloYield` / :class:`Specification` — §2 yield under
   sampled variability;
+* :class:`HighSigmaYield` — §2 rare-event (5–6σ) tail yield via
+  importance sampling with surrogate pre-screening;
 * :class:`ReliabilitySimulator` / :class:`MissionProfile` — §3 circuit
   aging over a mission (simulate → stress-extract → degrade loop);
 * :mod:`repro.core.lifetime` — parametric + TDDB competing-risk
@@ -25,7 +27,17 @@ from repro.core.corners import CornerAnalysis, CornerResult, PvtPoint
 from repro.core.guardband import GuardbandReport, guardband_analysis
 from repro.core.sweeps import SweepResult, crossover, sweep
 from repro.core.emc_analysis import EmcAnalyzer, SusceptibilityMap
-from repro.core.importance import ImportanceResult, ImportanceSampler
+from repro.core.importance import (
+    HighSigmaResult,
+    HighSigmaYield,
+    ImportanceResult,
+    ImportanceSampler,
+    Surrogate,
+    SurrogateConfig,
+    normal_ppf,
+    normal_sf,
+    sigma_level_from_probability,
+)
 from repro.core.lifetime import (
     LifetimeEstimator,
     LifetimeSummary,
@@ -57,8 +69,15 @@ __all__ = [
     "CornerResult",
     "PvtPoint",
     "EmcAnalyzer",
+    "HighSigmaResult",
+    "HighSigmaYield",
     "ImportanceResult",
     "ImportanceSampler",
+    "Surrogate",
+    "SurrogateConfig",
+    "normal_ppf",
+    "normal_sf",
+    "sigma_level_from_probability",
     "LifetimeEstimator",
     "LifetimeSummary",
     "MissionPhase",

@@ -95,6 +95,71 @@ def render_failure_ledger(ledger, max_rows: int = 10) -> str:
     return "\n".join(lines)
 
 
+def render_highsigma_result(result, spec_text: str = "") -> str:
+    """Key-value body for a :class:`~repro.core.HighSigmaResult`.
+
+    Shows both estimators with their standard errors, the Kish
+    effective sample size, the solver-call accounting (the quantity the
+    surrogate exists to reduce) and the surrogate's own diagnostics.
+    The failure ledger is appended when non-empty.
+    """
+    import math
+
+    p = result.failure_probability
+    se = result.standard_error
+    p_sn = result.failure_probability_self_normalized
+    se_sn = result.standard_error_self_normalized
+    partial = result.n_evaluated < result.n_samples
+    rows: List[tuple] = [("samples", result.n_samples)]
+    if partial:
+        rows.append(("evaluated", f"{result.n_evaluated} of "
+                                  f"{result.n_samples} (PARTIAL)"))
+    if spec_text:
+        rows.append(("spec", spec_text))
+    shift = f"{result.shift_sigma:.3g} sigma"
+    if result.two_sided:
+        shift += " (two-sided mixture)"
+    rows += [
+        ("proposal shift", shift),
+        ("pilot samples", f"{result.n_pilot} (always fully solved)"),
+        ("P(fail)", f"{p:.4e} +/- {se:.2e}"),
+        ("sigma level", f"{result.sigma_level:.3f} sigma"
+         if math.isfinite(result.sigma_level) else "n/a"),
+        ("relative SE", f"{result.relative_standard_error:.3f}"
+         if math.isfinite(result.relative_standard_error) else "inf"),
+        ("self-normalized", f"{p_sn:.4e} +/- {se_sn:.2e}"
+         + ("" if result.estimators_agree() else "  [DISAGREES]")),
+        ("effective samples", f"{result.effective_samples:.1f} (Kish)"),
+        ("failing draws", result.n_failures_observed),
+        ("full solver calls", f"{result.full_solver_calls} of "
+                              f"{result.n_evaluated}"),
+    ]
+    if result.surrogate_info is not None:
+        info = result.surrogate_info
+        factor = result.screening_factor
+        rows += [
+            ("screened", f"{result.screened_samples} "
+                         f"({factor:.1f}x fewer solves)"
+             if math.isfinite(factor) else str(result.screened_samples)),
+            ("audits", f"{result.audit_count} "
+                       f"({result.audit_mismatches} mismatched)"),
+            ("surrogate", f"{info.get('kind')} "
+                          f"({info.get('n_features')} features, "
+                          f"resid sigma {info.get('residual_sigma'):.3e})"),
+        ]
+    else:
+        rows.append(("surrogate", "off (every sample fully solved)"))
+    if result.failure_counts:
+        failed = ", ".join(f"{name}: {count}" for name, count
+                           in sorted(result.failure_counts.items()))
+        rows.append(("failed evaluations", failed))
+    body = render_key_values(rows)
+    ledger_text = render_failure_ledger(result.ledger)
+    if ledger_text:
+        body = body + "\n\n" + ledger_text
+    return body
+
+
 def render_trace_summary(trace, top: int = 8) -> str:
     """Render a :class:`~repro.telemetry.TraceData` into the ``repro
     trace`` report.

@@ -351,6 +351,59 @@ def _check_mc_backends(tech, quick: bool) -> List[Deviation]:
     return out
 
 
+def _check_highsigma(quick: bool) -> List[Deviation]:
+    """Cross-path contracts of the high-sigma engine on the linear oracle.
+
+    Three properties the estimator math depends on, checked against the
+    engine itself rather than the closed form (which the oracle layer
+    already gates):
+
+    * importance *weights* are identical with screening on and off —
+      screening only chooses who gets a full solve, never touches the
+      density ratio (bound 0.0, bit-identical);
+    * parallel chunks are bit-identical to serial ones (the same
+      SeedSequence-per-chunk contract the MC engine carries);
+    * the self-normalized estimate agrees with the unnormalized one
+      within their combined (realized) standard errors — the standing
+      diagnostic for a mis-weighted proposal.
+    """
+    from repro.verify.oracles import HighSigmaLinearOracle
+
+    n = 1024 if quick else 2048
+    oracle = HighSigmaLinearOracle(n_samples=n)
+    engine = oracle._engine()
+    kwargs = dict(shift_sigma=oracle.k_sigma, seed=oracle.seed,
+                  adapt=False)
+    plain = engine.run(n, surrogate=None, **kwargs)
+    screened = engine.run(n, surrogate="poly", **kwargs)
+    threaded = engine.run(n, surrogate=None, jobs=2, backend="thread",
+                          **kwargs)
+    out = []
+    delta = np.abs(screened.weights - plain.weights)
+    i = int(np.argmax(delta))
+    out.append(Deviation(
+        subject=oracle.name, path="is.weights-screened-vs-plain",
+        quantity="weights", reference=float(plain.weights[i]),
+        measured=float(screened.weights[i]), bound=0.0,
+        note="screening reorders solves, never reweights: bit-identical"))
+    delta = np.abs(threaded.weights - plain.weights)
+    i = int(np.argmax(delta))
+    out.append(Deviation(
+        subject=oracle.name, path="is.thread-vs-serial",
+        quantity="weights", reference=float(plain.weights[i]),
+        measured=float(threaded.weights[i]), bound=0.0,
+        note="SeedSequence-per-chunk contract: bit-identical"))
+    combined_se = math.hypot(plain.standard_error,
+                             plain.standard_error_self_normalized)
+    out.append(Deviation(
+        subject=oracle.name, path="is.selfnorm-vs-unnorm",
+        quantity="p_fail", reference=plain.failure_probability,
+        measured=plain.failure_probability_self_normalized,
+        bound=5.0 * combined_se,
+        note="estimators agree within 5 combined standard errors"))
+    return out
+
+
 def run_corpus(quick: bool = False) -> List[Deviation]:
     """Cross-path agreement checks over the paper-circuit corpus."""
     from repro.technology import get_node
@@ -365,6 +418,8 @@ def run_corpus(quick: bool = False) -> List[Deviation]:
         out.extend(_check_solver_variants(tech))
         out.append(_check_transient_cross())
         out.extend(_check_mc_backends(tech, quick))
+        with telemetry.span("verify.corpus.highsigma", quick=quick):
+            out.extend(_check_highsigma(quick))
     for dev in out:
         _count("verify.checks")
         if not dev.passed:

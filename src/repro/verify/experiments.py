@@ -1,4 +1,4 @@
-"""Golden-quantity functions for every EXPERIMENTS.md entry (E1–E14).
+"""Golden-quantity functions for every EXPERIMENTS.md entry (E1–E15).
 
 Each experiment exposes a *cheap, deterministic* subset of the headline
 quantities its benchmark measures — small fixed seeds, reduced grids and
@@ -453,6 +453,33 @@ def _e14_timing() -> Quantities:
     }
 
 
+def _e15_highsigma() -> Quantities:
+    """High-sigma IS estimate on the linear tail oracle, both paths.
+
+    No MNA solve anywhere in the pipeline (the metric is arithmetic on
+    the drawn variates), so every quantity is seed-deterministic and
+    golden-tracked at ``BAND_EXACT`` — including the full-solver-call
+    count, which pins the surrogate's screening behaviour: a routing
+    regression (screener solving everything, or nothing) moves it far
+    outside any float band.
+    """
+    from repro.verify.oracles import HighSigmaLinearOracle
+
+    oracle = HighSigmaLinearOracle()
+    plain = oracle.run("is.plain")
+    screened = oracle.run("is.screened")
+    return {
+        "p_fail_plain": Quantity(plain.failure_probability),
+        "p_fail_self_normalized": Quantity(
+            plain.failure_probability_self_normalized),
+        "p_fail_screened": Quantity(screened.failure_probability),
+        "kish_ess_plain": Quantity(plain.effective_samples),
+        "sigma_level_plain": Quantity(plain.sigma_level),
+        "full_solves_screened": Quantity(screened.full_solver_calls),
+        "p_fail_closed_form": Quantity(oracle.analytic()["p_fail"]),
+    }
+
+
 #: The registry, in EXPERIMENTS.md order.
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Fig 1: A_VT vs gate-oxide thickness", "fast",
@@ -472,6 +499,8 @@ EXPERIMENTS: List[Experiment] = [
     Experiment("E12", "Ablations (DESIGN.md S6)", "fast", _e12_ablations),
     Experiment("E13", "S5: over-design penalty", "slow", _e13_guardband),
     Experiment("E14", "S2/S3.2: digital timing", "slow", _e14_timing),
+    Experiment("E15", "S2: high-sigma tail yield (IS + surrogate)", "fast",
+               _e15_highsigma),
 ]
 
 

@@ -1,4 +1,4 @@
-"""Golden artifact store: tolerance-banded snapshots of E1–E14 results.
+"""Golden artifact store: tolerance-banded snapshots of E1–E15 results.
 
 Layout under the goldens directory (committed to the repo)::
 

@@ -591,6 +591,127 @@ class EmLawOracle(Oracle):
         return Tolerance(rtol=1e-9, atol=1e-15, note="arithmetic only")
 
 
+# ----------------------------------------------------------------------
+# Statistical: the high-sigma engine on a linear performance model
+# ----------------------------------------------------------------------
+class _LinearTailMetric:
+    """Picklable ``Σ cᵢ·ΔV_T,i/σᵢ`` spec extractor.
+
+    Under nominal sampling each term is an independent standard normal
+    scaled by ``cᵢ``, so the metric is exactly ``N(0, ‖c‖)`` and every
+    tail probability has a closed form — the one configuration where an
+    importance-sampling estimate can be checked against ground truth.
+    """
+
+    def __init__(self, coeffs: Dict[str, float], sigmas: Dict[str, float]):
+        self.coeffs = coeffs
+        self.sigmas = sigmas
+
+    def __call__(self, fixture) -> float:
+        total = 0.0
+        for device in fixture.circuit.mosfets:
+            total += (self.coeffs[device.name]
+                      * device.variation.delta_vt_v
+                      / self.sigmas[device.name])
+        return total
+
+
+class HighSigmaLinearOracle(Oracle):
+    """:class:`~repro.core.HighSigmaYield` vs an exact Gaussian tail.
+
+    The metric is linear in the normalized ΔV_T draws (see
+    :class:`_LinearTailMetric`), the spec bound sits at ``k·‖c‖`` below
+    nominal, and the failure probability is exactly ``Φ(−k)``.  Because
+    the probe direction recovers the gradient exactly and the engine
+    shifts along it by ``s = k`` sigmas, the estimator's variance ALSO
+    has a closed form: for the 1-D projection ``u ~ N(s, 1)`` under the
+    proposal, ``w(u) = exp(s²/2 − s·u)`` and
+
+        E_q[w²·1_fail] = e^{s²}·Φ(−(k + s))
+        Var[p̂]        = (e^{s²}·Φ(−(k + s)) − p²) / n
+
+    so the tolerance band is *derived*, not tuned: 4 standard errors
+    for the plain path, 6 for the surrogate-screened path (the extra
+    slack covers boundary samples the screener may classify from its
+    fit rather than a solve).  Both paths run ``adapt=False`` with the
+    explicit ``shift_sigma = k`` so the formula applies to every chunk.
+    """
+
+    category = "statistical"
+
+    #: Deliberately anisotropic coefficients — the probe has to *find*
+    #: the failure direction, not just scale a symmetric one.
+    COEFFS = (1.0, -0.7)
+
+    def __init__(self, tech_name: str = "65nm", k_sigma: float = 4.5,
+                 n_samples: int = 4096, seed: int = 20080310):
+        if k_sigma <= 0.0:
+            raise ValueError("k_sigma must be positive")
+        if n_samples < 512:
+            raise ValueError("need at least 512 samples for the band")
+        self.tech = get_node(tech_name)
+        self.k_sigma = k_sigma
+        self.n_samples = n_samples
+        self.seed = seed
+        self.name = f"highsigma-linear-{k_sigma:g}sigma"
+
+    def _engine(self):
+        from repro.circuits import differential_pair
+        from repro.core.importance import HighSigmaYield
+        from repro.core.yield_analysis import Specification
+
+        fixture = differential_pair(self.tech, w_m=2e-6, l_m=0.13e-6)
+        sampler = MismatchSampler(self.tech, np.random.default_rng(0))
+        devices = fixture.circuit.mosfets
+        sigmas = {d.name: sampler.sigma_single_vt_v(d.params.w_m,
+                                                    d.params.l_m)
+                  for d in devices}
+        coeffs = {d.name: self.COEFFS[i % len(self.COEFFS)]
+                  for i, d in enumerate(devices)}
+        norm_c = math.sqrt(sum(c * c for c in coeffs.values()))
+        spec = Specification("linear_tail",
+                             _LinearTailMetric(coeffs, sigmas),
+                             lower=-self.k_sigma * norm_c)
+        return HighSigmaYield(fixture, spec, self.tech)
+
+    def paths(self) -> Sequence[str]:
+        return ("is.plain", "is.screened")
+
+    def analytic(self) -> Dict[str, float]:
+        from repro.core.importance import normal_sf
+
+        return {"p_fail": normal_sf(self.k_sigma)}
+
+    def closed_form_se(self) -> float:
+        """Exact standard error of the unnormalized estimator."""
+        from repro.core.importance import normal_sf
+
+        s = k = self.k_sigma
+        second_moment = math.exp(s * s) * normal_sf(k + s)
+        p = normal_sf(k)
+        return math.sqrt(max(second_moment - p * p, 0.0) / self.n_samples)
+
+    def run(self, path: str):
+        """The full engine result behind ``measure`` (reused by E15)."""
+        from repro.core.importance import SurrogateConfig
+
+        if path not in self.paths():
+            raise self._unknown_path(path)
+        surrogate = SurrogateConfig() if path == "is.screened" else None
+        return self._engine().run(
+            self.n_samples, shift_sigma=self.k_sigma, seed=self.seed,
+            adapt=False, surrogate=surrogate)
+
+    def measure(self, path: str) -> Dict[str, float]:
+        return {"p_fail": self.run(path).failure_probability}
+
+    def tolerance(self, path: str) -> Tolerance:
+        z = 4.0 if path == "is.plain" else 6.0
+        return Tolerance(atol=z * self.closed_form_se(),
+                         note=f"{z:g} closed-form IS standard errors "
+                              "(e^{s^2}·Φ(−(k+s)) second moment)")
+
+
 def default_oracles() -> list:
     """The standing oracle library run by ``repro verify``."""
     return [
@@ -606,4 +727,5 @@ def default_oracles() -> list:
         NbtiLawOracle(),
         HciLawOracle(),
         EmLawOracle(),
+        HighSigmaLinearOracle(),
     ]

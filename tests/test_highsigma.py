@@ -1,0 +1,377 @@
+"""High-sigma yield engine tests.
+
+Covers the normal-quantile fallback (the no-scipy CI leg), the
+probe-direction state-leak regression, estimator properties on the
+analytic linear model, surrogate screening, bit-consistency across
+jobs/backends/batching, checkpoint resume, and the CLI surface.
+No scipy import at module level — only individual tests that compare
+against scipy skip when it is absent.
+"""
+
+import math
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import differential_pair, input_referred_offset_v
+from repro.core import (
+    HighSigmaResult,
+    HighSigmaYield,
+    ImportanceSampler,
+    Specification,
+    Surrogate,
+    SurrogateConfig,
+    normal_ppf,
+    normal_sf,
+    sigma_level_from_probability,
+)
+from repro.core.importance import _acklam_ppf
+from repro.parallel import FailureLedger
+from repro.verify.oracles import HighSigmaLinearOracle
+
+
+def linear_engine(k_sigma=3.0):
+    """The analytic linear-tail engine (exact P(fail) = Φ(−k))."""
+    return HighSigmaLinearOracle(k_sigma=k_sigma)._engine()
+
+
+# ----------------------------------------------------------------------
+# Normal-distribution helpers (satellite: no-scipy sigma_level)
+# ----------------------------------------------------------------------
+class TestNormalHelpers:
+    def test_acklam_matches_scipy(self):
+        norm = pytest.importorskip("scipy.stats").norm
+        for p in np.concatenate([np.logspace(-15, -1, 30),
+                                 np.linspace(0.05, 0.95, 19)]):
+            assert _acklam_ppf(float(p)) == pytest.approx(
+                float(norm.ppf(p)), rel=1e-8, abs=1e-9)
+
+    def test_acklam_symmetry(self):
+        for p in (1e-9, 0.01, 0.3):
+            assert _acklam_ppf(p) == pytest.approx(-_acklam_ppf(1.0 - p))
+
+    def test_acklam_rejects_out_of_range(self):
+        for p in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                _acklam_ppf(p)
+
+    def test_ppf_without_scipy_uses_fallback(self, monkeypatch):
+        """normal_ppf must keep working when scipy.stats is absent."""
+        monkeypatch.setitem(sys.modules, "scipy.stats", None)
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        assert normal_ppf(0.3) == pytest.approx(_acklam_ppf(0.3))
+        assert math.isfinite(sigma_level_from_probability(1e-8))
+
+    def test_sigma_level_roundtrip(self):
+        for k in (1.0, 2.0, 3.0, 4.5, 6.0):
+            assert sigma_level_from_probability(normal_sf(k)) == \
+                pytest.approx(k, rel=1e-6)
+
+    def test_sigma_level_edge_cases(self):
+        assert sigma_level_from_probability(0.0) == math.inf
+        assert sigma_level_from_probability(float("nan")) == math.inf
+        assert sigma_level_from_probability(1.0) == -math.inf
+
+
+# ----------------------------------------------------------------------
+# Probe-direction state leak (satellite regression)
+# ----------------------------------------------------------------------
+class TestProbeStateLeak:
+    def _fixture(self, tech90):
+        return differential_pair(tech90, w_m=4e-6, l_m=0.4e-6)
+
+    def test_probe_clears_on_extractor_crash(self, tech90):
+        fx = self._fixture(tech90)
+        calls = {"n": 0}
+
+        def exploding(fixture):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # crash mid-probe, after the nominal
+                raise RuntimeError("boom")
+            return input_referred_offset_v(fixture)
+
+        spec = Specification("offset", exploding, lower=-1e-3, upper=1e-3)
+        sampler = ImportanceSampler(fx, spec, tech90)
+        with pytest.raises(RuntimeError):
+            sampler.probe_direction()
+        assert all(m.variation.delta_vt_v == 0.0
+                   for m in fx.circuit.mosfets)
+
+    def test_engine_probe_clears_on_extractor_crash(self, tech90):
+        fx = self._fixture(tech90)
+        calls = {"n": 0}
+
+        def exploding(fixture):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # crash mid-probe, after the nominal
+                raise RuntimeError("boom")
+            return input_referred_offset_v(fixture)
+
+        spec = Specification("offset", exploding, lower=-1e-3, upper=1e-3)
+        engine = HighSigmaYield(fx, spec, tech90)
+        with pytest.raises(RuntimeError):
+            engine.probe_direction()
+        assert all(m.variation.delta_vt_v == 0.0
+                   for m in fx.circuit.mosfets)
+
+
+# ----------------------------------------------------------------------
+# Engine accuracy on the analytic linear model
+# ----------------------------------------------------------------------
+class TestLinearAccuracy:
+    def test_plain_is_within_band(self):
+        oracle = HighSigmaLinearOracle(k_sigma=4.0, n_samples=1024, seed=5)
+        engine = oracle._engine()
+        result = engine.run(n_samples=1024, shift_sigma=4.0, seed=5,
+                            adapt=False, surrogate=None)
+        p_true = normal_sf(4.0)
+        se = oracle.closed_form_se()
+        assert abs(result.failure_probability - p_true) <= 4.0 * se
+        assert result.full_solver_calls == 1024
+        assert result.surrogate_info is None
+
+    def test_screened_within_band_and_saves_solves(self):
+        oracle = HighSigmaLinearOracle(k_sigma=4.0, n_samples=1024, seed=5)
+        engine = oracle._engine()
+        result = engine.run(n_samples=1024, shift_sigma=4.0, seed=5,
+                            adapt=False, surrogate=SurrogateConfig())
+        p_true = normal_sf(4.0)
+        se = oracle.closed_form_se()
+        assert abs(result.failure_probability - p_true) <= 6.0 * se
+        # The linear metric is exactly representable by the poly
+        # surrogate, so screening should skip most post-pilot solves.
+        assert result.full_solver_calls < 1024 // 2
+        assert result.screened_samples > 0
+        assert result.screening_factor > 2.0
+        assert result.surrogate_info is not None
+        assert result.audit_mismatches == 0
+
+    def test_adaptive_refinement_finds_direction(self):
+        engine = linear_engine(k_sigma=4.0)
+        # Start from a deliberately unhelpful explicit direction and a
+        # surrogate pilot large enough for refinement to engage.
+        result = engine.run(n_samples=768, seed=11,
+                            surrogate=SurrogateConfig(train_samples=256))
+        assert result.n_failures_observed > 100
+        assert 2.0 <= result.shift_sigma <= 8.0
+        assert result.sigma_level == pytest.approx(4.0, abs=0.6)
+
+    def test_sigma_level_and_ess(self):
+        engine = linear_engine(k_sigma=3.0)
+        result = engine.run(n_samples=512, shift_sigma=3.0, seed=2,
+                            adapt=False, surrogate=None)
+        assert result.sigma_level == pytest.approx(3.0, abs=0.3)
+        assert 1.0 <= result.effective_samples <= 512.0
+        assert result.relative_standard_error < 0.5
+
+
+# ----------------------------------------------------------------------
+# Estimator properties (hypothesis)
+# ----------------------------------------------------------------------
+class TestEstimatorProperties:
+    @given(shift=st.floats(min_value=1.5, max_value=4.5),
+           seed=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_unnorm_and_selfnorm_agree_within_se(self, shift, seed):
+        """Both estimators target the same tail probability.
+
+        On the linear model either estimator's realized error is a few
+        standard errors at worst; the gap between them must be within a
+        generous multiple of their combined SE for ANY shift choice.
+        """
+        engine = linear_engine(k_sigma=3.0)
+        result = engine.run(n_samples=512, shift_sigma=shift, seed=seed,
+                            adapt=False, surrogate=None)
+        if result.n_failures_observed == 0:
+            return  # nothing to compare at tiny shifts
+        se = math.hypot(result.standard_error,
+                        result.standard_error_self_normalized)
+        gap = abs(result.failure_probability
+                  - result.failure_probability_self_normalized)
+        assert gap <= 8.0 * max(se, 1e-300)
+
+    @given(shift=st.floats(min_value=0.5, max_value=5.0),
+           seed=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_weight_invariants(self, shift, seed):
+        engine = linear_engine(k_sigma=3.0)
+        result = engine.run(n_samples=256, shift_sigma=shift, seed=seed,
+                            adapt=False, surrogate=None)
+        assert np.all(result.weights > 0.0)
+        assert 1.0 <= result.effective_samples <= 256.0 + 1e-9
+        assert result.failure_probability >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Bit-consistency: jobs, backends, batching
+# ----------------------------------------------------------------------
+class TestBitConsistency:
+    def test_thread_jobs_bit_identical(self):
+        engine = linear_engine(k_sigma=3.5)
+        kwargs = dict(n_samples=512, shift_sigma=3.5, seed=9,
+                      surrogate=SurrogateConfig())
+        serial = engine.run(jobs=1, backend="serial", **kwargs)
+        threaded = engine.run(jobs=4, backend="thread", **kwargs)
+        assert np.array_equal(serial.weights, threaded.weights)
+        assert np.array_equal(serial.values, threaded.values)
+        assert np.array_equal(serial.fails, threaded.fails)
+        assert np.array_equal(serial.solved, threaded.solved)
+
+    def test_batched_dc_bit_identical(self, tech90):
+        """samples-as-lanes DC sweeps change nothing but the clock."""
+        fx = differential_pair(tech90, w_m=4e-6, l_m=0.4e-6)
+        spec = Specification(
+            "offset", _offset_metric, lower=-4e-3, upper=4e-3)
+        engine = HighSigmaYield(fx, spec, tech90)
+        kwargs = dict(n_samples=64, shift_sigma=3.0, seed=3,
+                      adapt=False, surrogate=None)
+        scalar = engine.run(batch_size=None, **kwargs)
+        batched = engine.run(batch_size=8, **kwargs)
+        # The MC batching contract: variates and verdicts are exact,
+        # solver values agree to solver tolerance.
+        assert np.array_equal(scalar.weights, batched.weights)
+        assert np.array_equal(scalar.fails, batched.fails)
+        np.testing.assert_allclose(batched.values, scalar.values,
+                                   rtol=0, atol=1e-9)
+
+    def test_chunk_size_changes_nothing_statistical(self):
+        """The chunk grid is the reproducibility contract: the same
+        seed and chunk size give identical draws regardless of jobs."""
+        engine = linear_engine(k_sigma=3.0)
+        a = engine.run(n_samples=256, shift_sigma=3.0, seed=4,
+                       adapt=False, surrogate=None, chunk_size=32)
+        b = engine.run(n_samples=256, shift_sigma=3.0, seed=4,
+                       adapt=False, surrogate=None, chunk_size=32,
+                       jobs=2, backend="thread")
+        assert np.array_equal(a.weights, b.weights)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume / partial results
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_resume_bit_identical(self, tmp_path):
+        engine = linear_engine(k_sigma=3.5)
+        kwargs = dict(n_samples=384, shift_sigma=3.5, seed=6,
+                      surrogate=SurrogateConfig(train_samples=64))
+        reference = engine.run(**kwargs)
+        ckpt = tmp_path / "hs"
+        first = engine.run(checkpoint=ckpt, **kwargs)
+        resumed = engine.run(checkpoint=ckpt, resume=True, **kwargs)
+        for result in (first, resumed):
+            assert np.array_equal(reference.weights, result.weights)
+            assert np.array_equal(reference.values, result.values)
+            assert np.array_equal(reference.fails, result.fails)
+            assert np.array_equal(reference.solved, result.solved)
+        assert resumed.audit_count == reference.audit_count
+        # Mismatch verdicts are recomputed from persisted channels, so
+        # a resume must report the same count as the uninterrupted run
+        # (not silently reset to zero).
+        assert resumed.audit_mismatches == reference.audit_mismatches
+
+    def test_resume_refuses_wrong_params(self, tmp_path):
+        from repro.checkpoint import CheckpointError
+
+        engine = linear_engine(k_sigma=3.5)
+        ckpt = tmp_path / "hs"
+        engine.run(n_samples=128, shift_sigma=3.5, seed=6, adapt=False,
+                   surrogate=None, checkpoint=ckpt)
+        with pytest.raises(CheckpointError):
+            engine.run(n_samples=128, shift_sigma=3.5, seed=7, adapt=False,
+                       surrogate=None, checkpoint=ckpt, resume=True)
+
+    def test_partial_result_masks_unevaluated(self):
+        """A budget-expired result only averages evaluated samples."""
+        n = 8
+        evaluated = np.array([True] * 4 + [False] * 4)
+        result = HighSigmaResult(
+            n_samples=n, spec_name="m",
+            values=np.ones(n), weights=np.ones(n),
+            fails=np.array([True, False, False, False] + [False] * 4),
+            solved=np.ones(n, dtype=bool), shift_sigma=3.0,
+            direction={"m1": 1.0}, two_sided=False, n_pilot=0,
+            ledger=FailureLedger(), evaluated=evaluated)
+        assert result.n_evaluated == 4
+        assert result.failure_probability == pytest.approx(0.25)
+        assert result.is_degraded
+
+
+# ----------------------------------------------------------------------
+# Surrogate unit behaviour
+# ----------------------------------------------------------------------
+class TestSurrogate:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateConfig(kind="forest")
+        with pytest.raises(ValueError):
+            SurrogateConfig(degree=0)
+        with pytest.raises(ValueError):
+            SurrogateConfig(train_samples=4)
+        with pytest.raises(ValueError):
+            SurrogateConfig(k_sigma=0.0)
+
+    def test_fit_underdetermined_returns_none(self):
+        rng = np.random.default_rng(0)
+        Z = rng.normal(size=(6, 4))
+        y = rng.normal(size=6)
+        assert Surrogate.fit(SurrogateConfig(), Z, y) is None
+
+    def test_poly_recovers_quadratic_exactly(self):
+        rng = np.random.default_rng(1)
+        Z = rng.normal(size=(200, 2))
+        y = 1.0 + 2.0 * Z[:, 0] - Z[:, 1] + 0.5 * Z[:, 0] * Z[:, 1]
+        model = Surrogate.fit(SurrogateConfig(ridge_lambda=1e-12), Z, y)
+        assert model is not None
+        pred = model.predict(Z)
+        assert np.allclose(pred, y, atol=1e-6)
+        assert model.residual_sigma < 1e-5
+
+    def test_uncertain_brackets_the_bound(self):
+        rng = np.random.default_rng(2)
+        Z = rng.normal(size=(100, 2))
+        y = Z[:, 0] + 0.01 * rng.normal(size=100)
+        model = Surrogate.fit(SurrogateConfig(k_sigma=3.0), Z, y)
+        spec = Specification("m", lambda f: 0.0, lower=0.0)
+        preds = np.array([-10.0, 0.0, 10.0, float("nan")])
+        unsure = model.uncertain(preds, spec)
+        assert not unsure[0] and not unsure[2]
+        assert unsure[1] and unsure[3]  # near bound / non-finite
+
+    def test_rbf_fits_smooth_function(self):
+        rng = np.random.default_rng(3)
+        Z = rng.normal(size=(120, 2))
+        y = np.tanh(Z[:, 0]) + 0.3 * Z[:, 1]
+        model = Surrogate.fit(SurrogateConfig(kind="rbf"), Z, y)
+        assert model is not None
+        pred = model.predict(Z)
+        assert float(np.std(pred - y)) < 0.1
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_highsigma_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(["highsigma", "--samples", "96", "--train-samples",
+                     "64", "--snm-min-mv", "80", "--snm-points", "21",
+                     "--quiet", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code in (0, 2)
+        assert "High-sigma read-SNM yield" in out
+        assert "full solver calls" in out
+        assert "surrogate" in out
+
+    def test_highsigma_resume_requires_checkpoint(self, capsys):
+        from repro.cli import main
+
+        assert main(["highsigma", "--resume"]) == 1
+
+
+def _offset_metric(fixture):
+    """Module-level offset extractor (picklable for process backends)."""
+    return input_referred_offset_v(fixture)

@@ -394,7 +394,7 @@ class TestCommittedGoldens:
 
         repo_goldens = pathlib.Path(__file__).parent.parent / "goldens"
         stored = load_goldens(str(repo_goldens))
-        assert set(stored) == {f"E{k}" for k in range(1, 15)}
+        assert set(stored) == {f"E{k}" for k in range(1, 16)}
 
     def test_fast_tier_matches_committed_goldens(self):
         import pathlib
