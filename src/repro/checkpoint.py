@@ -59,10 +59,27 @@ class RunInterrupted(RuntimeError):
         self.checkpoint_path = checkpoint_path
         self.partial_result = partial_result
         #: Why the run stopped: ``"interrupt"`` (SIGINT / injected
-        #: fault) or ``"budget"`` (wall-clock deadline).  The CLI exit
+        #: fault) or ``"budget"`` (wall-clock deadline — including a
+        #: serve drain, which trips a
+        #: :class:`~repro.resilience.CancellableBudget`).  The CLI exit
         #: code hangs off this — 130 for interrupts, 2 for a degraded
         #: budget stop.
         self.reason = reason
+
+    @property
+    def outcome(self) -> str:
+        """The run-registry outcome this stop records.
+
+        ``"budget"`` for a deadline stop, ``"interrupted"`` otherwise —
+        the taxonomy shared by the CLI and the serve daemon (see
+        :data:`repro.obs.runlog.OUTCOMES`).
+        """
+        return "budget" if self.reason == "budget" else "interrupted"
+
+    @property
+    def resumable(self) -> bool:
+        """Whether a final checkpoint exists to resume from."""
+        return self.checkpoint_path is not None
 
     def __reduce__(self):
         return type(self), (self.args[0] if self.args else "",

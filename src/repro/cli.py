@@ -46,7 +46,14 @@ Commands:
   HCI shifts, TDDB characteristic life, EM MTTF at J_max;
 * ``capabilities`` — probe the optional accelerators (C kernel, scipy
   sparse, LAPACK dgesv, batched ensembles) and print availability and
-  circuit-breaker state (see ``docs/robustness.md``).
+  circuit-breaker state (see ``docs/robustness.md``);
+* ``serve [--host H] [--port P] [--workers N] [--queue-depth D]
+  [--cache-dir DIR] [--spool DIR]`` — run analyses as a long-lived
+  HTTP service: JSON job specs over ``POST /jobs``, NDJSON progress
+  streams, a content-addressed result cache (identical requests are
+  free), ``/metrics`` + ``/healthz``, priority/fairness queueing with
+  backpressure, and graceful checkpoint-backed drain on SIGTERM (see
+  ``docs/service.md``).
 
 The CLI is a thin veneer over the library; everything it prints is
 available programmatically.
@@ -804,6 +811,27 @@ def _cmd_capabilities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, cache_entries=args.cache_entries,
+        session_entries=args.session_entries,
+        drain_grace_s=args.drain_grace, cache_dir=args.cache_dir,
+        spool=args.spool, chaos=args.chaos)
+    app = ServeApp(config)
+    try:
+        return app.run(announce=lambda line: print(line,
+                                                   file=sys.stderr))
+    except OSError as exc:
+        # A taken port (or un-bindable host) is an operator error, not
+        # a crash: exit 1 with the reason, nothing half-started.
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 #: Exit-code contract, shown in ``--help`` (main parser and ``mc``).
 EXIT_CODE_DOC = """\
 exit codes:
@@ -1093,6 +1121,47 @@ def build_parser() -> argparse.ArgumentParser:
              "scipy sparse, LAPACK dgesv, batched ensembles) and "
              "circuit-breaker state")
     p_caps.set_defaults(func=_cmd_capabilities)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived analysis service: JSON job specs over HTTP, "
+             "content-addressed result cache, NDJSON progress, "
+             "/metrics, graceful drain (see docs/service.md)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8040,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8040)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="analysis worker threads (default 2); "
+                              "each job may additionally parallelise "
+                              "internally via its spec's jobs/backend")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         metavar="N",
+                         help="queued-job bound before submits get "
+                              "429 + Retry-After (default 16)")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         metavar="N",
+                         help="result-cache LRU capacity (default 256)")
+    p_serve.add_argument("--session-entries", type=int, default=8,
+                         metavar="N",
+                         help="compiled-engine session LRU capacity "
+                              "(default 8)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist cached results to DIR "
+                              "(memory-only by default)")
+    p_serve.add_argument("--spool", default=None, metavar="DIR",
+                         help="checkpoint spool for checkpoint:true "
+                              "jobs (required for resumable drains)")
+    p_serve.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="SEC",
+                         help="seconds to wait for running jobs to "
+                              "stop at a chunk boundary on drain "
+                              "(default 10)")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="honor fault-injection job params "
+                              "(testing only)")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

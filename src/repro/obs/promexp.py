@@ -383,3 +383,29 @@ class MetricsExporter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+
+def scrape(host: str, port: int, timeout: float = 2.0,
+           validate: bool = True) -> dict:
+    """Fetch and strictly parse ``http://host:port/metrics``.
+
+    One call does what every scraper loop hand-rolls: GET the endpoint,
+    assert the 0.0.4 content type, and run the exposition through
+    :func:`parse_exposition` (``validate=False`` skips the parse and
+    returns ``{"_raw": text}``).  Used by the service tests and the CI
+    smoke jobs; raises ``OSError`` when the endpoint is unreachable and
+    ``ValueError`` on a malformed exposition — the two failure classes
+    a caller wants to tell apart.
+    """
+    import urllib.request
+
+    with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=timeout) as response:
+        content_type = response.headers.get("Content-Type", "")
+        if content_type != CONTENT_TYPE:
+            raise ValueError(
+                f"unexpected /metrics content type {content_type!r}")
+        text = response.read().decode("utf-8")
+    if not validate:
+        return {"_raw": text}
+    return parse_exposition(text)

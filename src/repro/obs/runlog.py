@@ -45,6 +45,17 @@ DEFAULT_RUNS_DIR = os.path.join(".repro", "runs")
 #: Hex digits kept from the content hash for run ids / config hashes.
 ID_LENGTH = 12
 
+#: The outcome taxonomy every writer uses, in decreasing health:
+#: ``ok`` clean; ``degraded`` finished with quarantined/widened
+#: results; ``refused`` rejected up front (bad spec, identity
+#: mismatch); ``budget`` stopped by an expired wall-clock budget with a
+#: partial result; ``interrupted`` stopped by SIGINT/SIGTERM/drain;
+#: ``cancelled`` never started (queue drained); ``fail`` a verification
+#: verdict; ``error`` a hard failure.  Shared by the CLI commands and
+#: the serve daemon so records diff cleanly across entry points.
+OUTCOMES = ("ok", "degraded", "refused", "budget", "interrupted",
+            "cancelled", "fail", "error")
+
 
 class RunLogError(RuntimeError):
     """A run record is missing, ambiguous, or unreadable."""

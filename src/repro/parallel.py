@@ -76,6 +76,22 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+def fair_share_jobs(jobs: Optional[int], lanes: int = 1) -> int:
+    """Worker count for one of ``lanes`` concurrent runs on this host.
+
+    A multiplexer (the serve daemon's worker pool) running ``lanes``
+    analyses at once must not let each one claim every core: this caps
+    the per-run worker count at an even split of the machine, floored
+    at one.  Worker count never changes results (the chunk-grid
+    determinism contract), so the cap is always safe to apply.
+    """
+    if lanes < 1:
+        raise ValueError("lanes must be at least 1")
+    requested = resolve_jobs(jobs)
+    share = max(1, (os.cpu_count() or 1) // lanes)
+    return min(requested, share)
+
+
 def chunk_ranges(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
     """Split ``range(n_items)`` into ``(start, stop)`` chunks.
 

@@ -47,6 +47,7 @@ from repro.resilience.breakers import (  # noqa: F401 (re-export)
 )
 from repro.resilience.budget import (  # noqa: F401 (re-export)
     BudgetExpiredError,
+    CancellableBudget,
     DeadlineBudget,
 )
 from repro.resilience.capabilities import (  # noqa: F401 (re-export)
@@ -68,7 +69,8 @@ __all__ = [
     # re-exports
     "Capability", "CapabilityRegistry", "CAPABILITY_NAMES",
     "CircuitBreaker", "BreakerOpenError", "breaker_threshold",
-    "DEFAULT_BREAKER_THRESHOLD", "BudgetExpiredError", "DeadlineBudget",
+    "DEFAULT_BREAKER_THRESHOLD", "BudgetExpiredError",
+    "CancellableBudget", "DeadlineBudget",
     "admit_lanes", "slab_bytes", "memory_ceiling_bytes",
     "DEFAULT_MEM_CEILING_MB",
 ]

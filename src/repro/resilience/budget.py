@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro import telemetry
 
-__all__ = ["BudgetExpiredError", "DeadlineBudget"]
+__all__ = ["BudgetExpiredError", "CancellableBudget", "DeadlineBudget"]
 
 
 class BudgetExpiredError(RuntimeError):
@@ -73,3 +73,64 @@ class DeadlineBudget:
             "wall-clock budget of %.3g s expired%s"
             % (self.total_s, " at %s" % where if where else ""),
             budget_s=self.total_s, where=where)
+
+
+class CancellableBudget(DeadlineBudget):
+    """A deadline budget that can also be tripped by an external event.
+
+    The serve daemon hands every job one of these: the deadline covers
+    the client's ``timeout_s``, while the attached :class:`threading.Event`
+    is the server's drain signal — setting it makes every in-flight job
+    behave exactly as if its budget had just expired, so the engines
+    fall into their existing checkpoint-and-partial-result path with no
+    new interruption machinery.
+
+    Pickling (into ``process``-backend workers) deliberately downgrades
+    to a plain :class:`DeadlineBudget`: events do not cross process
+    boundaries, so remote workers keep only the time-based half, and
+    the parent's pool-wait enforcement plus chunk-granular cancellation
+    cover the event-based half.
+    """
+
+    def __init__(self, deadline_epoch: float, total_s: float,
+                 cancel_event=None, reason: str = "cancelled"):
+        super().__init__(deadline_epoch=deadline_epoch, total_s=total_s)
+        object.__setattr__(self, "cancel_event", cancel_event)
+        object.__setattr__(self, "reason", reason)
+
+    @classmethod
+    def after(cls, seconds: float, cancel_event=None,
+              reason: str = "cancelled") -> "CancellableBudget":
+        seconds = float(seconds)
+        if seconds <= 0.0:
+            raise ValueError("budget must be a positive number of seconds")
+        return cls(deadline_epoch=time.time() + seconds, total_s=seconds,
+                   cancel_event=cancel_event, reason=reason)
+
+    def cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
+
+    def expired(self) -> bool:
+        return self.cancelled() or super().expired()
+
+    def remaining(self) -> float:
+        if self.cancelled():
+            return 0.0
+        return super().remaining()
+
+    def check(self, where: str = "") -> None:
+        if self.cancelled():
+            session = telemetry.active()
+            if session is not None:
+                session.tracer.event("budget.cancelled", where=where,
+                                     reason=self.reason)
+                session.metrics.inc("resilience.budget.cancellations")
+            raise BudgetExpiredError(
+                "run %s%s" % (self.reason,
+                              " at %s" % where if where else ""),
+                budget_s=self.total_s, where=where)
+        super().check(where)
+
+    def __reduce__(self):
+        # Workers get the time-based half only (events are process-local).
+        return (DeadlineBudget, (self.deadline_epoch, self.total_s))

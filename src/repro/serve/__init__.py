@@ -1,0 +1,50 @@
+"""Analysis-as-a-service: the ``repro serve`` daemon.
+
+The ROADMAP's service layer: a zero-new-deps asyncio HTTP daemon that
+accepts netlist + analysis job specs (``op``/``mc``/``corners``/
+``aging``/``highsigma``/``verify``), runs them on a worker pool with
+priority/fairness queueing and backpressure, streams NDJSON progress,
+and serves repeated identical requests bit-identically from a
+content-addressed result cache.  See ``docs/service.md`` for the API.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig  # noqa: F401
+from repro.serve.cache import (  # noqa: F401
+    EngineSessionCache,
+    ResultCache,
+    canonical_json,
+)
+from repro.serve.client import ServeClient, ServeError  # noqa: F401
+from repro.serve.jobs import Job, JobRunner, OUTCOME_EXIT_CODES  # noqa: F401
+from repro.serve.jobspec import (  # noqa: F401
+    ANALYSES,
+    JobSpec,
+    JobSpecError,
+    cache_key,
+    canonical_netlist,
+    canonical_netlist_hash,
+    parse_job_spec,
+)
+from repro.serve.queue import Backpressure, JobQueue  # noqa: F401
+
+__all__ = [
+    "ANALYSES",
+    "Backpressure",
+    "EngineSessionCache",
+    "Job",
+    "JobQueue",
+    "JobRunner",
+    "JobSpec",
+    "JobSpecError",
+    "OUTCOME_EXIT_CODES",
+    "ResultCache",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "cache_key",
+    "canonical_json",
+    "canonical_netlist",
+    "canonical_netlist_hash",
+    "parse_job_spec",
+]

@@ -1,0 +1,186 @@
+"""Minimal stdlib client for the serve daemon.
+
+Used by the black-box service tests and the CI smoke job; also a
+reasonable starting point for real clients (it is nothing but
+``http.client`` and ``json``).  Every call opens one connection —
+the server speaks ``Connection: close`` — so a client object is
+thread-safe by construction and cheap to share.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP interaction failed or returned an unexpected status."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talks to one daemon at ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[bytes] = None,
+                headers: Optional[Dict[str, str]] = None
+                ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            data = response.read()
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    data)
+        finally:
+            conn.close()
+
+    def request_json(self, method: str, path: str,
+                     payload: Optional[Any] = None
+                     ) -> Tuple[int, Dict[str, str], Any]:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        status, headers, data = self.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"{method} {path}: non-JSON response "
+                             f"({exc}): {data[:200]!r}", status) from exc
+        return status, headers, decoded
+
+    # -- API -----------------------------------------------------------
+    def submit(self, spec: dict) -> Tuple[int, dict]:
+        status, _headers, payload = self.request_json(
+            "POST", "/jobs", spec)
+        return status, payload
+
+    def submit_ok(self, spec: dict) -> dict:
+        status, payload = self.submit(spec)
+        if status not in (200, 202):
+            raise ServeError(
+                f"submit refused ({status}): {payload}", status, payload)
+        return payload
+
+    def job(self, job_id: str) -> Tuple[int, dict]:
+        status, _headers, payload = self.request_json(
+            "GET", f"/jobs/{job_id}")
+        return status, payload
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self.job(job_id)
+            if status != 200:
+                raise ServeError(f"job {job_id} lookup failed "
+                                 f"({status}): {payload}", status, payload)
+            if payload["state"] in ("done", "failed", "cancelled"):
+                return payload
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {payload['state']} after "
+                    f"{timeout:.0f}s", status, payload)
+            time.sleep(poll_s)
+
+    def run(self, spec: dict, timeout: float = 120.0) -> dict:
+        """Submit and block for the outcome (cached or computed).
+
+        Returns a dict with at least ``cached``, ``cache_key``,
+        ``outcome`` and ``result`` keys, shaped the same whether the
+        answer came from the cache or a fresh computation.
+        """
+        payload = self.submit_ok(spec)
+        if payload.get("cached"):
+            return payload
+        final = self.wait(payload["job_id"], timeout=timeout)
+        return {"cached": False, "cache_key": payload["cache_key"],
+                "job_id": payload["job_id"],
+                "outcome": final.get("outcome"),
+                "result": final.get("result"), "snapshot": final}
+
+    def events(self, job_id: str, timeout: float = 60.0) -> List[dict]:
+        """Read the NDJSON event stream to completion."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = response.read().decode("utf-8", "replace")
+                raise ServeError(f"events stream failed "
+                                 f"({response.status}): {payload}",
+                                 response.status)
+            events = []
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    events.append(json.loads(line.decode("utf-8")))
+            return events
+        finally:
+            conn.close()
+
+    def result_text(self, key: str) -> Optional[str]:
+        """Raw canonical cached result bytes (None on 404)."""
+        status, _headers, data = self.request("GET", f"/results/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServeError(f"/results/{key} failed ({status})", status)
+        return data.decode("utf-8")
+
+    def metrics_text(self) -> str:
+        status, _headers, data = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics failed ({status})", status)
+        return data.decode("utf-8")
+
+    def metrics(self) -> Dict[str, dict]:
+        from repro.obs.promexp import parse_exposition
+
+        return parse_exposition(self.metrics_text())
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        """One scalar from ``/metrics`` by telemetry name.
+
+        Accepts the registry name (``serve.cache.hits``) or the
+        exposition family name (``repro_serve_cache_hits_total``) and
+        returns the unlabelled sample's value — the convenience the
+        tests and the CI smoke job want for counter assertions.
+        """
+        families = self.metrics()
+        candidates = {name}
+        flat = "repro_" + name.replace(".", "_").replace("-", "_")
+        candidates.update({flat, flat + "_total"})
+        for family, payload in families.items():
+            if family not in candidates:
+                continue
+            for sample_name, labels, value in payload.get("samples", []):
+                if not labels:
+                    return float(value)
+        return default
+
+    def healthz(self) -> dict:
+        status, _headers, payload = self.request_json("GET", "/healthz")
+        if status != 200:
+            raise ServeError(f"/healthz failed ({status})", status)
+        return payload

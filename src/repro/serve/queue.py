@@ -1,0 +1,127 @@
+"""Priority/fairness job queue with bounded depth and backpressure.
+
+Ordering is a three-part rank: ``(priority, fairness, arrival)``.
+
+* *priority* — the request's ``high``/``normal``/``low`` class.
+* *fairness* — how many jobs the same client already had queued at
+  submit time.  A client dumping 50 requests interleaves with, rather
+  than starves, a client submitting one: the 50th request ranks behind
+  every other client's first even within the same priority class.
+* *arrival* — a monotone sequence number breaking all remaining ties,
+  so ordering is total and deterministic.
+
+The queue is bounded; a submit beyond ``maxsize`` raises
+:class:`Backpressure`, which the HTTP layer maps to ``429`` with a
+``Retry-After`` estimated from the live drain rate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Backpressure", "JobQueue", "PRIORITY_RANK"]
+
+PRIORITY_RANK = {"high": 0, "normal": 1, "low": 2}
+
+
+class Backpressure(RuntimeError):
+    """The queue is full; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, depth: int, retry_after_s: float):
+        super().__init__(
+            f"queue full ({depth} jobs waiting); "
+            f"retry in {retry_after_s:.0f} s")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class JobQueue:
+    """Bounded, fair, priority-ordered queue of jobs."""
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[Tuple[Tuple[int, int, int], Any]] = []
+        self._seq = 0
+        self._queued_per_client: Dict[str, int] = {}
+        self._drain_times: List[float] = []  # recent inter-get gaps
+        self._last_get: Optional[float] = None
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def put(self, job, priority: str = "normal",
+            client: str = "anon") -> Tuple[int, int, int]:
+        """Enqueue; returns the rank tuple (exposed in job status)."""
+        rank_p = PRIORITY_RANK.get(priority, PRIORITY_RANK["normal"])
+        with self._lock:
+            if self._closed:
+                raise Backpressure(len(self._heap), 1.0)
+            if len(self._heap) >= self.maxsize:
+                raise Backpressure(len(self._heap), self._retry_after())
+            fairness = self._queued_per_client.get(client, 0)
+            rank = (rank_p, fairness, self._seq)
+            self._seq += 1
+            self._queued_per_client[client] = fairness + 1
+            heapq.heappush(self._heap, (rank, client, job))
+            self._not_empty.notify()
+        return rank
+
+    def get(self, timeout: Optional[float] = None):
+        """Next job by rank, or ``None`` on timeout / closed-and-empty."""
+        with self._lock:
+            deadline = (time.monotonic() + timeout
+                        if timeout is not None else None)
+            while not self._heap:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    left = deadline - time.monotonic()
+                    if left <= 0 or not self._not_empty.wait(left):
+                        if not self._heap:
+                            return None
+            _rank, client, job = heapq.heappop(self._heap)
+            count = self._queued_per_client.get(client, 1) - 1
+            if count > 0:
+                self._queued_per_client[client] = count
+            else:
+                self._queued_per_client.pop(client, None)
+            now = time.monotonic()
+            if self._last_get is not None:
+                self._drain_times.append(now - self._last_get)
+                del self._drain_times[:-16]
+            self._last_get = now
+            return job
+
+    def drain_pending(self) -> List[Any]:
+        """Remove and return every queued job (drain: cancel them)."""
+        with self._lock:
+            jobs = [job for _rank, _client, job in self._heap]
+            self._heap.clear()
+            self._queued_per_client.clear()
+            self._not_empty.notify_all()
+        return jobs
+
+    def close(self) -> None:
+        """Stop accepting; wake every waiting consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def _retry_after(self) -> float:
+        """Estimated seconds until a slot frees (lock held)."""
+        if not self._drain_times:
+            return 5.0
+        per_job = sum(self._drain_times) / len(self._drain_times)
+        return max(1.0, min(120.0, per_job * (len(self._heap) / 2 + 1)))

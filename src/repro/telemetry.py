@@ -80,6 +80,12 @@ TIME_BUCKETS_S = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
 #: Default histogram buckets for Newton iteration counts.
 ITERATION_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128)
 
+#: Histogram buckets for service job latency [s]: finer in the
+#: sub-second range an interactive client sits in, coarser toward the
+#: multi-minute campaigns (``serve.job.seconds`` in ``repro serve``).
+SERVE_LATENCY_BUCKETS_S = (1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+                           30.0, 60.0, 180.0, 600.0, 1800.0)
+
 #: Default histogram buckets for batched-solve lane counts.
 LANE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
