@@ -18,6 +18,7 @@ from repro.serve.client import ServeClient, ServeError  # noqa: F401
 from repro.serve.jobs import Job, JobRunner, OUTCOME_EXIT_CODES  # noqa: F401
 from repro.serve.jobspec import (  # noqa: F401
     ANALYSES,
+    UNCACHED_ANALYSES,
     JobSpec,
     JobSpecError,
     cache_key,
@@ -42,6 +43,7 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "UNCACHED_ANALYSES",
     "cache_key",
     "canonical_json",
     "canonical_netlist",

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import re
 import signal
 import threading
 import time
@@ -44,6 +45,8 @@ from typing import List, Optional, Tuple
 from repro.serve.cache import EngineSessionCache, ResultCache
 from repro.serve.jobs import Job, JobRunner
 from repro.serve.jobspec import (
+    CACHE_KEY_LENGTH,
+    UNCACHED_ANALYSES,
     JobSpecError,
     cache_key,
     parse_job_spec,
@@ -51,6 +54,11 @@ from repro.serve.jobspec import (
 from repro.serve.queue import Backpressure, JobQueue
 
 __all__ = ["ServeApp", "ServeConfig"]
+
+#: ``GET /results/<key>`` is raw client input; only keys in the
+#: generated format may reach the cache (the disk tier opens files
+#: named after the key, so anything else is a traversal attempt).
+_RESULT_KEY = re.compile(r"[0-9a-f]{%d}" % CACHE_KEY_LENGTH)
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -144,26 +152,35 @@ class ServeApp:
             self.metrics.inc("serve.requests.refused")
             return 400, {"error": str(exc), "outcome": "refused"}
         key = cache_key(spec, self.capabilities)
-        text = self.cache.get(key)
-        if text is not None:
-            result = json.loads(text)
-            outcome = ("degraded" if isinstance(result, dict)
-                       and result.get("degraded") else "ok")
-            return 200, {"cached": True, "cache_key": key,
-                         "outcome": outcome, "result": result}
+        if spec.analysis not in UNCACHED_ANALYSES:
+            text = self.cache.get(key)
+            if text is not None:
+                result = json.loads(text)
+                outcome = ("degraded" if isinstance(result, dict)
+                           and result.get("degraded") else "ok")
+                return 200, {"cached": True, "cache_key": key,
+                             "outcome": outcome, "result": result}
         job = Job(f"j{next(self._ids):06d}", spec, key)
-        try:
-            job.queue_rank = self.queue.put(job, spec.priority,
-                                            spec.client)
-        except Backpressure as exc:
-            self.metrics.inc("serve.backpressure.rejections")
-            return 429, {"error": str(exc),
-                         "retry_after_s": exc.retry_after_s}
+        # The draining re-check and the enqueue share the state lock:
+        # begin_drain flips the flag under the same lock before it
+        # drains the queue, so a job either lands before the sweep
+        # (and is cancelled by it) or is refused here — never enqueued
+        # into a queue no worker will read again.
+        with self._state_lock:
+            if self._draining:
+                return 503, {"error": "server is draining",
+                             "outcome": "refused"}
+            try:
+                job.queue_rank = self.queue.put(job, spec.priority,
+                                                spec.client)
+            except Backpressure as exc:
+                self.metrics.inc("serve.backpressure.rejections")
+                return 429, {"error": str(exc),
+                             "retry_after_s": exc.retry_after_s}
+            self._submitted += 1
         with self._jobs_lock:
             self._jobs[job.id] = job
             self._evict_jobs_locked()
-        with self._state_lock:
-            self._submitted += 1
         self.metrics.inc("serve.jobs.submitted")
         job.add_event("queued", priority=spec.priority,
                       rank=list(job.queue_rank))
@@ -224,6 +241,8 @@ class ServeApp:
                                  heartbeat=heartbeat)
 
     def result_text(self, key: str) -> Optional[str]:
+        if _RESULT_KEY.fullmatch(key) is None:
+            return None  # not a generated key: a miss, never a path
         return self.cache.get(key)
 
     # ------------------------------------------------------------------

@@ -16,10 +16,14 @@ Two caches with very different lifetimes:
   the per-request fixed cost; same-topology requests re-lease the same
   fixture, whose :func:`repro.circuit.dc.dc_engine` cache keyed by
   ``topology_version`` then serves the compiled ``DcEngine`` for free.
-  A lease is exclusive (per-entry lock): two concurrent jobs on the
-  same topology serialise on the engine rather than corrupting each
-  other's element parameters, while jobs on different topologies run
-  fully in parallel.
+  Leases come in two strengths: an *exclusive* lease (the default) for
+  jobs that mutate the fixture in place (op's warm start, corners'
+  serial PVT sweep), and a *shared* lease for jobs that treat it as a
+  read-only template (Monte-Carlo / high-sigma chunks clone it and
+  never write back).  Any number of shared leases run concurrently;
+  none overlaps an exclusive one, so a corners job can never skew the
+  parameters an MC job is cloning from.  Jobs on different topologies
+  always run fully in parallel.
 """
 
 from __future__ import annotations
@@ -112,13 +116,24 @@ class ResultCache:
             self._inc("serve.cache.evictions")
 
     # -- optional disk tier -------------------------------------------
-    def _disk_path(self, key: str) -> Path:
+    def _disk_path(self, key: str) -> Optional[Path]:
+        # ``key`` can be raw client input (GET /results/<key>): only a
+        # plain single-component file name may reach the filesystem,
+        # or ``../``-style keys would read arbitrary JSON off disk.
+        # The HTTP layer additionally rejects anything that is not a
+        # generated hex key before it gets here.
+        if (not key or key in (".", "..") or "/" in key or "\\" in key
+                or os.path.basename(key) != key):
+            return None
         return self.root / f"{key}.json"
 
     def _read_disk(self, key: str) -> Optional[str]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
         try:
-            text = self._disk_path(key).read_text(encoding="utf-8")
-        except OSError:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, ValueError):
             return None
         try:
             json.loads(text)
@@ -129,23 +144,30 @@ class ResultCache:
     def _write_disk(self, key: str, text: str) -> None:
         from repro.checkpoint import atomic_write_text
 
+        path = self._disk_path(key)
+        if path is None:
+            return
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(self._disk_path(key), text)
+            atomic_write_text(path, text)
         except OSError:
             pass  # persistence is best-effort; memory tier still serves
 
 
 class _Session:
-    """One cached topology: the built fixture plus its exclusive lock."""
+    """One cached topology: the built fixture plus its reader/writer gate."""
 
-    __slots__ = ("lock", "fixture", "uses", "active")
+    __slots__ = ("cond", "fixture", "uses", "active", "readers", "writer",
+                 "writers_waiting")
 
     def __init__(self):
-        self.lock = threading.Lock()
+        self.cond = threading.Condition()
         self.fixture = None
         self.uses = 0
         self.active = 0  # live leases; evicting would orphan the build
+        self.readers = 0  # live shared leases
+        self.writer = False  # a live exclusive lease
+        self.writers_waiting = 0  # blocked exclusives; gates new readers
 
 
 class EngineSessionCache:
@@ -168,12 +190,20 @@ class EngineSessionCache:
             self._metrics.inc(name)
 
     @contextmanager
-    def lease(self, key: Tuple[str, str], build: Callable[[], Any]):
-        """Yield ``(fixture, reused)`` with exclusive use of the session.
+    def lease(self, key: Tuple[str, str], build: Callable[[], Any],
+              shared: bool = False):
+        """Yield ``(fixture, reused)`` under a session lease.
+
+        An exclusive lease (the default) is for callers that mutate the
+        fixture in place: it excludes every other lease on the same
+        topology.  A ``shared`` lease is for read-only template users:
+        shared leases run concurrently with each other but never with
+        an exclusive one.  Waiting exclusives gate new shared leases so
+        a stream of readers cannot starve a mutator.
 
         ``build`` runs at most once per cache residency, under the
-        entry lock (not the cache lock) so an expensive compile of one
-        topology never blocks leases on other topologies.
+        session gate (not the cache lock) so an expensive compile of
+        one topology never blocks leases on other topologies.
         """
         with self._lock:
             session = self._entries.get(key)
@@ -196,15 +226,44 @@ class EngineSessionCache:
                 self._metrics.gauge("serve.session.entries",
                                     len(self._entries))
         try:
-            with session.lock:
-                reused = session.fixture is not None
-                if not reused:
-                    session.fixture = build()
-                    self._inc("serve.session.builds")
+            with session.cond:
+                if shared:
+                    while session.writer or session.writers_waiting:
+                        session.cond.wait()
                 else:
-                    self._inc("serve.session.reuses")
-                session.uses += 1
+                    session.writers_waiting += 1
+                    try:
+                        while session.writer or session.readers:
+                            session.cond.wait()
+                    finally:
+                        session.writers_waiting -= 1
+                    session.writer = True
+                try:
+                    reused = session.fixture is not None
+                    if not reused:
+                        # Built holding the gate: same-key leases queue
+                        # behind the build, so it runs at most once.
+                        session.fixture = build()
+                        self._inc("serve.session.builds")
+                    else:
+                        self._inc("serve.session.reuses")
+                    session.uses += 1
+                    if shared:
+                        session.readers += 1
+                except BaseException:
+                    if not shared:
+                        session.writer = False
+                    session.cond.notify_all()
+                    raise
+            try:
                 yield session.fixture, reused
+            finally:
+                with session.cond:
+                    if shared:
+                        session.readers -= 1
+                    else:
+                        session.writer = False
+                    session.cond.notify_all()
         finally:
             with self._lock:
                 session.active -= 1

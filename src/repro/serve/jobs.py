@@ -33,6 +33,10 @@ __all__ = ["Job", "JobRunner", "OUTCOME_EXIT_CODES", "TERMINAL_STATES"]
 
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
+#: NDJSON stream framing fields; caller-supplied event fields (engine
+#: progress dicts can carry any name) must never overwrite them.
+_FRAMING_KEYS = frozenset(("seq", "event", "job_id"))
+
 #: Service outcome → the exit code the same outcome carries in the CLI
 #: contract (see ``EXIT_CODE_DOC``): recorded in run records so serve
 #: and CLI runs diff cleanly against each other.
@@ -75,7 +79,8 @@ class Job:
         with self._cond:
             event = {"seq": len(self.events), "event": kind,
                      "job_id": self.id}
-            event.update(fields)
+            for key, value in fields.items():
+                event[f"x_{key}" if key in _FRAMING_KEYS else key] = value
             self.events.append(event)
             self._cond.notify_all()
 
@@ -291,10 +296,12 @@ class JobRunner:
 
     def _finalize(self, job: Job, outcome: str, result, error) -> None:
         from repro.serve.cache import canonical_json
+        from repro.serve.jobspec import UNCACHED_ANALYSES
 
         if outcome in ("ok", "degraded"):
             text = canonical_json(result)
-            if self.results is not None:
+            if self.results is not None \
+                    and job.spec.analysis not in UNCACHED_ANALYSES:
                 # Publish before the job turns terminal: a client that
                 # polls "done" and instantly resubmits must hit.
                 self.results.put(job.cache_key, text)
@@ -332,20 +339,18 @@ class JobRunner:
         return get_node(spec.tech)
 
     # -- fixtures through the session cache ---------------------------
-    def _netlist_fixture(self, job: Job):
-        """Build (or re-lease) the compiled fixture for a netlist job.
-
-        Returns the fixture *outside* the lease: Monte-Carlo treats the
-        fixture as a read-only template (every chunk clones it), so
-        same-topology MC jobs may share it concurrently.  Callers that
-        mutate in place (op's warm start, corners' PVT sweep) must use
-        :meth:`_lease` instead.
-        """
-        with self._lease(job) as (fixture, _reused):
-            return fixture
-
     @contextmanager
-    def _lease(self, job: Job):
+    def _lease(self, job: Job, shared: bool = False):
+        """Lease the compiled fixture for a job's topology.
+
+        Monte-Carlo and high-sigma treat the fixture as a read-only
+        template (every chunk clones it) and take a ``shared`` lease
+        held for the whole run, so same-topology read-only jobs overlap
+        freely.  Callers that mutate in place (op's warm start, corners'
+        serial PVT sweep) take the default exclusive lease, which the
+        shared holders exclude — a concurrent mutator can never skew
+        the parameters an MC chunk clones from.
+        """
         from repro.circuit.parser import parse_netlist
         from repro.circuits.references import CircuitFixture
         from repro.obs.runlog import content_hash
@@ -371,7 +376,8 @@ class JobRunner:
 
             def build():
                 return self._builtin_fixture(spec, tech, workload)
-        with self.sessions.lease(key, build) as (fixture, reused):
+        with self.sessions.lease(key, build, shared=shared) \
+                as (fixture, reused):
             job.session_reused = reused
             yield fixture, reused
 
@@ -485,15 +491,15 @@ class JobRunner:
         chunk_size = _param(spec.params, "chunk_size", int, minimum=1)
         if chunk_size is not None:
             chunk_kwargs["chunk_size"] = chunk_size
-        fixture = self._netlist_fixture(job)
-        specs = self._mc_specs(job, tech, fixture)
         checkpoint = self._checkpoint_dir(job)
-        engine = MonteCarloYield(fixture, specs, tech)
-        result = engine.run(
-            samples, seed=spec.seed, jobs=self._jobs_for(spec),
-            backend=spec.backend, batch_size=spec.batch_size,
-            checkpoint=checkpoint, progress=job.heartbeat, budget=budget,
-            **chunk_kwargs)
+        with self._lease(job, shared=True) as (fixture, _reused):
+            specs = self._mc_specs(job, tech, fixture)
+            engine = MonteCarloYield(fixture, specs, tech)
+            result = engine.run(
+                samples, seed=spec.seed, jobs=self._jobs_for(spec),
+                backend=spec.backend, batch_size=spec.batch_size,
+                checkpoint=checkpoint, progress=job.heartbeat,
+                budget=budget, **chunk_kwargs)
         envelope = self._mc_envelope(spec, result)
         if result.n_evaluated < result.n_samples:
             return envelope, "budget"
@@ -626,18 +632,19 @@ class JobRunner:
             raise JobSpecError(
                 "highsigma serves the built-in SRAM read-SNM workload; "
                 "netlist-defined tail metrics are not supported yet")
-        fixture = self._netlist_fixture(job)
         extractor = functools.partial(_sram_snm_extractor,
                                       n_points=snm_points)
         metric = Specification("read_snm", extractor,
                                lower=snm_min_mv * units.MILLI)
-        engine = HighSigmaYield(fixture, metric, tech)
         checkpoint = self._checkpoint_dir(job)
-        result = engine.run(
-            samples, shift_sigma=shift_sigma, seed=spec.seed,
-            jobs=self._jobs_for(spec), backend=spec.backend,
-            batch_size=spec.batch_size, surrogate=surrogate,
-            checkpoint=checkpoint, progress=job.heartbeat, budget=budget)
+        with self._lease(job, shared=True) as (fixture, _reused):
+            engine = HighSigmaYield(fixture, metric, tech)
+            result = engine.run(
+                samples, shift_sigma=shift_sigma, seed=spec.seed,
+                jobs=self._jobs_for(spec), backend=spec.backend,
+                batch_size=spec.batch_size, surrogate=surrogate,
+                checkpoint=checkpoint, progress=job.heartbeat,
+                budget=budget)
         envelope = self._highsigma_envelope(spec, result)
         if result.n_evaluated < samples:
             return envelope, "budget"

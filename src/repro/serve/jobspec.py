@@ -57,6 +57,7 @@ __all__ = [
     "BACKENDS",
     "PRIORITIES",
     "SPEC_SCHEMA",
+    "UNCACHED_ANALYSES",
     "JobSpec",
     "JobSpecError",
     "cache_key",
@@ -81,6 +82,12 @@ NETLIST_HASH_LENGTH = 16
 #: Hex digits kept from the result cache key (longer than run ids: a
 #: cache collision silently serves a wrong answer, so spend the bits).
 CACHE_KEY_LENGTH = 24
+
+#: Analyses whose results depend on mutable filesystem state the cache
+#: key cannot see (verify reads the goldens directory and the live
+#: experiment registry): never served from, or published to, the
+#: result cache — a cached verdict would outlive a goldens edit.
+UNCACHED_ANALYSES = ("verify",)
 
 _TOP_LEVEL_KEYS = {
     "analysis", "tech", "netlist", "params", "seed", "jobs", "backend",

@@ -48,8 +48,10 @@ from repro.resilience import (
 )
 from repro.serve import (
     OUTCOME_EXIT_CODES,
+    UNCACHED_ANALYSES,
     Backpressure,
     EngineSessionCache,
+    Job,
     JobQueue,
     JobSpecError,
     ResultCache,
@@ -297,6 +299,27 @@ class TestResultCache:
         cache = ResultCache(4, root=str(tmp_path))
         assert cache.get("bad") is None
 
+    def test_traversal_key_never_reads_outside_root(self, tmp_path):
+        # A key is raw client input via GET /results/<key>: anything
+        # that is not a plain file-name component must be a miss, not
+        # an open() of an arbitrary JSON file.
+        secret = tmp_path / "secret.json"
+        secret.write_text('{"leak": true}', encoding="utf-8")
+        root = tmp_path / "cache"
+        root.mkdir()
+        cache = ResultCache(4, root=str(root))
+        for key in ("../secret", "a/../../secret", "..", ".",
+                    "sub/dir", "..\\secret", ""):
+            assert cache.get(key) is None
+        assert len(cache) == 0  # nothing traversal-shaped entered the LRU
+
+    def test_traversal_key_never_writes_outside_root(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(4, root=str(root))
+        cache.put("../escape", {"x": 1})
+        assert not (tmp_path / "escape.json").exists()
+        assert not root.exists()  # nothing was spilled at all
+
 
 class TestEngineSessionCache:
     def test_build_once_then_reuse(self):
@@ -352,6 +375,91 @@ class TestEngineSessionCache:
         for t in threads:
             t.join()
         assert peak[0] == 1
+
+    def test_shared_leases_overlap(self):
+        # MC-style read-only leases on the same topology must run
+        # concurrently: all three threads reach the barrier inside
+        # their lease, which is impossible if they serialise.
+        cache = EngineSessionCache(2)
+        barrier = threading.Barrier(3, timeout=10)
+        errors = []
+
+        def reader():
+            try:
+                with cache.lease(("same", "t"), lambda: "fx",
+                                 shared=True):
+                    barrier.wait()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+        assert not errors
+
+    def test_exclusive_lease_excludes_shared(self):
+        # The PR-review bug: a corners/op job mutating the fixture
+        # while an MC job clones from it.  A live exclusive lease must
+        # hold shared leases out until it releases.
+        cache = EngineSessionCache(2)
+        writing = threading.Event()
+        release = threading.Event()
+        read = threading.Event()
+
+        def mutator():
+            with cache.lease(("same", "t"), lambda: "fx"):
+                writing.set()
+                release.wait(10)
+
+        def reader():
+            with cache.lease(("same", "t"), lambda: "fx", shared=True):
+                read.set()
+        t_w = threading.Thread(target=mutator)
+        t_w.start()
+        assert writing.wait(10)
+        t_r = threading.Thread(target=reader)
+        t_r.start()
+        assert not read.wait(0.2), "shared lease overlapped an exclusive"
+        release.set()
+        assert read.wait(10)
+        t_w.join(10), t_r.join(10)
+
+    def test_shared_lease_excludes_exclusive(self):
+        cache = EngineSessionCache(2)
+        reading = threading.Event()
+        release = threading.Event()
+        wrote = threading.Event()
+
+        def reader():
+            with cache.lease(("same", "t"), lambda: "fx", shared=True):
+                reading.set()
+                release.wait(10)
+
+        def mutator():
+            with cache.lease(("same", "t"), lambda: "fx"):
+                wrote.set()
+        t_r = threading.Thread(target=reader)
+        t_r.start()
+        assert reading.wait(10)
+        t_w = threading.Thread(target=mutator)
+        t_w.start()
+        assert not wrote.wait(0.2), "exclusive lease overlapped a shared"
+        release.set()
+        assert wrote.wait(10)
+        t_r.join(10), t_w.join(10)
+
+    def test_build_failure_does_not_wedge_the_session(self):
+        cache = EngineSessionCache(2)
+
+        def boom():
+            raise RuntimeError("compile failed")
+        for shared in (False, True):
+            with pytest.raises(RuntimeError):
+                with cache.lease(("same", "t"), boom, shared=shared):
+                    pass  # pragma: no cover — build raises first
+        with cache.lease(("same", "t"), lambda: "fx") as (fx, reused):
+            assert fx == "fx" and not reused
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +552,72 @@ class TestCancellableBudget:
         assert OUTCOME_EXIT_CODES["ok"] == 0
         assert OUTCOME_EXIT_CODES["error"] == 1
         assert OUTCOME_EXIT_CODES["interrupted"] == 130
+
+
+# ----------------------------------------------------------------------
+# Job events, verify caching policy, submit-vs-drain atomicity
+# ----------------------------------------------------------------------
+
+class TestJobEventFraming:
+    def test_heartbeat_fields_cannot_clobber_framing(self):
+        # Engine progress dicts can carry any key; the NDJSON framing
+        # fields (seq/event/job_id) must survive a collision.
+        job = Job("j000001", parse_job_spec(mc_spec()), "0" * 24)
+        job.heartbeat({"event": "evil", "seq": 99, "job_id": "spoof",
+                       "done": 3})
+        event = job.events_after(0)[-1]
+        assert event["event"] == "heartbeat"
+        assert event["seq"] == 0
+        assert event["job_id"] == "j000001"
+        assert event["x_event"] == "evil"
+        assert event["x_seq"] == 99 and event["x_job_id"] == "spoof"
+        assert event["done"] == 3
+
+
+class TestVerifyNeverCached:
+    def test_verify_is_listed_uncached(self):
+        assert "verify" in UNCACHED_ANALYSES
+
+    def test_submit_skips_cache_lookup_for_verify(self):
+        # A pre-seeded cache entry for the verify key must not be
+        # served: the goldens on disk may have changed since.
+        app = ServeApp(ServeConfig(record_runs=False))
+        payload = {"analysis": "verify", "params": {"ids": ["E1"]}}
+        key = cache_key(parse_job_spec(payload), app.capabilities)
+        app.cache.put(key, {"analysis": "verify", "passed": True})
+        status, response = app.submit(payload)
+        assert status == 202 and response["cached"] is False
+
+    def test_finalize_skips_cache_publish_for_verify(self):
+        app = ServeApp(ServeConfig(record_runs=False))
+        status, response = app.submit({"analysis": "verify",
+                                       "params": {}})
+        assert status == 202
+        job = app.get_job(response["job_id"])
+        app.runner._finalize(job, "ok",
+                             {"analysis": "verify", "passed": True},
+                             None)
+        assert job.state == "done" and len(app.cache) == 0
+
+
+class TestSubmitDrainAtomicity:
+    def test_submit_after_drain_is_refused_even_with_dead_workers(self):
+        # No workers are running: a job that slipped past the drain
+        # check would be stranded in 'queued' forever.  The state lock
+        # shared by submit and begin_drain forbids that interleaving.
+        app = ServeApp(ServeConfig(record_runs=False))
+        app.begin_drain("test")
+        assert app._finish_drain()  # workers (none) joined; queue closed
+        status, response = app.submit(mc_spec())
+        assert status == 503 and response["outcome"] == "refused"
+
+    def test_drained_queue_cancels_jobs_it_held(self):
+        app = ServeApp(ServeConfig(record_runs=False))
+        status, response = app.submit(mc_spec())
+        assert status == 202
+        app.begin_drain("test")
+        job = app.get_job(response["job_id"])
+        assert job.state == "cancelled" and job.outcome == "cancelled"
 
 
 # ----------------------------------------------------------------------
@@ -611,6 +785,59 @@ class TestServiceEndpoints:
         assert client.metric_value("serve.jobs.submitted") >= 1
         assert client.metric_value("repro_serve_jobs_submitted_total") >= 1
         assert client.metric_value("no.such.metric", default=-1.0) == -1.0
+
+
+# ----------------------------------------------------------------------
+# Dedicated daemons: /results hardening, fixture-lease isolation
+# ----------------------------------------------------------------------
+
+class TestResultsEndpointHardening:
+    def test_traversal_paths_are_404(self, tmp_path):
+        # With a disk cache tier, /results/<key> must never open a
+        # file outside the cache directory.
+        secret = tmp_path / "secret.json"
+        secret.write_text('{"leak": true}', encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        with serving(workers=1, cache_dir=str(cache_dir)) as (
+                _app, client, _exit):
+            for path in ("/results/../secret",
+                         "/results/../../etc/passwd",
+                         "/results/a/../../secret",
+                         "/results/..%2Fsecret"):
+                status, _headers, data = client.request("GET", path)
+                assert status == 404, path
+                assert b"leak" not in data
+
+    def test_non_hex_keys_are_404_without_touching_disk(self, server):
+        _app, client, _exit = server
+        assert client.result_text("0" * 23) is None  # wrong length
+        assert client.result_text("G" * 24) is None  # not hex
+        assert client.result_text("secret") is None
+
+
+class TestFixtureLeaseIsolation:
+    def test_mc_unskewed_by_concurrent_corners_same_netlist(self):
+        # The review finding: corners mutates the shared fixture
+        # (corner params, vdd, temperature) while MC chunks clone it.
+        # MC must see only nominal parameters, so its result matches a
+        # run with no corners job in flight.
+        mc = {"analysis": "mc", "tech": "90nm", "netlist": NETLIST,
+              "params": {"samples": 24, "node": "mid", "lower": 0.0},
+              "seed": 77, "backend": "thread"}
+        corners = {"analysis": "corners", "tech": "90nm",
+                   "netlist": NETLIST, "priority": "high",
+                   "params": {"node": "mid", "lower": 0.0,
+                              "vdd_source": "v1"}}
+        with serving(workers=1) as (_app, client, _exit):
+            reference = client.run(mc)["result"]
+        with serving(workers=2) as (_app, client, _exit):
+            corners_ack = client.submit_ok(corners)
+            mc_ack = client.submit_ok(mc)
+            mc_final = client.wait(mc_ack["job_id"])
+            corners_final = client.wait(corners_ack["job_id"])
+            assert corners_final["outcome"] in ("ok", "degraded")
+            assert mc_final["outcome"] == "ok"
+            assert mc_final["result"] == reference
 
 
 # ----------------------------------------------------------------------
